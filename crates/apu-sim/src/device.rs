@@ -1,0 +1,496 @@
+//! The APU device and its host–accelerator programming model.
+//!
+//! Mirrors the paper's Fig. 5 workflow: the host allocates device DRAM
+//! (L4), copies inputs in, invokes a device task, and copies outputs out.
+//! Device tasks receive an [`ApuContext`] granting access to one core and
+//! the shared memories, like a `GAL_TASK_ENTRY_POINT` kernel.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Cycles;
+use crate::config::SimConfig;
+use crate::core::ApuCore;
+use crate::error::Error;
+use crate::mem::{bytes_to_u16s, u16s_to_bytes, Dram, MemHandle};
+use crate::stats::VcuStats;
+use crate::timing::DeviceTiming;
+use crate::Result;
+
+/// Outcome of one device task (kernel invocation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// Cycles elapsed on the (slowest) participating core.
+    pub cycles: Cycles,
+    /// `cycles` converted with the device clock.
+    pub duration: Duration,
+    /// Command statistics delta for the task (merged across cores for
+    /// parallel runs).
+    pub stats: VcuStats,
+    /// Number of cores that participated.
+    pub cores_used: usize,
+}
+
+impl TaskReport {
+    /// Task latency in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.duration.as_secs_f64() * 1e3
+    }
+
+    /// Task latency in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.duration.as_secs_f64() * 1e6
+    }
+
+    /// Combines two sequential task reports.
+    pub fn chain(mut self, other: &TaskReport) -> TaskReport {
+        self.cycles += other.cycles;
+        self.duration += other.duration;
+        self.stats.merge(&other.stats);
+        self.cores_used = self.cores_used.max(other.cores_used);
+        self
+    }
+}
+
+/// A simulated APU platform: host-visible device DRAM, shared L3, and the
+/// APU cores.
+#[derive(Debug)]
+pub struct ApuDevice {
+    cfg: SimConfig,
+    l4: Dram,
+    l3: Vec<u8>,
+    cores: Vec<ApuCore>,
+}
+
+impl ApuDevice {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]); the default configurations are always
+    /// valid.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        let cores = (0..cfg.cores)
+            .map(|i| ApuCore::new(i, cfg.clone()))
+            .collect();
+        let l4 = if cfg.exec_mode.is_functional() {
+            Dram::new(cfg.l4_bytes)
+        } else {
+            // Timing-only devices never consume data: skip the backing
+            // store so paper-scale (multi-GB) configurations stay cheap.
+            Dram::new_virtual(cfg.l4_bytes)
+        };
+        ApuDevice {
+            l4,
+            l3: vec![0; cfg.l3_bytes],
+            cores,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The latency calibration in use.
+    pub fn timing(&self) -> &DeviceTiming {
+        &self.cfg.timing
+    }
+
+    /// Read access to a core (e.g. to inspect registers in tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is out of range.
+    pub fn core(&self, id: usize) -> Result<&ApuCore> {
+        self.cores.get(id).ok_or(Error::BadVr {
+            index: id,
+            count: self.cores.len(),
+            kind: "core",
+        })
+    }
+
+    // ---------------- host memory API (GDL equivalent) ----------------
+
+    /// Allocates `bytes` of device DRAM (512-byte aligned, like
+    /// `gdl_mem_alloc_aligned`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when device memory is exhausted.
+    pub fn alloc(&mut self, bytes: usize) -> Result<MemHandle> {
+        self.l4.alloc(bytes)
+    }
+
+    /// Allocates space for `n` u16 elements.
+    ///
+    /// # Errors
+    ///
+    /// Fails when device memory is exhausted.
+    pub fn alloc_u16(&mut self, n: usize) -> Result<MemHandle> {
+        self.l4.alloc(n * 2)
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles.
+    pub fn free(&mut self, handle: MemHandle) -> Result<()> {
+        self.l4.free(handle)
+    }
+
+    /// Copies bytes host → device (`gdl_mem_cpy_to_dev`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    pub fn write_bytes(&mut self, handle: MemHandle, data: &[u8]) -> Result<()> {
+        self.l4.write(handle, data)
+    }
+
+    /// Copies bytes device → host (`gdl_mem_cpy_from_dev`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    pub fn read_bytes(&self, handle: MemHandle, out: &mut [u8]) -> Result<()> {
+        self.l4.read(handle, out)
+    }
+
+    /// Copies u16 elements host → device.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    pub fn write_u16s(&mut self, handle: MemHandle, data: &[u16]) -> Result<()> {
+        if !self.l4.is_backed() {
+            // Virtual DRAM: validate without materializing a byte copy
+            // (paper-scale uploads would otherwise allocate gigabytes).
+            return self
+                .l4
+                .validate(handle.truncated(data.len() * 2)?, data.len() * 2);
+        }
+        self.l4.write(handle, &u16s_to_bytes(data))
+    }
+
+    /// Copies u16 elements device → host.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    pub fn read_u16s(&self, handle: MemHandle, out: &mut [u16]) -> Result<()> {
+        let mut bytes = vec![0u8; out.len() * 2];
+        self.l4.read(handle, &mut bytes)?;
+        out.copy_from_slice(&bytes_to_u16s(&bytes));
+        Ok(())
+    }
+
+    /// Device DRAM capacity and live bytes, for capacity planning.
+    pub fn l4_usage(&self) -> (usize, usize) {
+        (self.l4.live_bytes(), self.l4.capacity())
+    }
+
+    // ---------------- task execution ----------------
+
+    /// Runs a device kernel on core 0 and reports its latency and
+    /// statistics (the `gdl_run_task_timeout` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors returned by the kernel.
+    pub fn run_task<F>(&mut self, task: F) -> Result<TaskReport>
+    where
+        F: FnOnce(&mut ApuContext<'_>) -> Result<()>,
+    {
+        self.run_task_on(0, task)
+    }
+
+    /// Runs a device kernel on a specific core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `core_id` is out of range, or propagates kernel errors.
+    pub fn run_task_on<F>(&mut self, core_id: usize, task: F) -> Result<TaskReport>
+    where
+        F: FnOnce(&mut ApuContext<'_>) -> Result<()>,
+    {
+        if core_id >= self.cores.len() {
+            return Err(Error::BadVr {
+                index: core_id,
+                count: self.cores.len(),
+                kind: "core",
+            });
+        }
+        let clock = self.cfg.clock;
+        let core = &mut self.cores[core_id];
+        core.set_l4_contention(1.0);
+        let start_cycles = core.cycles();
+        let start_stats = core.stats().clone();
+        let mut ctx = ApuContext {
+            l4: &mut self.l4,
+            l3: &mut self.l3,
+            core,
+        };
+        task(&mut ctx)?;
+        let core = &self.cores[core_id];
+        let cycles = core.cycles() - start_cycles;
+        Ok(TaskReport {
+            cycles,
+            duration: clock.cycles_to_duration(cycles),
+            stats: &core.stats().clone() - &start_stats,
+            cores_used: 1,
+        })
+    }
+
+    /// Runs one kernel per core *logically in parallel*: each kernel is
+    /// simulated in turn on its own core with an L4 contention factor
+    /// equal to the number of participants (the shared device DRAM
+    /// bandwidth is divided), and the reported latency is the maximum
+    /// across cores. Afterwards all participating cores are synchronized
+    /// to the join point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if more tasks than cores are supplied, or propagates the
+    /// first kernel error.
+    pub fn run_parallel<'t>(
+        &mut self,
+        tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + 't>>,
+    ) -> Result<TaskReport> {
+        if tasks.is_empty() {
+            return Err(Error::InvalidArg("no tasks supplied".into()));
+        }
+        if tasks.len() > self.cores.len() {
+            return Err(Error::InvalidArg(format!(
+                "{} tasks exceed {} cores",
+                tasks.len(),
+                self.cores.len()
+            )));
+        }
+        let clock = self.cfg.clock;
+        let contention = tasks.len() as f64;
+        let mut max_delta = Cycles::ZERO;
+        let mut stats = VcuStats::default();
+        let n_tasks = tasks.len();
+        let mut starts = Vec::with_capacity(n_tasks);
+        for (core_id, task) in tasks.into_iter().enumerate() {
+            let core = &mut self.cores[core_id];
+            core.set_l4_contention(contention);
+            let start_cycles = core.cycles();
+            let start_stats = core.stats().clone();
+            starts.push(start_cycles);
+            let mut ctx = ApuContext {
+                l4: &mut self.l4,
+                l3: &mut self.l3,
+                core,
+            };
+            task(&mut ctx)?;
+            let core = &mut self.cores[core_id];
+            core.set_l4_contention(1.0);
+            let delta = core.cycles() - start_cycles;
+            max_delta = max_delta.max(delta);
+            stats.merge(&(&core.stats().clone() - &start_stats));
+        }
+        // Join: every participant waits for the slowest.
+        for (core_id, start) in starts.iter().enumerate() {
+            self.cores[core_id].sync_to(*start + max_delta);
+        }
+        Ok(TaskReport {
+            cycles: max_delta,
+            duration: clock.cycles_to_duration(max_delta),
+            stats,
+            cores_used: n_tasks,
+        })
+    }
+
+    /// Merged statistics across all cores since device creation.
+    pub fn stats_total(&self) -> VcuStats {
+        let mut total = VcuStats::default();
+        for c in &self.cores {
+            total.merge(c.stats());
+        }
+        total
+    }
+}
+
+/// Execution context handed to device kernels: one core plus the shared
+/// L3 and device DRAM.
+///
+/// Data-movement methods (DMA, PIO, lookup) are implemented in
+/// [`crate::dma`]; compute operations live in the `gvml` crate.
+#[derive(Debug)]
+pub struct ApuContext<'a> {
+    pub(crate) l4: &'a mut Dram,
+    pub(crate) l3: &'a mut Vec<u8>,
+    pub(crate) core: &'a mut ApuCore,
+}
+
+impl ApuContext<'_> {
+    /// The core this kernel runs on.
+    pub fn core(&self) -> &ApuCore {
+        self.core
+    }
+
+    /// Mutable access to the core.
+    pub fn core_mut(&mut self) -> &mut ApuCore {
+        self.core
+    }
+
+    /// The device DRAM.
+    pub fn l4(&self) -> &Dram {
+        self.l4
+    }
+
+    /// Mutable access to the device DRAM.
+    pub fn l4_mut(&mut self) -> &mut Dram {
+        self.l4
+    }
+
+    /// The L3 control-processor cache contents.
+    pub fn l3(&self) -> &[u8] {
+        self.l3
+    }
+
+    /// Mutable access to the L3 cache.
+    pub fn l3_mut(&mut self) -> &mut [u8] {
+        self.l3
+    }
+
+    /// The latency calibration in use.
+    pub fn timing(&self) -> &DeviceTiming {
+        &self.core.config().timing
+    }
+
+    /// Writes u16 values directly into L3 at a byte offset (control
+    /// processor store; used to stage lookup tables in tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds L3.
+    pub fn l3_write_u16s(&mut self, l3_off: usize, values: &[u16]) -> Result<()> {
+        self.check_l3(l3_off, values.len() * 2)?;
+        let bytes = u16s_to_bytes(values);
+        self.l3[l3_off..l3_off + bytes.len()].copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    pub(crate) fn stats_dma_transaction(&mut self, bytes: u64) {
+        self.core.stats_mut().record_dma_transaction(bytes);
+    }
+
+    pub(crate) fn stats_pio(&mut self, elems: u64) {
+        self.core.stats_mut().record_pio_elems(elems, 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Vmr;
+
+    #[test]
+    fn host_roundtrip_u16() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let h = dev.alloc_u16(10).unwrap();
+        dev.write_u16s(h, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        let mut out = vec![0u16; 10];
+        dev.read_u16s(h, &mut out).unwrap();
+        assert_eq!(out[9], 10);
+        let (live, cap) = dev.l4_usage();
+        assert_eq!(live, 512);
+        assert_eq!(cap, 1 << 20);
+    }
+
+    #[test]
+    fn task_report_chains() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let a = dev
+            .run_task(|ctx| {
+                ctx.core_mut().charge(crate::timing::VecOp::AddU16);
+                Ok(())
+            })
+            .unwrap();
+        let b = dev
+            .run_task(|ctx| {
+                ctx.core_mut().charge(crate::timing::VecOp::Or16);
+                Ok(())
+            })
+            .unwrap();
+        let c = a.clone().chain(&b);
+        assert_eq!(c.cycles, a.cycles + b.cycles);
+        assert_eq!(c.stats.commands, 2);
+    }
+
+    #[test]
+    fn task_errors_propagate() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let r = dev.run_task(|_| Err(Error::TaskFailed("boom".into())));
+        assert!(matches!(r, Err(Error::TaskFailed(_))));
+    }
+
+    #[test]
+    fn bad_core_id_is_rejected() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        assert!(dev.run_task_on(99, |_| Ok(())).is_err());
+        assert!(dev.core(99).is_err());
+        assert!(dev.core(3).is_ok());
+    }
+
+    #[test]
+    fn parallel_tasks_take_max_and_contend() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(8 << 20));
+        let n = dev.config().vr_len;
+        let a = dev.alloc_u16(n).unwrap();
+        let b = dev.alloc_u16(n).unwrap();
+
+        // Serial reference: one core, contention 1.
+        let serial = dev
+            .run_task(|ctx| ctx.dma_l4_to_l1(Vmr::new(0), a))
+            .unwrap();
+
+        // Two cores each doing the same DMA: contention 2 doubles the DMA
+        // portion; latency = max = one contended DMA.
+        let par = dev
+            .run_parallel(vec![
+                Box::new(move |ctx: &mut ApuContext<'_>| ctx.dma_l4_to_l1(Vmr::new(0), a)),
+                Box::new(move |ctx: &mut ApuContext<'_>| ctx.dma_l4_to_l1(Vmr::new(0), b)),
+            ])
+            .unwrap();
+        assert_eq!(par.cores_used, 2);
+        assert!(par.cycles > serial.cycles);
+        assert!(par.cycles.get() < serial.cycles.get() * 2 + 100);
+        assert_eq!(par.stats.dma_transactions, 2);
+    }
+
+    #[test]
+    fn parallel_rejects_too_many_tasks() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()>>> = (0..5)
+            .map(|_| Box::new(|_: &mut ApuContext<'_>| Ok(())) as _)
+            .collect();
+        assert!(dev.run_parallel(tasks).is_err());
+        assert!(dev.run_parallel(vec![]).is_err());
+    }
+
+    #[test]
+    fn parallel_cores_synchronize_at_join() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        dev.run_parallel(vec![
+            Box::new(|ctx: &mut ApuContext<'_>| {
+                ctx.core_mut().charge(crate::timing::VecOp::DivS16); // long
+                Ok(())
+            }),
+            Box::new(|ctx: &mut ApuContext<'_>| {
+                ctx.core_mut().charge(crate::timing::VecOp::Or16); // short
+                Ok(())
+            }),
+        ])
+        .unwrap();
+        assert_eq!(dev.core(0).unwrap().cycles(), dev.core(1).unwrap().cycles());
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulator error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the APU simulator.
+///
+/// All public fallible operations in this crate (and the layers built on
+/// top of it) return [`crate::Result`] with this error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An access touched device DRAM (L4) outside an allocation.
+    L4OutOfBounds {
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Capacity of the L4 memory in bytes.
+        capacity: usize,
+    },
+    /// An access touched L3 / L2 outside its capacity.
+    ScratchOutOfBounds {
+        /// Which scratch level ("L2" or "L3").
+        level: &'static str,
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Capacity of the memory in bytes.
+        capacity: usize,
+    },
+    /// A vector-register index was out of range.
+    BadVr {
+        /// The requested register index.
+        index: usize,
+        /// Number of registers of that kind.
+        count: usize,
+        /// Register kind ("VR" or "VMR").
+        kind: &'static str,
+    },
+    /// Device DRAM allocator ran out of space.
+    OutOfDeviceMemory {
+        /// Requested allocation in bytes.
+        requested: usize,
+        /// Free bytes remaining.
+        available: usize,
+    },
+    /// A memory handle did not refer to a live allocation.
+    InvalidHandle,
+    /// Host/device transfer sizes disagreed with the allocation size.
+    SizeMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the allocation / register expects.
+        expected: usize,
+    },
+    /// An argument violated a documented precondition.
+    InvalidArg(String),
+    /// A device kernel reported failure.
+    TaskFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::L4OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "L4 access out of bounds: offset {offset} len {len} exceeds capacity {capacity}"
+            ),
+            Error::ScratchOutOfBounds {
+                level,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "{level} access out of bounds: offset {offset} len {len} exceeds capacity {capacity}"
+            ),
+            Error::BadVr { index, count, kind } => {
+                write!(f, "{kind} index {index} out of range (device has {count})")
+            }
+            Error::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            Error::InvalidHandle => write!(f, "invalid device memory handle"),
+            Error::SizeMismatch { got, expected } => {
+                write!(f, "size mismatch: got {got}, expected {expected}")
+            }
+            Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            Error::TaskFailed(msg) => write!(f, "device task failed: {msg}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::L4OutOfBounds {
+            offset: 10,
+            len: 20,
+            capacity: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("L4"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains("16"));
+
+        let e = Error::BadVr {
+            index: 25,
+            count: 24,
+            kind: "VR",
+        };
+        assert!(e.to_string().contains("25"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

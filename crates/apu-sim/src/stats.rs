@@ -1,0 +1,197 @@
+//! Vector Command Unit statistics.
+//!
+//! The paper's Table 6 reports the number of APU µCode instructions per
+//! workload "as reported by the Vector Command Unit"; this module is the
+//! simulator's equivalent counter, plus the per-class cycle attribution
+//! consumed by the energy model (`cis-energy`).
+
+use std::collections::BTreeMap;
+use std::ops::Sub;
+
+use serde::{Deserialize, Serialize};
+
+use crate::core::CycleClass;
+use crate::timing::VecOp;
+
+/// Cumulative command/cycle statistics for one core.
+///
+/// Obtained from [`crate::ApuCore::stats`]; task-scoped deltas are
+/// reported in [`crate::TaskReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcuStats {
+    /// Vector commands issued (GVML-level calls).
+    pub commands: u64,
+    /// µCode micro-operations executed. Fixed-latency vector commands
+    /// decode to approximately one micro-op per busy cycle.
+    pub micro_ops: u64,
+    /// Cycles spent in bit-processor computation.
+    pub compute_cycles: u64,
+    /// Cycles the DMA engines were busy.
+    pub dma_cycles: u64,
+    /// Cycles spent on programmed I/O.
+    pub pio_cycles: u64,
+    /// Cycles spent on L3 indexed lookups.
+    pub lookup_cycles: u64,
+    /// Control-processor command issue overhead cycles.
+    pub issue_cycles: u64,
+    /// Bytes moved over the L4 (device DRAM) interface.
+    pub l4_bytes: u64,
+    /// Individual PIO element transfers.
+    pub pio_elems: u64,
+    /// DMA transactions initiated.
+    pub dma_transactions: u64,
+    /// Per-mnemonic command counts.
+    pub per_op: BTreeMap<String, u64>,
+}
+
+impl VcuStats {
+    /// Records one fixed-latency vector command.
+    pub(crate) fn record_op(&mut self, op: VecOp, cost: u64, issue: u64) {
+        self.commands += 1;
+        self.micro_ops += cost;
+        self.compute_cycles += cost;
+        self.issue_cycles += issue;
+        *self.per_op.entry(op.mnemonic().to_string()).or_insert(0) += 1;
+    }
+
+    /// Records a variable-latency operation by class.
+    pub(crate) fn record_class(&mut self, class: CycleClass, cycles: u64) {
+        match class {
+            CycleClass::Compute => {
+                self.compute_cycles += cycles;
+                self.micro_ops += cycles;
+            }
+            CycleClass::Dma => self.dma_cycles += cycles,
+            CycleClass::Pio => self.pio_cycles += cycles,
+            CycleClass::Lookup => self.lookup_cycles += cycles,
+            CycleClass::Issue => self.issue_cycles += cycles,
+        }
+    }
+
+    /// Records one raw micro-op issue.
+    pub(crate) fn record_micro(&mut self) {
+        self.micro_ops += 1;
+        self.compute_cycles += 1;
+    }
+
+    /// Records an L4 transfer of `bytes` within one DMA transaction.
+    pub(crate) fn record_dma_transaction(&mut self, bytes: u64) {
+        self.dma_transactions += 1;
+        self.l4_bytes += bytes;
+    }
+
+    /// Records `n` PIO element transfers of `bytes_each` bytes.
+    pub(crate) fn record_pio_elems(&mut self, n: u64, bytes_each: u64) {
+        self.pio_elems += n;
+        self.l4_bytes += n * bytes_each;
+    }
+
+    /// Total busy cycles across all classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles
+            + self.dma_cycles
+            + self.pio_cycles
+            + self.lookup_cycles
+            + self.issue_cycles
+    }
+
+    /// Merges another statistics block into this one (used when joining
+    /// parallel cores).
+    pub fn merge(&mut self, other: &VcuStats) {
+        self.commands += other.commands;
+        self.micro_ops += other.micro_ops;
+        self.compute_cycles += other.compute_cycles;
+        self.dma_cycles += other.dma_cycles;
+        self.pio_cycles += other.pio_cycles;
+        self.lookup_cycles += other.lookup_cycles;
+        self.issue_cycles += other.issue_cycles;
+        self.l4_bytes += other.l4_bytes;
+        self.pio_elems += other.pio_elems;
+        self.dma_transactions += other.dma_transactions;
+        for (k, v) in &other.per_op {
+            *self.per_op.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+impl Sub for &VcuStats {
+    type Output = VcuStats;
+
+    /// Delta between two snapshots (`end - start`). Per-op counts below
+    /// the start snapshot are clamped to zero.
+    fn sub(self, start: &VcuStats) -> VcuStats {
+        let mut per_op = BTreeMap::new();
+        for (k, v) in &self.per_op {
+            let before = start.per_op.get(k).copied().unwrap_or(0);
+            if *v > before {
+                per_op.insert(k.clone(), v - before);
+            }
+        }
+        VcuStats {
+            commands: self.commands - start.commands,
+            micro_ops: self.micro_ops - start.micro_ops,
+            compute_cycles: self.compute_cycles - start.compute_cycles,
+            dma_cycles: self.dma_cycles - start.dma_cycles,
+            pio_cycles: self.pio_cycles - start.pio_cycles,
+            lookup_cycles: self.lookup_cycles - start.lookup_cycles,
+            issue_cycles: self.issue_cycles - start.issue_cycles,
+            l4_bytes: self.l4_bytes - start.l4_bytes,
+            pio_elems: self.pio_elems - start.pio_elems,
+            dma_transactions: self.dma_transactions - start.dma_transactions,
+            per_op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = VcuStats::default();
+        s.record_op(VecOp::AddU16, 12, 2);
+        s.record_class(CycleClass::Dma, 100);
+        s.record_micro();
+        assert_eq!(s.commands, 1);
+        assert_eq!(s.micro_ops, 13);
+        assert_eq!(s.total_cycles(), 12 + 2 + 100 + 1);
+        assert_eq!(s.per_op["add_u16"], 1);
+    }
+
+    #[test]
+    fn delta_subtraction() {
+        let mut start = VcuStats::default();
+        start.record_op(VecOp::Or16, 8, 2);
+        let mut end = start.clone();
+        end.record_op(VecOp::Or16, 8, 2);
+        end.record_op(VecOp::AddU16, 12, 2);
+        let d = &end - &start;
+        assert_eq!(d.commands, 2);
+        assert_eq!(d.per_op["or_16"], 1);
+        assert_eq!(d.per_op["add_u16"], 1);
+        assert_eq!(d.compute_cycles, 20);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = VcuStats::default();
+        a.record_op(VecOp::AddU16, 12, 2);
+        let mut b = VcuStats::default();
+        b.record_op(VecOp::AddU16, 12, 2);
+        b.record_dma_transaction(512);
+        a.merge(&b);
+        assert_eq!(a.commands, 2);
+        assert_eq!(a.per_op["add_u16"], 2);
+        assert_eq!(a.l4_bytes, 512);
+        assert_eq!(a.dma_transactions, 1);
+    }
+
+    #[test]
+    fn pio_accounting() {
+        let mut s = VcuStats::default();
+        s.record_pio_elems(10, 2);
+        assert_eq!(s.pio_elems, 10);
+        assert_eq!(s.l4_bytes, 20);
+    }
+}

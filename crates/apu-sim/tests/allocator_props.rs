@@ -1,0 +1,114 @@
+//! Property tests for the device-DRAM allocator and the micro-op layer.
+
+use apu_sim::mem::{Dram, ALLOC_ALIGN};
+use apu_sim::{BitOp, MicroOp, SliceMask, WriteSrc};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Live allocations never overlap and always respect alignment,
+    /// under arbitrary interleavings of alloc and free.
+    #[test]
+    fn allocations_never_overlap(ops in proptest::collection::vec((any::<bool>(), 1usize..4096), 1..60)) {
+        let mut dram = Dram::new(1 << 20);
+        let mut live: Vec<apu_sim::MemHandle> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(h) = dram.alloc(size) {
+                    prop_assert_eq!(h.offset() % ALLOC_ALIGN, 0);
+                    for other in &live {
+                        let a = (h.offset(), h.offset() + size);
+                        let b = (other.offset(), other.offset() + other.len());
+                        prop_assert!(
+                            a.1 <= b.0 || b.1 <= a.0,
+                            "overlap: {:?} vs {:?}", a, b
+                        );
+                    }
+                    live.push(h);
+                }
+            } else {
+                let h = live.swap_remove(size % live.len());
+                prop_assert!(dram.free(h).is_ok());
+                // stale handle is dead
+                prop_assert!(dram.read(h, &mut [0u8; 1]).is_err());
+            }
+        }
+    }
+
+    /// Reads always return exactly what was last written, across frees
+    /// and reuse.
+    #[test]
+    fn write_read_roundtrip(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..1500), 1..20)) {
+        let mut dram = Dram::new(1 << 20);
+        let mut entries = Vec::new();
+        for p in &payloads {
+            let h = dram.alloc(p.len()).unwrap();
+            dram.write(h, p).unwrap();
+            entries.push((h, p.clone()));
+        }
+        for (h, p) in &entries {
+            let mut buf = vec![0u8; p.len()];
+            dram.read(*h, &mut buf).unwrap();
+            prop_assert_eq!(&buf, p);
+        }
+    }
+
+    /// A virtual DRAM accepts the same allocator traffic but never hands
+    /// out data.
+    #[test]
+    fn virtual_dram_allocates_without_backing(sizes in proptest::collection::vec(1usize..100_000, 1..30)) {
+        let mut dram = Dram::new_virtual(1 << 30);
+        for s in sizes {
+            let h = dram.alloc(s).unwrap();
+            prop_assert!(dram.write(h, &vec![1u8; s]).is_ok());
+            let mut buf = vec![9u8; s.min(64)];
+            dram.read(h.truncated(buf.len()).unwrap(), &mut buf).unwrap();
+            prop_assert!(buf.iter().all(|&b| b == 0)); // zeros, not data
+            prop_assert!(dram.slice(h, s).is_err());
+        }
+    }
+
+    /// Micro-op writes through WBL then WBLB restore the original value
+    /// (double negation), for any slice mask.
+    #[test]
+    fn wblb_is_an_involution(pattern in any::<u16>(), mask_bits in any::<u16>()) {
+        let mut dev = apu_sim::ApuDevice::new(
+            apu_sim::SimConfig::default().with_l4_bytes(1 << 20),
+        );
+        dev.run_task(|ctx| {
+            let core = ctx.core_mut();
+            core.vr_mut(apu_sim::Vr::new(0))?.fill(pattern);
+            let m = SliceMask::new(mask_bits);
+            core.issue_micro(&MicroOp::ReadVr { mask: m, vrs: vec![0] })?;
+            core.issue_micro(&MicroOp::WriteVr { mask: m, vr: 1, src: WriteSrc::RlNeg })?;
+            core.issue_micro(&MicroOp::ReadVr { mask: m, vrs: vec![1] })?;
+            core.issue_micro(&MicroOp::WriteVr { mask: m, vr: 2, src: WriteSrc::RlNeg })?;
+            let v0 = core.vr(apu_sim::Vr::new(0))?[17];
+            let v2 = core.vr(apu_sim::Vr::new(2))?[17];
+            assert_eq!(v0 & mask_bits, v2 & mask_bits);
+            Ok(())
+        }).unwrap();
+    }
+
+    /// XOR built from micro-ops agrees with the scalar operator on the
+    /// masked slices.
+    #[test]
+    fn micro_xor_matches_scalar(a in any::<u16>(), b in any::<u16>(), mask_bits in any::<u16>()) {
+        let mut dev = apu_sim::ApuDevice::new(
+            apu_sim::SimConfig::default().with_l4_bytes(1 << 20),
+        );
+        dev.run_task(|ctx| {
+            let core = ctx.core_mut();
+            core.vr_mut(apu_sim::Vr::new(0))?.fill(a);
+            core.vr_mut(apu_sim::Vr::new(1))?.fill(b);
+            let m = SliceMask::new(mask_bits);
+            core.issue_micro(&MicroOp::ReadVr { mask: m, vrs: vec![0] })?;
+            core.issue_micro(&MicroOp::OpVr { mask: m, op: BitOp::Xor, vr: 1 })?;
+            core.issue_micro(&MicroOp::WriteVr { mask: m, vr: 2, src: WriteSrc::Rl })?;
+            let got = core.vr(apu_sim::Vr::new(2))?[99];
+            assert_eq!(got & mask_bits, (a ^ b) & mask_bits);
+            Ok(())
+        }).unwrap();
+    }
+}

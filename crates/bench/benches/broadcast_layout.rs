@@ -1,0 +1,51 @@
+//! Ablation: lookup-table size vs broadcast-friendly layout (DESIGN.md
+//! §5.3) — simulated device time of a scalar broadcast through L3
+//! lookups as the contiguous window shrinks from `K·N`-style sizes down
+//! to the friendly window.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig, Vr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvml::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_layout");
+    group.sample_size(10);
+    for &sigma in &[32usize, 512, 4096, 65536 / 2] {
+        group.bench_with_input(BenchmarkId::new("lookup", sigma), &sigma, |b, &sigma| {
+            b.iter_custom(|iters| {
+                let mut dev = ApuDevice::new(
+                    SimConfig::default()
+                        .with_l4_bytes(4 << 20)
+                        .with_exec_mode(ExecMode::TimingOnly),
+                );
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = dev
+                        .run_task(|ctx| {
+                            ctx.core_mut().create_grp_index_u16(Vr::new(1), sigma)?;
+                            ctx.lookup(Vr::new(0), Vr::new(1), 0, sigma)
+                        })
+                        .expect("lookup");
+                    total += r.duration;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Host wall-clock micro-benchmarks of the CPU reference
+//! implementations (the real comparison side of Fig. 13 / Fig. 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phoenix::common::cpu_threads;
+use rag::corpus::CorpusSpec;
+use rag::EmbeddingStore;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_baselines");
+    group.sample_size(10);
+
+    let bytes = 4 << 20;
+    let hist_data = phoenix::histogram::generate(bytes, 1);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("histogram_1t", |b| {
+        b.iter(|| phoenix::histogram::cpu(&hist_data))
+    });
+    group.bench_function("histogram_mt", |b| {
+        b.iter(|| phoenix::histogram::cpu_mt(&hist_data, cpu_threads()))
+    });
+
+    let text = phoenix::wordcount::generate(1 << 20, 2);
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("wordcount_1t", |b| {
+        b.iter(|| phoenix::wordcount::cpu(&text))
+    });
+
+    let store = EmbeddingStore::materialized(
+        CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 20_000,
+        },
+        3,
+    );
+    let q = store.query(0);
+    group.throughput(Throughput::Bytes(store.spec().embedding_bytes()));
+    group.bench_with_input(
+        BenchmarkId::new("rag_enns", "20k-chunks"),
+        &store,
+        |b, store| b.iter(|| rag::cpu_retrieve(store, &q, 5, cpu_threads())),
+    );
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: DMA coalescing factor (DESIGN.md §5.2) — simulated device
+//! time of moving the same bytes as 1, 4, 16, or 64 separate
+//! transactions vs one programmed chunk list.
+
+use std::time::Duration;
+
+use apu_sim::dma::ChunkCopy;
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_coalescing");
+    group.sample_size(10);
+    let total_bytes = 64 * 1024;
+    for &txns in &[1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("separate", txns), &txns, |b, &txns| {
+            b.iter_custom(|iters| {
+                let mut dev = ApuDevice::new(
+                    SimConfig::default()
+                        .with_l4_bytes(8 << 20)
+                        .with_exec_mode(ExecMode::TimingOnly),
+                );
+                let h = dev.alloc(total_bytes).expect("alloc");
+                let chunk = total_bytes / txns;
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = dev
+                        .run_task(|ctx| {
+                            for i in 0..txns {
+                                ctx.dma_l4_to_l2(0, h.offset_by(i * chunk)?, chunk)?;
+                            }
+                            Ok(())
+                        })
+                        .expect("dma");
+                    total += r.duration;
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("coalesced", txns), &txns, |b, &txns| {
+            b.iter_custom(|iters| {
+                let mut dev = ApuDevice::new(
+                    SimConfig::default()
+                        .with_l4_bytes(8 << 20)
+                        .with_exec_mode(ExecMode::TimingOnly),
+                );
+                let h = dev.alloc(total_bytes).expect("alloc");
+                let chunk = total_bytes / txns;
+                let chunks: Vec<ChunkCopy> = (0..txns)
+                    .map(|i| ChunkCopy::new(i * chunk, i * chunk, chunk))
+                    .collect();
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = dev
+                        .run_task(|ctx| ctx.dma_l4_to_l2_chunks(h, &chunks))
+                        .expect("dma");
+                    total += r.duration;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: blocking vs double-buffered (asynchronous) DMA for a
+//! streaming kernel — the overlap headroom the device's two per-core
+//! DMA engines provide.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig, VecOp, Vmr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn device() -> ApuDevice {
+    ApuDevice::new(
+        SimConfig::default()
+            .with_l4_bytes(64 << 20)
+            .with_exec_mode(ExecMode::TimingOnly),
+    )
+}
+
+/// Simulated time of streaming `tiles` tiles with `compute_cmds` heavy
+/// vector commands per tile.
+fn run(tiles: usize, compute_cmds: usize, overlapped: bool) -> Duration {
+    let mut dev = device();
+    let n = dev.config().vr_len;
+    let h = dev.alloc_u16(tiles * n).expect("alloc");
+    let report = dev
+        .run_task(|ctx| {
+            if overlapped {
+                let mut pending = ctx.dma_l4_to_l1_async(Vmr::new(0), h)?;
+                for i in 0..tiles {
+                    ctx.dma_wait(pending);
+                    if i + 1 < tiles {
+                        pending = ctx.dma_l4_to_l1_async(
+                            Vmr::new(((i + 1) % 2) as u8),
+                            h.offset_by((i + 1) * n * 2)?,
+                        )?;
+                    }
+                    for _ in 0..compute_cmds {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                    }
+                }
+                ctx.dma_wait_all();
+            } else {
+                for i in 0..tiles {
+                    ctx.dma_l4_to_l1(Vmr::new(0), h.offset_by(i * n * 2)?)?;
+                    for _ in 0..compute_cmds {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                    }
+                }
+            }
+            Ok(())
+        })
+        .expect("kernel");
+    report.duration
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_overlap");
+    group.sample_size(10);
+    // compute per tile from far below to above the 22k-cycle transfer
+    for &cmds in &[10usize, 60, 110, 220] {
+        for overlapped in [false, true] {
+            let label = if overlapped {
+                "double_buffered"
+            } else {
+                "blocking"
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{cmds}cmds")),
+                &cmds,
+                |b, &cmds| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total += run(16, cmds, overlapped);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: off-chip memory technology for the RAG embedding stream
+//! (DESIGN.md §5.5) — simulated DRAM time for HBM2e vs the device's
+//! native DDR4 across transfer sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_sim::{DramSpec, MemorySystem};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offchip_memory");
+    group.sample_size(10);
+    for &mb in &[8u64, 64] {
+        let bytes = mb << 20;
+        group.throughput(Throughput::Bytes(bytes));
+        for (label, spec) in [
+            ("hbm2e", DramSpec::hbm2e_16gb()),
+            ("ddr4", DramSpec::ddr4_apu()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{mb}MB")),
+                &spec,
+                |b, spec| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let mut mem = MemorySystem::new(spec.clone());
+                            let r = mem.stream_read(0, bytes);
+                            total += Duration::from_nanos(r.ns as u64);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: spatial vs temporal reduction mapping (DESIGN.md §5.1).
+//!
+//! Criterion's `iter_custom` reports the **simulated device time** of
+//! each strategy — the quantity the paper's opt1 targets — rather than
+//! host wall-clock.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use binmm::{ApuMatmul, BinMatrix};
+use cis_core::MatmulVariant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn device() -> ApuDevice {
+    ApuDevice::new(
+        SimConfig::default()
+            .with_l4_bytes(256 << 20)
+            .with_exec_mode(ExecMode::TimingOnly),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_mapping");
+    group.sample_size(10);
+    for &m in &[64usize, 256] {
+        let problem = ApuMatmul::new(
+            BinMatrix::random(m, 1024, 1),
+            BinMatrix::random(2048, 1024, 2),
+        )
+        .expect("shape");
+        for (label, variant) in [
+            ("spatial", MatmulVariant::Baseline),
+            ("temporal", MatmulVariant::Opt1),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, m), &problem, |b, problem| {
+                b.iter_custom(|iters| {
+                    let mut dev = device();
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let run = problem.run(&mut dev, variant).expect("kernel");
+                        total += run.report.duration;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: the subgroup-reduction cost surface (Eq. 1, DESIGN.md
+//! §5.4) — simulated device time of `add_subgrp_s16` across subgroup
+//! sizes.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig, Vr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvml::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg_reduce");
+    group.sample_size(10);
+    for &s in &[16usize, 128, 1024, 8192, 32768] {
+        group.bench_with_input(BenchmarkId::new("add_subgrp", s), &s, |b, &s| {
+            b.iter_custom(|iters| {
+                let mut dev = ApuDevice::new(
+                    SimConfig::default()
+                        .with_l4_bytes(2 << 20)
+                        .with_exec_mode(ExecMode::TimingOnly),
+                );
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = dev
+                        .run_task(|ctx| ctx.core_mut().add_subgrp_s16(Vr::new(1), Vr::new(0), s, s))
+                        .expect("reduce");
+                    total += r.duration;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Host wall-clock throughput of the functional simulator itself (how
+//! fast this repository simulates the device, not how fast the device
+//! is).
+
+use apu_sim::{ApuDevice, SimConfig, Vr};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gvml::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(2 << 20));
+    let n = dev.config().vr_len as u64;
+
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("add_u16_32k_lanes", |b| {
+        b.iter(|| {
+            dev.run_task(|ctx| ctx.core_mut().add_u16(Vr::new(2), Vr::new(0), Vr::new(1)))
+                .expect("op")
+        });
+    });
+    group.bench_function("mul_s16_32k_lanes", |b| {
+        b.iter(|| {
+            dev.run_task(|ctx| ctx.core_mut().mul_s16(Vr::new(2), Vr::new(0), Vr::new(1)))
+                .expect("op")
+        });
+    });
+    group.bench_function("add_subgrp_s16_1024", |b| {
+        b.iter(|| {
+            dev.run_task(|ctx| {
+                ctx.core_mut()
+                    .add_subgrp_s16(Vr::new(2), Vr::new(0), 1024, 1024)
+            })
+            .expect("op")
+        });
+    });
+    group.finish();
+}
+
+fn deterministic_config() -> Criterion {
+    // Simulated-time samples are deterministic (zero variance), which
+    // breaks Criterion's distribution plots; keep reports text-only.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = deterministic_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Figure 12: binary-matmul runtime breakdown (LD LHS / LD RHS / VR ops /
+//! ST) across the optimization variants — simulated on the device, with
+//! the closed-form model's totals alongside.
+//!
+//! Default shape is a reduced 128 × 2048 × 2048-bit problem (functional);
+//! `--paper-scale` runs the paper's 1024 × 1024 × 1024-bit shape in
+//! timing-only mode.
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use binmm::{ApuMatmul, BinMatrix};
+use cis_bench::table::{print_table, section};
+use cis_core::{matmul_model, MatmulShape, MatmulVariant};
+use cis_model::ModelParams;
+
+fn main() {
+    let cfg = cis_bench::parse_args();
+    let (m, n, kbits) = if cfg.paper {
+        (1024, 1024, 1024)
+    } else {
+        (128, 2048, 2048)
+    };
+    let mut sim_cfg = SimConfig::default().with_l4_bytes(256 << 20);
+    if cfg.paper {
+        sim_cfg = sim_cfg.with_exec_mode(ExecMode::TimingOnly);
+    }
+    let mut dev = ApuDevice::new(sim_cfg);
+    let problem = ApuMatmul::new(
+        BinMatrix::random(m, kbits, cfg.seed),
+        BinMatrix::random(n, kbits, cfg.seed + 1),
+    )
+    .expect("shape");
+
+    section(&format!(
+        "Figure 12: binary matmul breakdown, {m} x {n} x {kbits} bits"
+    ));
+    let mut rows = Vec::new();
+    let mut base_ms = 0.0;
+    for v in MatmulVariant::ALL {
+        let run = problem.run(&mut dev, v).expect(v.label());
+        let clock = dev.config().clock;
+        let ms = |c: apu_sim::Cycles| clock.cycles_to_secs(c) * 1e3;
+        let total = run.report.millis();
+        if v == MatmulVariant::Baseline {
+            base_ms = total;
+        }
+        rows.push(vec![
+            v.label().to_string(),
+            format!("{:.2}", ms(run.breakdown.ld_lhs)),
+            format!("{:.2}", ms(run.breakdown.ld_rhs)),
+            format!("{:.2}", ms(run.breakdown.vr_ops)),
+            format!("{:.2}", ms(run.breakdown.st)),
+            format!("{:.2}", total),
+            format!("{:.1}x", base_ms / total),
+        ]);
+    }
+    print_table(
+        &[
+            "variant",
+            "LD LHS (ms)",
+            "LD RHS (ms)",
+            "VR ops (ms)",
+            "ST (ms)",
+            "total (ms)",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    section("closed-form model (Eqs. 2-14) at the paper's 1024^3 shape");
+    let params = ModelParams::leda_e();
+    let shape = MatmulShape::paper_1024();
+    let mut rows = Vec::new();
+    for v in MatmulVariant::ALL {
+        let c = matmul_model::cost(&params, &shape, v);
+        let to_ms = |cyc: f64| params.cycles_to_us(cyc) / 1e3;
+        rows.push(vec![
+            v.label().to_string(),
+            format!("{:.1}", to_ms(c.t_a)),
+            format!("{:.1}", to_ms(c.t_b)),
+            format!("{:.1}", to_ms(c.t_mac)),
+            format!("{:.1}", to_ms(c.t_c)),
+            format!("{:.1}", c.total_ms(&params)),
+        ]);
+    }
+    print_table(
+        &[
+            "variant",
+            "T_A (ms)",
+            "T_B (ms)",
+            "T_MAC (ms)",
+            "T_C (ms)",
+            "total (ms)",
+        ],
+        &rows,
+    );
+    println!();
+    println!("Paper anchors: baseline 226.3 ms, all-opts 12.0 ms (18.9x).");
+}

@@ -1,0 +1,52 @@
+//! Table 1: comparison of the GSI APU against a Xeon 8280, an NVIDIA
+//! A100, and a Graphcore IPU (static spec sheet, printed for
+//! completeness of the artifact set).
+
+use cis_bench::table::{print_table, section};
+
+fn main() {
+    section("Table 1: GSI APU vs Xeon 8280 vs NVIDIA A100 vs Graphcore IPU");
+    print_table(
+        &["", "GSI APU", "Xeon 8280", "NVIDIA A100", "Graphcore"],
+        &[
+            row(
+                "Processing units",
+                "2 million x 1 bit",
+                "28 x 2 x 512 bits",
+                "104 x 4,096 bits",
+                "1,216 x 64 bits",
+            ),
+            row("Process node", "28 nm", "14 nm", "7 nm", "7 nm"),
+            row("Clock", "500 MHz", "2.7 GHz", "1.4 GHz", "1.6 GHz"),
+            row(
+                "Peak throughput",
+                "25 TOPS",
+                "10 TOPS",
+                "75 TOPS",
+                "16 TOPS",
+            ),
+            row(
+                "On-chip memory",
+                "12MB L1",
+                "38.5MB L3",
+                "40MB L2",
+                "300MB L1",
+            ),
+            row(
+                "On-chip bandwidth",
+                "26 TB/s",
+                "1 TB/s",
+                "7 TB/s",
+                "16 TB/s",
+            ),
+            row("Power", "60W TDP", "205W TDP", "400W TDP", "150W TDP"),
+        ],
+    );
+    println!();
+    println!("(Values as published; the simulated device in this repository");
+    println!(" implements the GSI APU column.)");
+}
+
+fn row(label: &str, a: &str, b: &str, c: &str, d: &str) -> Vec<String> {
+    vec![label.into(), a.into(), b.into(), c.into(), d.into()]
+}

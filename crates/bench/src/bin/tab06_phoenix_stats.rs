@@ -1,0 +1,51 @@
+//! Table 6: Phoenix suite statistics — input size, estimated CPU
+//! instruction count (Valgrind substitution), and APU µCode instruction
+//! count from the simulator's VCU counter, extrapolated to the paper's
+//! input sizes.
+
+use cis_bench::phoenix_suite::run_app;
+use cis_bench::table::{print_table, section};
+use cis_bench::{fmt_count, parse_args};
+use phoenix::{App, OptConfig};
+
+fn main() {
+    let cfg = parse_args();
+    section(&format!(
+        "Table 6: Phoenix statistics (scale {:.4}{})",
+        cfg.scale,
+        if cfg.paper { ", paper" } else { "" }
+    ));
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let run = run_app(app, cfg, &[OptConfig::all()]);
+        let ucode = run.apu[0].ucode;
+        // Extrapolate the µCode count linearly in input *work* to the
+        // paper's input (the kernels are tile loops).
+        let factor = if cfg.paper {
+            1.0
+        } else {
+            run.paper_work_factor
+        };
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{} (paper: {})", run.input_desc, app.paper_input()),
+            fmt_count(run.cpu_inst),
+            fmt_count(ucode),
+            fmt_count((ucode as f64 * factor) as u64),
+        ]);
+        eprintln!("[tab06] {} done", app.name());
+    }
+    print_table(
+        &[
+            "Application",
+            "Input (this run)",
+            "#Inst on CPU (est.)",
+            "#APU uCode (this run)",
+            "#APU uCode (paper-scale est.)",
+        ],
+        &rows,
+    );
+    println!();
+    println!("Paper column for reference: Histogram 110.7M, LinReg 1.6M,");
+    println!("MatMul 69.7M, Kmeans 0.04M, RevIndex 11.0M, StrMatch 0.09M, WC 0.17M.");
+}

@@ -1,0 +1,330 @@
+//! Shared Phoenix runner for the Table 6 / Fig. 13 / Table 7 binaries.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use cis_model::{LatencyEstimator, ModelParams};
+use phoenix::common::cpu_threads;
+use phoenix::{histogram, kmeans, linreg, matmul, revindex, strmatch, wordcount};
+use phoenix::{App, OptConfig};
+
+use crate::RunCfg;
+
+/// One APU variant's outcome.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Variant label.
+    pub label: &'static str,
+    /// Simulated device latency (ms).
+    pub ms: f64,
+    /// µCode instructions issued (VCU counter).
+    pub ucode: u64,
+}
+
+/// One application's full result set.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Which application.
+    pub app: App,
+    /// Input description at the executed scale.
+    pub input_desc: String,
+    /// Estimated retired CPU instructions (Table 6 substitution).
+    pub cpu_inst: u64,
+    /// Measured single-threaded CPU wall time (ms).
+    pub cpu_1t_ms: f64,
+    /// Measured multi-threaded CPU wall time (ms).
+    pub cpu_mt_ms: f64,
+    /// APU results per requested variant.
+    pub apu: Vec<VariantResult>,
+    /// Analytical-framework prediction for the all-opts kernel (ms).
+    pub predicted_ms: f64,
+    /// Ratio of the paper's input work to this run's (for extrapolating
+    /// counters to paper scale).
+    pub paper_work_factor: f64,
+}
+
+fn device_for(input_bytes: usize, paper: bool) -> ApuDevice {
+    let l4 = (input_bytes * 4 + (64 << 20)).next_power_of_two();
+    let mut cfg = SimConfig::default().with_l4_bytes(l4);
+    if paper {
+        cfg = cfg.with_exec_mode(ExecMode::TimingOnly);
+    }
+    ApuDevice::new(cfg)
+}
+
+fn scaled(paper_bytes: u64, cfg: RunCfg, floor: u64) -> usize {
+    if cfg.paper {
+        paper_bytes as usize
+    } else {
+        ((paper_bytes as f64 * cfg.scale) as u64).max(floor) as usize
+    }
+}
+
+/// Runs one application across the requested variants, measuring CPU
+/// baselines and the simulated device; also evaluates the analytical
+/// twin for the all-opts configuration.
+pub fn run_app(app: App, cfg: RunCfg, variants: &[OptConfig]) -> AppRun {
+    let threads = cpu_threads();
+    let params = ModelParams::leda_e();
+    match app {
+        App::Histogram => {
+            let bytes = scaled(1_500_000_000, cfg, 4 << 20);
+            let data = histogram::generate(bytes, cfg.seed);
+            let t = Instant::now();
+            black_box(histogram::cpu(&data));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(histogram::cpu_mt(&data, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(bytes * 2, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = histogram::apu(&mut dev, &data, o).expect("histogram kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            histogram::model(&mut est, bytes, OptConfig::all());
+            AppRun {
+                app,
+                input_desc: crate::fmt_bytes(bytes as u64),
+                cpu_inst: histogram::cpu_inst_estimate(bytes),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: 1_500_000_000.0 / bytes as f64,
+            }
+        }
+        App::LinearRegression => {
+            let points = scaled(128 * 1024 * 1024, cfg, 1 << 20);
+            let data = linreg::generate(points, cfg.seed);
+            let t = Instant::now();
+            black_box(linreg::cpu(&data));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(linreg::cpu_mt(&data, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(points * 8, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = linreg::apu(&mut dev, &data, o).expect("linreg kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            linreg::model(&mut est, points, OptConfig::all());
+            AppRun {
+                app,
+                input_desc: format!("{} points", crate::fmt_count(points as u64)),
+                cpu_inst: linreg::cpu_inst_estimate(points),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: (128.0 * 1024.0 * 1024.0) / points as f64,
+            }
+        }
+        App::MatrixMultiply => {
+            let (m, n, k) = if cfg.paper {
+                (1024, 1024, 1024)
+            } else {
+                (128, 2048, 256)
+            };
+            let a = matmul::Mat::random(m, k, cfg.seed);
+            let b = matmul::Mat::random(k, n, cfg.seed + 1);
+            let t = Instant::now();
+            black_box(matmul::cpu(&a, &b));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(matmul::cpu_mt(&a, &b, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for((m * k + k * n + m * n) * 2, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = matmul::apu(&mut dev, &a, &b, o).expect("matmul kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            matmul::model(&mut est, m, n, k, OptConfig::all());
+            AppRun {
+                app,
+                input_desc: format!("{m} x {n} x {k}"),
+                cpu_inst: matmul::cpu_inst_estimate(m, n, k),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: (1024.0f64 * 1024.0 * 1024.0) / (m * n * k) as f64,
+            }
+        }
+        App::Kmeans => {
+            let n = if cfg.paper {
+                131_072
+            } else {
+                131_072.min(32_768.max((131_072.0 * cfg.scale * 64.0) as usize))
+            };
+            let input = kmeans::generate(n, 16, 4, 3, cfg.seed);
+            let t = Instant::now();
+            black_box(kmeans::cpu(&input));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(kmeans::cpu_mt(&input, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(input.n_points() * 10, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = kmeans::apu(&mut dev, &input, o).expect("kmeans kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            kmeans::model(&mut est, &input, OptConfig::all());
+            AppRun {
+                app,
+                input_desc: format!("{} points", crate::fmt_count(input.n_points() as u64)),
+                cpu_inst: kmeans::cpu_inst_estimate(&input),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: 131_072.0 / input.n_points() as f64,
+            }
+        }
+        App::ReverseIndex => {
+            let bytes = scaled(100_000_000, cfg, 2 << 20);
+            let text = revindex::generate(bytes, cfg.seed);
+            let t = Instant::now();
+            black_box(revindex::cpu(&text));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(revindex::cpu_mt(&text, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(text.len() * 3, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = revindex::apu(&mut dev, &text, o).expect("revindex kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            revindex::model(&mut est, text.len(), OptConfig::all());
+            AppRun {
+                app,
+                input_desc: crate::fmt_bytes(text.len() as u64),
+                cpu_inst: revindex::cpu_inst_estimate(text.len()),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: 100_000_000.0 / text.len() as f64,
+            }
+        }
+        App::StringMatch => {
+            let bytes = scaled(512_000_000, cfg, 2 << 20);
+            let text = strmatch::generate(bytes, cfg.seed);
+            let keys = strmatch::default_keys();
+            let t = Instant::now();
+            black_box(strmatch::cpu(&text, &keys));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(strmatch::cpu_mt(&text, &keys, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(text.len() * 3, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = strmatch::apu(&mut dev, &text, &keys, o).expect("strmatch kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            strmatch::model(&mut est, text.len(), &keys, OptConfig::all());
+            AppRun {
+                app,
+                input_desc: crate::fmt_bytes(text.len() as u64),
+                cpu_inst: strmatch::cpu_inst_estimate(text.len()),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: 512_000_000.0 / text.len() as f64,
+            }
+        }
+        App::WordCount => {
+            let bytes = scaled(10_000_000, cfg, 1 << 20);
+            let text = wordcount::generate(bytes, cfg.seed);
+            let t = Instant::now();
+            black_box(wordcount::cpu(&text));
+            let cpu_1t = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            black_box(wordcount::cpu_mt(&text, threads));
+            let cpu_mt = t.elapsed().as_secs_f64() * 1e3;
+            let mut dev = device_for(text.len() * 3, cfg.paper);
+            let apu = variants
+                .iter()
+                .map(|&o| {
+                    let (_, r) = wordcount::apu(&mut dev, &text, o).expect("wordcount kernel");
+                    VariantResult {
+                        label: o.label(),
+                        ms: r.millis(),
+                        ucode: r.stats.micro_ops,
+                    }
+                })
+                .collect();
+            let mut est = LatencyEstimator::new(params);
+            wordcount::model(&mut est, text.len(), OptConfig::all());
+            AppRun {
+                app,
+                input_desc: crate::fmt_bytes(text.len() as u64),
+                cpu_inst: wordcount::cpu_inst_estimate(text.len()),
+                cpu_1t_ms: cpu_1t,
+                cpu_mt_ms: cpu_mt,
+                apu,
+                predicted_ms: est.report().total_us / 1e3,
+                paper_work_factor: 10_000_000.0 / text.len() as f64,
+            }
+        }
+    }
+}
+
+impl AppRun {
+    /// The all-opts variant's simulated latency (ms), if it was run.
+    pub fn all_opts_ms(&self) -> Option<f64> {
+        self.apu
+            .iter()
+            .find(|v| v.label == "all opts")
+            .map(|v| v.ms)
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal aligned-table printing for the harness binaries.
+
+/// Prints an aligned table: a header row, a separator, then the rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints a titled section break.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_do_not_panic() {
+        print_table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
+        );
+        section("done");
+    }
+}

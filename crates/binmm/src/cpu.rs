@@ -1,0 +1,78 @@
+//! CPU reference implementation of binary matrix multiplication.
+//!
+//! `C[i][j] = Σ_k A[i,k]·B[k,j]` under the ±1 encoding, computed as
+//! `K − 2·popcount(rowA XOR colB)` on the packed words. This is both the
+//! correctness oracle for the device kernels and the CPU comparison point
+//! for the matmul benchmarks.
+
+use crate::pack::BinMatrix;
+
+/// Multiplies `a (M × K)` by `b_t` given as **B transposed** (`N × K`,
+/// i.e. row `j` of `b_t` is column `j` of B), producing `C (M × N)` as
+/// `i16` row-major.
+///
+/// # Panics
+///
+/// Panics if the reduction widths differ.
+pub fn cpu_matmul(a: &BinMatrix, b_t: &BinMatrix) -> Vec<i16> {
+    assert_eq!(
+        a.cols_bits(),
+        b_t.cols_bits(),
+        "reduction width mismatch: {} vs {}",
+        a.cols_bits(),
+        b_t.cols_bits()
+    );
+    let m = a.rows();
+    let n = b_t.rows();
+    let mut c = vec![0i16; m * n];
+    for i in 0..m {
+        let row = a.row(i);
+        for j in 0..n {
+            let col = b_t.row(j);
+            let mut diff = 0u32;
+            for (x, y) in row.iter().zip(col) {
+                diff += (x ^ y).count_ones();
+            }
+            c[i * n + j] = (a.cols_bits() as i32 - 2 * diff as i32) as i16;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_like_case() {
+        // A row dotted with itself gives +K; with its complement, -K.
+        let bits: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        let inv: Vec<bool> = bits.iter().map(|b| !b).collect();
+        let a = BinMatrix::from_bits(1, 32, &bits);
+        let bt_bits: Vec<bool> = bits.iter().chain(inv.iter()).copied().collect();
+        let b_t = BinMatrix::from_bits(2, 32, &bt_bits);
+        let c = cpu_matmul(&a, &b_t);
+        assert_eq!(c, vec![32, -32]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_input() {
+        let a = BinMatrix::random(5, 64, 11);
+        let b_t = BinMatrix::random(7, 64, 12);
+        let c = cpu_matmul(&a, &b_t);
+        for i in 0..5 {
+            for j in 0..7 {
+                let naive: i32 = (0..64).map(|k| a.value(i, k) * b_t.value(j, k)).sum();
+                assert_eq!(c[i * 7 + j] as i32, naive);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_rejected() {
+        let a = BinMatrix::random(1, 32, 0);
+        let b = BinMatrix::random(1, 64, 0);
+        let _ = cpu_matmul(&a, &b);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Binary matrix multiplication on the simulated compute-in-SRAM device
+//! — the paper's motivating example (§4.1) and §5.1 microbenchmark.
+//!
+//! Binary matrices hold ±1 values bit-packed along the reduction axis
+//! (bit 1 ⇔ +1). The dot product of two packed rows is
+//! `K − 2·popcount(a XOR b)`, so the kernel reduces to XOR + population
+//! count + accumulation — a natural fit for bit-line compute.
+//!
+//! Five device kernels mirror the Fig. 12 variants (selected through
+//! [`ApuMatmul::run`] with a `cis_core::MatmulVariant`): the
+//! inner-product baseline, each optimization standalone (opt1
+//! communication-aware reduction mapping, opt2 coalesced DMA, opt3
+//! broadcast-friendly layout), and all three combined. Every kernel
+//! computes real results (validated against the CPU reference in
+//! functional mode) and reports a per-stage latency breakdown
+//! (LD LHS / LD RHS / VR ops / ST).
+
+pub mod apu;
+pub mod cpu;
+pub mod pack;
+
+pub use apu::{ApuMatmul, MatmulRun, StageBreakdown};
+pub use cpu::cpu_matmul;
+pub use pack::BinMatrix;
+
+/// Crate-wide result alias (errors are [`apu_sim::Error`]).
+pub type Result<T> = apu_sim::Result<T>;

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Data-movement and data-layout optimizations for ultra-long-vector
+//! compute-in-SRAM devices — the paper's primary contribution (§4).
+//!
+//! Compute-in-SRAM devices compute *inside* the memory array, yet remain
+//! easy to bottleneck on data movement: intra-VR communication is far
+//! more expensive than element-wise inter-VR operations, off-chip DMA
+//! dwarfs on-chip copies, and scattered results force slow PIO. This
+//! crate packages the paper's three counter-measures as reusable
+//! planning/analysis components:
+//!
+//! 1. **Communication-aware reduction mapping** ([`reduction`]) — map
+//!    reduction axes to *temporal* inter-VR element-wise operations
+//!    instead of *spatial* intra-VR subgroup reductions, and keep results
+//!    contiguous so they can return via DMA instead of PIO.
+//! 2. **Coalesced DMA** ([`coalesce`]) — merge per-row DMA transactions
+//!    into single programmed transactions and materialize duplicated data
+//!    with on-chip subgroup copies from a reuse VR instead of re-reading
+//!    off-chip memory.
+//! 3. **Broadcast-friendly data layouts** ([`layout`]) — reorder operands
+//!    (expressed as Graphene-style size/stride layouts) so scalar
+//!    broadcast windows are contiguous, shrinking lookup tables from
+//!    `K · N` to `N` entries.
+//!
+//! [`matmul_model`] implements the paper's closed-form cost/OI equations
+//! (Eqs. 2–14) for the motivating binary-matmul example, and
+//! [`roofline`] provides the roofline analysis of Fig. 2.
+
+pub mod coalesce;
+pub mod layout;
+pub mod matmul_model;
+pub mod reduction;
+pub mod roofline;
+
+pub use coalesce::{CoalescePlan, RowTransfer};
+pub use layout::{Dim, Layout};
+pub use matmul_model::{MatmulCost, MatmulShape, MatmulVariant};
+pub use reduction::{recommend_mapping, ReductionMapping};
+pub use roofline::{Roofline, RooflinePoint};
+
+/// Crate-wide result alias (errors are [`apu_sim::Error`]).
+pub type Result<T> = apu_sim::Result<T>;

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Energy accounting for the compute-in-SRAM device and its CPU/GPU
+//! comparators (paper §5.3.5, Fig. 15).
+//!
+//! The paper measures APU energy with a TI UCD9090 voltage monitor and
+//! Renesas ISL8273M power modules providing rail-level telemetry; this
+//! crate is the simulation equivalent: rail power constants integrated
+//! over simulated time and activity. The APU rail model is calibrated so
+//! the 200 GB RAG retrieval breakdown reproduces the paper's observation
+//! that **static power dominates** (71.4% static, 24.7% compute, 2.7%
+//! DRAM, 1.1% other, ~0.005% cache).
+//!
+//! GPU and CPU comparators follow the paper's methodology: board power ×
+//! busy time (`nvidia-smi`-style for the GPU).
+
+pub mod apu;
+pub mod comparators;
+
+pub use apu::{ApuEnergyBreakdown, ApuPowerModel};
+pub use comparators::{CpuPowerModel, GpuPowerModel};

@@ -1,0 +1,394 @@
+//! Integer arithmetic and logic vector operations (paper Table 5).
+//!
+//! Integer arithmetic wraps on overflow, matching the device's bit-serial
+//! adders which simply drop the carry out of the top bit-slice. Division
+//! by zero produces the all-ones pattern (`0xFFFF` / `-1`), matching the
+//! non-restoring divider's behaviour with a zero divisor.
+
+use apu_sim::{ApuCore, VecOp, Vr};
+
+use crate::ops_util::{bin_op, unary_op};
+use crate::Result;
+
+/// Arithmetic and bit-wise logic on 16-bit vector registers.
+pub trait ArithOps {
+    /// `and_16`: element-wise bit-wise AND.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn and_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `or_16`: element-wise bit-wise OR.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn or_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `xor_16`: element-wise bit-wise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn xor_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `not_16`: element-wise bit-wise NOT.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn not_16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+
+    /// `add_u16`: element-wise unsigned addition (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn add_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `add_s16`: element-wise signed addition (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn add_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `sub_u16`: element-wise unsigned subtraction (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn sub_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `sub_s16`: element-wise signed subtraction (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn sub_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `mul_u16`: element-wise unsigned multiplication (low 16 bits).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn mul_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `mul_s16`: element-wise signed multiplication (low 16 bits).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn mul_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `div_u16`: element-wise unsigned division; `x / 0 = 0xFFFF`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn div_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `div_s16`: element-wise signed division; `x / 0 = -1`,
+    /// `i16::MIN / -1` wraps to `i16::MIN`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn div_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `recip_u16`: element-wise fixed-point reciprocal in Q0.16:
+    /// `dst = round(65536 / src)` saturated to `0xFFFF`; `recip(0) =
+    /// 0xFFFF`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn recip_u16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+
+    /// `ashift` right: element-wise signed arithmetic shift right by an
+    /// immediate (`sr_imm` in GVML).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices or `shift > 15`.
+    fn sr_imm_s16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()>;
+
+    /// `ashift` left: element-wise shift left by an immediate
+    /// (`sl_imm` in GVML).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices or `shift > 15`.
+    fn sl_imm_16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()>;
+
+    /// Logical (unsigned) shift right by an immediate.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices or `shift > 15`.
+    fn sr_imm_u16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()>;
+
+    /// `popcnt_16`: element-wise population count.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn popcnt_16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+}
+
+fn check_shift(shift: u32) -> Result<()> {
+    if shift > 15 {
+        Err(apu_sim::Error::InvalidArg(format!(
+            "shift amount {shift} exceeds 15"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl ArithOps for ApuCore {
+    fn and_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::And16);
+        bin_op(self, dst, a, b, |x, y| x & y)
+    }
+
+    fn or_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::Or16);
+        bin_op(self, dst, a, b, |x, y| x | y)
+    }
+
+    fn xor_16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::Xor16);
+        bin_op(self, dst, a, b, |x, y| x ^ y)
+    }
+
+    fn not_16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::Not16);
+        unary_op(self, dst, src, |x| !x)
+    }
+
+    fn add_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::AddU16);
+        bin_op(self, dst, a, b, u16::wrapping_add)
+    }
+
+    fn add_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::AddS16);
+        bin_op(self, dst, a, b, |x, y| {
+            (x as i16).wrapping_add(y as i16) as u16
+        })
+    }
+
+    fn sub_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::SubU16);
+        bin_op(self, dst, a, b, u16::wrapping_sub)
+    }
+
+    fn sub_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::SubS16);
+        bin_op(self, dst, a, b, |x, y| {
+            (x as i16).wrapping_sub(y as i16) as u16
+        })
+    }
+
+    fn mul_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::MulU16);
+        bin_op(self, dst, a, b, u16::wrapping_mul)
+    }
+
+    fn mul_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::MulS16);
+        bin_op(self, dst, a, b, |x, y| {
+            (x as i16).wrapping_mul(y as i16) as u16
+        })
+    }
+
+    fn div_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::DivU16);
+        bin_op(self, dst, a, b, |x, y| if y == 0 { 0xFFFF } else { x / y })
+    }
+
+    fn div_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::DivS16);
+        bin_op(self, dst, a, b, |x, y| {
+            let (x, y) = (x as i16, y as i16);
+            if y == 0 {
+                -1i16 as u16
+            } else {
+                x.wrapping_div(y) as u16
+            }
+        })
+    }
+
+    fn recip_u16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::RecipU16);
+        unary_op(self, dst, src, |x| {
+            if x == 0 {
+                0xFFFF
+            } else {
+                let r = (65536u32 + (x as u32) / 2) / x as u32;
+                r.min(0xFFFF) as u16
+            }
+        })
+    }
+
+    fn sr_imm_s16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()> {
+        check_shift(shift)?;
+        self.charge(VecOp::AShift);
+        unary_op(self, dst, src, |x| ((x as i16) >> shift) as u16)
+    }
+
+    fn sl_imm_16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()> {
+        check_shift(shift)?;
+        self.charge(VecOp::AShift);
+        unary_op(self, dst, src, |x| x << shift)
+    }
+
+    fn sr_imm_u16(&mut self, dst: Vr, src: Vr, shift: u32) -> Result<()> {
+        check_shift(shift)?;
+        self.charge(VecOp::AShift);
+        unary_op(self, dst, src, |x| x >> shift)
+    }
+
+    fn popcnt_16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::Popcnt16);
+        unary_op(self, dst, src, |x| x.count_ones() as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn logic_ops() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 0b1100);
+            fill(core, Vr::new(1), |_| 0b1010);
+            core.and_16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            core.or_16(Vr::new(3), Vr::new(0), Vr::new(1))?;
+            core.xor_16(Vr::new(4), Vr::new(0), Vr::new(1))?;
+            core.not_16(Vr::new(5), Vr::new(0))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 0b1000);
+            assert_eq!(core.vr(Vr::new(3))?[0], 0b1110);
+            assert_eq!(core.vr(Vr::new(4))?[0], 0b0110);
+            assert_eq!(core.vr(Vr::new(5))?[0], !0b1100);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn add_sub_wrap() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| u16::MAX);
+            fill(core, Vr::new(1), |_| 1);
+            core.add_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 0);
+            core.sub_u16(Vr::new(2), Vr::new(1), Vr::new(0))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 2);
+            // signed wrap
+            fill(core, Vr::new(0), |_| i16::MAX as u16);
+            core.add_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, i16::MIN);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn mul_takes_low_bits() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 300);
+            fill(core, Vr::new(1), |_| 300);
+            core.mul_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], (300u32 * 300 % 65536) as u16);
+            fill(core, Vr::new(0), |_| (-30i16) as u16);
+            fill(core, Vr::new(1), |_| 5);
+            core.mul_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, -150);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn div_semantics() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 100);
+            fill(core, Vr::new(1), |i| if i == 0 { 0 } else { 7 });
+            core.div_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 0xFFFF);
+            assert_eq!(core.vr(Vr::new(2))?[1], 14);
+            fill(core, Vr::new(0), |_| (-100i16) as u16);
+            fill(core, Vr::new(1), |_| 7);
+            core.div_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, -14);
+            // MIN / -1 wraps
+            fill(core, Vr::new(0), |_| i16::MIN as u16);
+            fill(core, Vr::new(1), |_| (-1i16) as u16);
+            core.div_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, i16::MIN);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn recip_is_q016() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| [0u16, 1, 2, 4, 256, 65535][i % 6]);
+            core.recip_u16(Vr::new(1), Vr::new(0))?;
+            let r = core.vr(Vr::new(1))?;
+            assert_eq!(r[0], 0xFFFF); // 1/0 saturates
+            assert_eq!(r[1], 0xFFFF); // 65536 saturates
+            assert_eq!(r[2], 32768);
+            assert_eq!(r[3], 16384);
+            assert_eq!(r[4], 256);
+            assert_eq!(r[5], 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shifts() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| (-64i16) as u16);
+            core.sr_imm_s16(Vr::new(1), Vr::new(0), 3)?;
+            assert_eq!(core.vr(Vr::new(1))?[0] as i16, -8);
+            core.sr_imm_u16(Vr::new(1), Vr::new(0), 3)?;
+            assert_eq!(core.vr(Vr::new(1))?[0], ((-64i16) as u16) >> 3);
+            core.sl_imm_16(Vr::new(1), Vr::new(0), 2)?;
+            assert_eq!(core.vr(Vr::new(1))?[0], ((-64i16) as u16) << 2);
+            assert!(core.sl_imm_16(Vr::new(1), Vr::new(0), 16).is_err());
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn popcnt() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.popcnt_16(Vr::new(1), Vr::new(0))?;
+            for i in 0..1000 {
+                assert_eq!(core.vr(Vr::new(1))?[i], (i as u16).count_ones() as u16);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cycle_costs_match_table5() {
+        let (add, mul, div) = with_core(|core| {
+            let t0 = core.cycles();
+            core.add_u16(Vr::new(0), Vr::new(1), Vr::new(2))?;
+            let t1 = core.cycles();
+            core.mul_s16(Vr::new(0), Vr::new(1), Vr::new(2))?;
+            let t2 = core.cycles();
+            core.div_u16(Vr::new(0), Vr::new(1), Vr::new(2))?;
+            let t3 = core.cycles();
+            Ok(((t1 - t0).get(), (t2 - t1).get(), (t3 - t2).get()))
+        });
+        assert_eq!(add, 12 + 2);
+        assert_eq!(mul, 201 + 2);
+        assert_eq!(div, 664 + 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-point trigonometric operations (`sin_fx`, `cos_fx`).
+//!
+//! Convention: the input is an unsigned Q0.16 fraction of a full turn
+//! (`0x0000` = 0, `0x4000` = π/2, `0x8000` = π), and the output is a
+//! signed Q1.14 value in [-1, 1] (`0x4000` = +1.0). This matches the
+//! angle-addressed CORDIC tables the device microcode uses.
+
+use apu_sim::{ApuCore, VecOp, Vr};
+
+use crate::ops_util::unary_op;
+use crate::Result;
+
+/// Unit of the Q1.14 output format: the encoding of +1.0.
+pub const FX_ONE: i16 = 1 << 14;
+
+/// Encodes an angle in turns (1.0 = full circle) as the Q0.16 input.
+pub fn fx_angle_from_turns(turns: f64) -> u16 {
+    let frac = turns.rem_euclid(1.0);
+    (frac * 65536.0).round() as u32 as u16
+}
+
+/// Decodes a Q1.14 result to `f64`.
+pub fn fx_to_f64(v: u16) -> f64 {
+    (v as i16) as f64 / FX_ONE as f64
+}
+
+fn sin_fx_scalar(angle: u16) -> u16 {
+    let turns = angle as f64 / 65536.0;
+    let v = (turns * std::f64::consts::TAU).sin();
+    ((v * FX_ONE as f64).round() as i32).clamp(-(FX_ONE as i32), FX_ONE as i32) as i16 as u16
+}
+
+fn cos_fx_scalar(angle: u16) -> u16 {
+    let turns = angle as f64 / 65536.0;
+    let v = (turns * std::f64::consts::TAU).cos();
+    ((v * FX_ONE as f64).round() as i32).clamp(-(FX_ONE as i32), FX_ONE as i32) as i16 as u16
+}
+
+/// Fixed-point trigonometry.
+pub trait FixedOps {
+    /// `sin_fx`: element-wise fixed-point sine (761 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn sin_fx(&mut self, dst: Vr, src: Vr) -> Result<()>;
+
+    /// `cos_fx`: element-wise fixed-point cosine (761 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn cos_fx(&mut self, dst: Vr, src: Vr) -> Result<()>;
+}
+
+impl FixedOps for ApuCore {
+    fn sin_fx(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::SinFx);
+        unary_op(self, dst, src, sin_fx_scalar)
+    }
+
+    fn cos_fx(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::CosFx);
+        unary_op(self, dst, src, cos_fx_scalar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn cardinal_angles() {
+        with_core(|core| {
+            let angles = [0.0, 0.25, 0.5, 0.75];
+            fill(core, Vr::new(0), |i| fx_angle_from_turns(angles[i % 4]));
+            core.sin_fx(Vr::new(1), Vr::new(0))?;
+            core.cos_fx(Vr::new(2), Vr::new(0))?;
+            let s = core.vr(Vr::new(1))?;
+            let c = core.vr(Vr::new(2))?;
+            assert_eq!(fx_to_f64(s[0]), 0.0); // sin 0
+            assert_eq!(fx_to_f64(s[1]), 1.0); // sin π/2
+            assert!(fx_to_f64(s[2]).abs() < 1e-3); // sin π
+            assert_eq!(fx_to_f64(c[0]), 1.0); // cos 0
+            assert!(fx_to_f64(c[1]).abs() < 1e-3); // cos π/2
+            assert_eq!(fx_to_f64(c[2]), -1.0); // cos π
+            assert!(fx_to_f64(c[3]).abs() < 1e-3); // cos 3π/2
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn pythagorean_identity_holds() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| (i * 97) as u16);
+            core.sin_fx(Vr::new(1), Vr::new(0))?;
+            core.cos_fx(Vr::new(2), Vr::new(0))?;
+            for i in 0..512 {
+                let s = fx_to_f64(core.vr(Vr::new(1))?[i]);
+                let c = fx_to_f64(core.vr(Vr::new(2))?[i]);
+                let err = (s * s + c * c - 1.0).abs();
+                assert!(err < 5e-4, "identity violated at {i}: {err}");
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cycle_cost() {
+        let d = with_core(|core| {
+            let t0 = core.cycles();
+            core.sin_fx(Vr::new(1), Vr::new(0))?;
+            Ok((core.cycles() - t0).get())
+        });
+        assert_eq!(d, 761 + 2);
+    }
+
+    #[test]
+    fn angle_helpers() {
+        assert_eq!(fx_angle_from_turns(0.0), 0);
+        assert_eq!(fx_angle_from_turns(0.5), 0x8000);
+        assert_eq!(fx_angle_from_turns(1.25), 0x4000); // wraps
+        assert_eq!(fx_angle_from_turns(-0.25), 0xC000); // negative wraps
+    }
+}

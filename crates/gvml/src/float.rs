@@ -1,0 +1,265 @@
+//! 16-bit floating-point support: IEEE binary16 and the custom GSI format
+//! (1 sign, 6 exponent, 9 mantissa bits).
+//!
+//! The APU natively supports both formats (paper §2.1.1). The conversion
+//! routines here are software models used by the functional simulator;
+//! on-device the bit processors operate on the encodings directly.
+
+use apu_sim::{ApuCore, VecOp, Vr};
+
+use crate::ops_util::bin_op;
+use crate::Result;
+
+/// Encodes an `f32` as IEEE binary16 (round-to-nearest-even), returning
+/// the raw bit pattern.
+///
+/// ```
+/// use gvml::{f16_from_f32, f16_to_f32};
+/// assert_eq!(f16_to_f32(f16_from_f32(1.5)), 1.5);
+/// assert!(f16_to_f32(f16_from_f32(1e9)).is_infinite()); // overflow
+/// ```
+pub fn f16_from_f32(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN
+        return sign | 0x7C00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+    if half_exp >= 0x1F {
+        return sign | 0x7C00; // overflow to infinity
+    }
+    if half_exp <= 0 {
+        // Subnormal or underflow to zero.
+        if half_exp < -10 {
+            return sign;
+        }
+        let mant = frac | 0x0080_0000; // implicit bit
+        let shift = (14 - half_exp) as u32;
+        let half_frac = mant >> shift;
+        // round to nearest (ties away from zero is fine at this precision)
+        let round = (mant >> (shift - 1)) & 1;
+        return sign | (half_frac as u16 + round as u16);
+    }
+    let half_frac = (frac >> 13) as u16;
+    let round_bit = (frac >> 12) & 1;
+    let sticky = frac & 0x0FFF;
+    let mut out = sign | ((half_exp as u16) << 10) | half_frac;
+    if round_bit == 1 && (sticky != 0 || (half_frac & 1) == 1) {
+        out = out.wrapping_add(1); // may carry into exponent: correct behaviour
+    }
+    out
+}
+
+/// Decodes an IEEE binary16 bit pattern to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: value = frac × 2⁻²⁴; normalize so the implicit
+            // bit lands at position 10, giving 1.m × 2^(−14−k).
+            let mut k = 0u32;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                k += 1;
+            }
+            f &= 0x03FF;
+            sign | ((113 - k) << 23) | (f << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (frac << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// GSI float16 exponent bias (6-bit exponent).
+const GF16_BIAS: i32 = 31;
+
+/// Encodes an `f32` in the GSI float16 format: 1 sign bit, 6 exponent
+/// bits (bias 31), 9 mantissa bits. Values overflow to the maximum finite
+/// encoding (the format has no infinities).
+///
+/// ```
+/// use gvml::{gf16_from_f32, gf16_to_f32};
+/// let x = gf16_to_f32(gf16_from_f32(3.25));
+/// assert!((x - 3.25).abs() < 0.01);
+/// ```
+pub fn gf16_from_f32(x: f32) -> u16 {
+    if x == 0.0 || x.is_nan() {
+        return 0;
+    }
+    let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+    let mag = x.abs();
+    let exp = mag.log2().floor() as i32;
+    let e = exp + GF16_BIAS;
+    if e <= 0 {
+        return sign; // underflow to zero (no subnormals modeled)
+    }
+    if e >= 0x3F {
+        return sign | 0x7FFF; // saturate to max finite
+    }
+    let mant = ((mag / (2.0f32).powi(exp) - 1.0) * 512.0).round() as u32;
+    if mant >= 512 {
+        // rounding carried into the exponent
+        let e2 = e + 1;
+        if e2 >= 0x3F {
+            return sign | 0x7FFF;
+        }
+        return sign | ((e2 as u16) << 9);
+    }
+    sign | ((e as u16) << 9) | (mant as u16)
+}
+
+/// Decodes a GSI float16 bit pattern to `f32`.
+pub fn gf16_to_f32(g: u16) -> f32 {
+    let sign = if g & 0x8000 != 0 { -1.0f32 } else { 1.0 };
+    let e = ((g >> 9) & 0x3F) as i32;
+    let mant = (g & 0x01FF) as f32;
+    if e == 0 && mant == 0.0 {
+        return 0.0 * sign;
+    }
+    sign * (1.0 + mant / 512.0) * (2.0f32).powi(e - GF16_BIAS)
+}
+
+/// Floating-point vector operations (IEEE binary16 encodings in the VR).
+pub trait FloatOps {
+    /// `mul_f16`: element-wise binary16 multiplication (77 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn mul_f16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `add_f16`: element-wise binary16 addition. Not in Table 5; charged
+    /// like `mul_f16` (the device's f16 add and mul have comparable
+    /// microcode depth).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn add_f16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `exp_f16`: element-wise binary16 exponential (40,295 cycles — by
+    /// far the most expensive vector command in Table 5).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn exp_f16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+}
+
+impl FloatOps for ApuCore {
+    fn mul_f16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::MulF16);
+        bin_op(self, dst, a, b, |x, y| {
+            f16_from_f32(f16_to_f32(x) * f16_to_f32(y))
+        })
+    }
+
+    fn add_f16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::MulF16);
+        bin_op(self, dst, a, b, |x, y| {
+            f16_from_f32(f16_to_f32(x) + f16_to_f32(y))
+        })
+    }
+
+    fn exp_f16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::ExpF16);
+        crate::ops_util::unary_op(self, dst, src, |x| f16_from_f32(f16_to_f32(x).exp()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 1.5, 65504.0, -0.25] {
+            assert_eq!(f16_to_f32(f16_from_f32(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_inexact_values() {
+        let x = 0.1f32;
+        let r = f16_to_f32(f16_from_f32(x));
+        assert!((r - x).abs() < 1e-4);
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert!(f16_to_f32(f16_from_f32(f32::INFINITY)).is_infinite());
+        assert!(f16_to_f32(f16_from_f32(f32::NAN)).is_nan());
+        assert!(f16_to_f32(f16_from_f32(1e9)).is_infinite());
+        assert_eq!(f16_to_f32(f16_from_f32(1e-10)), 0.0);
+        // subnormal survives
+        let sub = 3.0e-6f32;
+        let r = f16_to_f32(f16_from_f32(sub));
+        assert!((r - sub).abs() / sub < 0.1);
+    }
+
+    #[test]
+    fn gf16_roundtrip_and_range() {
+        for &v in &[1.0f32, -2.5, 3.25, 1000.0, 1.0e-6, -7.125e4] {
+            let r = gf16_to_f32(gf16_from_f32(v));
+            assert!((r - v).abs() / v.abs() < 2e-3, "value {v} decoded as {r}");
+        }
+        assert_eq!(gf16_to_f32(gf16_from_f32(0.0)), 0.0);
+        // 6-bit exponent covers a wider range than IEEE f16
+        let big = 2.0e9f32;
+        let r = gf16_to_f32(gf16_from_f32(big));
+        assert!((r - big).abs() / big < 2e-3);
+    }
+
+    #[test]
+    fn gf16_saturates() {
+        let huge = 1.0e30f32;
+        let enc = gf16_from_f32(huge);
+        assert_eq!(enc, 0x7FFF);
+        assert!(gf16_to_f32(enc) > 1.0e9);
+    }
+
+    #[test]
+    fn mul_f16_vector() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| f16_from_f32(1.5));
+            fill(core, Vr::new(1), |_| f16_from_f32(-2.0));
+            core.mul_f16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(f16_to_f32(core.vr(Vr::new(2))?[7]), -3.0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn exp_f16_charges_heavily() {
+        let cycles = with_core(|core| {
+            let before = core.cycles();
+            core.exp_f16(Vr::new(1), Vr::new(0))?;
+            Ok((core.cycles() - before).get())
+        });
+        assert_eq!(cycles, 40295 + 2);
+    }
+
+    #[test]
+    fn exp_of_zero_is_one() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| f16_from_f32(0.0));
+            core.exp_f16(Vr::new(1), Vr::new(0))?;
+            assert_eq!(f16_to_f32(core.vr(Vr::new(1))?[0]), 1.0);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! Index-generation operations (`gvml_create_grp_index_u16` and friends),
+//! used to build lookup indices and group-relative addressing.
+
+use apu_sim::{ApuCore, Error, VecOp, Vr};
+
+use crate::Result;
+
+/// Index generation.
+pub trait IndexOps {
+    /// Writes each element's group-relative index: `dst[i] = i % grp_len`
+    /// (`gvml_create_grp_index_u16`).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `grp_len` divides the VR length and fits in 16 bits.
+    fn create_grp_index_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()>;
+
+    /// Writes each element's global index modulo 2¹⁶: `dst[i] = i & 0xFFFF`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range register index.
+    fn create_index_u16(&mut self, dst: Vr) -> Result<()>;
+
+    /// Writes each element's group number: `dst[i] = i / grp_len`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `grp_len` divides the VR length and the group count
+    /// fits in 16 bits.
+    fn create_grp_num_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()>;
+}
+
+impl IndexOps for ApuCore {
+    fn create_grp_index_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()> {
+        let n = self.vr_len();
+        if grp_len == 0 || n % grp_len != 0 || grp_len > 65536 {
+            return Err(Error::InvalidArg(format!(
+                "group length {grp_len} must divide VR length {n} and fit u16"
+            )));
+        }
+        // Index generation is a short microcode sequence comparable to an
+        // immediate broadcast plus an add per bit; charged as cpy_imm +
+        // add_u16 (the device generates indices with a bit-slice pattern
+        // write).
+        self.charge(VecOp::CpyImm);
+        self.charge(VecOp::AddU16);
+        self.vr(dst)?;
+        if self.is_functional() {
+            for (i, v) in self.vr_mut(dst)?.iter_mut().enumerate() {
+                *v = (i % grp_len) as u16;
+            }
+        }
+        Ok(())
+    }
+
+    fn create_index_u16(&mut self, dst: Vr) -> Result<()> {
+        self.charge(VecOp::CpyImm);
+        self.charge(VecOp::AddU16);
+        self.vr(dst)?;
+        if self.is_functional() {
+            for (i, v) in self.vr_mut(dst)?.iter_mut().enumerate() {
+                *v = (i & 0xFFFF) as u16;
+            }
+        }
+        Ok(())
+    }
+
+    fn create_grp_num_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()> {
+        let n = self.vr_len();
+        if grp_len == 0 || n % grp_len != 0 || n / grp_len > 65536 {
+            return Err(Error::InvalidArg(format!(
+                "group length {grp_len} invalid for VR length {n}"
+            )));
+        }
+        self.charge(VecOp::CpyImm);
+        self.charge(VecOp::AddU16);
+        self.vr(dst)?;
+        if self.is_functional() {
+            for (i, v) in self.vr_mut(dst)?.iter_mut().enumerate() {
+                *v = (i / grp_len) as u16;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::with_core;
+
+    #[test]
+    fn grp_index_wraps_per_group() {
+        with_core(|core| {
+            core.create_grp_index_u16(Vr::new(0), 8)?;
+            let v = core.vr(Vr::new(0))?;
+            assert_eq!(v[0], 0);
+            assert_eq!(v[7], 7);
+            assert_eq!(v[8], 0);
+            assert_eq!(v[17], 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn global_index_wraps_at_u16() {
+        with_core(|core| {
+            core.create_index_u16(Vr::new(0))?;
+            let v = core.vr(Vr::new(0))?;
+            assert_eq!(v[1000], 1000);
+            assert_eq!(v[core.vr_len() - 1], (core.vr_len() - 1) as u16);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn grp_num_counts_groups() {
+        with_core(|core| {
+            core.create_grp_num_u16(Vr::new(0), 1024)?;
+            let v = core.vr(Vr::new(0))?;
+            assert_eq!(v[0], 0);
+            assert_eq!(v[1024], 1);
+            assert_eq!(v[5000], 4);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn validation() {
+        with_core(|core| {
+            assert!(core.create_grp_index_u16(Vr::new(0), 0).is_err());
+            assert!(core.create_grp_index_u16(Vr::new(0), 7).is_err());
+            assert!(core.create_grp_num_u16(Vr::new(0), 3).is_err());
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! Element-wise min/max, absolute value, and saturating arithmetic.
+//!
+//! GVML provides these as single vector commands; they decode to a
+//! compare plus a masked select (min/max) or an add with carry-clamp
+//! (saturating ops), so they are charged as compare + copy and add +
+//! compare respectively.
+
+use apu_sim::{ApuCore, VecOp, Vr};
+
+use crate::ops_util::{bin_op, unary_op};
+use crate::Result;
+
+/// Element-wise min/max, absolute value, and saturating arithmetic.
+pub trait MinMaxOps {
+    /// `min_u16`: element-wise unsigned minimum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn min_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `max_u16`: element-wise unsigned maximum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn max_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `min_s16` / `max_s16`: signed variants.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn min_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// Signed element-wise maximum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn max_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `abs_s16`: element-wise absolute value (`i16::MIN` stays put, as
+    /// two's-complement hardware does).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn abs_s16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+
+    /// `add_sat_u16`: unsigned saturating addition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn add_sat_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `sub_sat_u16`: unsigned saturating subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn sub_sat_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+
+    /// `add_sat_s16`: signed saturating addition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn add_sat_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()>;
+}
+
+impl MinMaxOps for ApuCore {
+    fn min_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::LtU16);
+        self.charge(VecOp::Cpy);
+        bin_op(self, dst, a, b, |x, y| x.min(y))
+    }
+
+    fn max_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::GtU16);
+        self.charge(VecOp::Cpy);
+        bin_op(self, dst, a, b, |x, y| x.max(y))
+    }
+
+    fn min_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::LtU16);
+        self.charge(VecOp::Cpy);
+        bin_op(self, dst, a, b, |x, y| ((x as i16).min(y as i16)) as u16)
+    }
+
+    fn max_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::GtU16);
+        self.charge(VecOp::Cpy);
+        bin_op(self, dst, a, b, |x, y| ((x as i16).max(y as i16)) as u16)
+    }
+
+    fn abs_s16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::SubS16);
+        self.charge(VecOp::Cpy);
+        unary_op(self, dst, src, |x| (x as i16).wrapping_abs() as u16)
+    }
+
+    fn add_sat_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::AddU16);
+        self.charge(VecOp::LtU16);
+        bin_op(self, dst, a, b, u16::saturating_add)
+    }
+
+    fn sub_sat_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::SubU16);
+        self.charge(VecOp::GtU16);
+        bin_op(self, dst, a, b, u16::saturating_sub)
+    }
+
+    fn add_sat_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
+        self.charge(VecOp::AddS16);
+        self.charge(VecOp::LtU16);
+        bin_op(self, dst, a, b, |x, y| {
+            (x as i16).saturating_add(y as i16) as u16
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn min_max_unsigned_and_signed() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 5);
+            fill(core, Vr::new(1), |_| (-3i16) as u16);
+            core.min_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 5); // 0xFFFD > 5 unsigned
+            core.min_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, -3);
+            core.max_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 5);
+            core.max_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], (-3i16) as u16);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn abs_handles_min_like_hardware() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| {
+                [(-5i16) as u16, 7, i16::MIN as u16][i % 3]
+            });
+            core.abs_s16(Vr::new(1), Vr::new(0))?;
+            let v = core.vr(Vr::new(1))?;
+            assert_eq!(v[0] as i16, 5);
+            assert_eq!(v[1] as i16, 7);
+            assert_eq!(v[2] as i16, i16::MIN); // wraps, like the silicon
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 65000);
+            fill(core, Vr::new(1), |_| 1000);
+            core.add_sat_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], u16::MAX);
+            core.sub_sat_u16(Vr::new(2), Vr::new(1), Vr::new(0))?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 0);
+            fill(core, Vr::new(0), |_| i16::MAX as u16);
+            fill(core, Vr::new(1), |_| 10);
+            core.add_sat_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            assert_eq!(core.vr(Vr::new(2))?[0] as i16, i16::MAX);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn charges_compare_plus_select() {
+        let d = with_core(|core| {
+            let t0 = core.cycles();
+            core.min_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            Ok((core.cycles() - t0).get())
+        });
+        assert_eq!(d, (13 + 2) + (29 + 2));
+    }
+}

@@ -1,0 +1,261 @@
+//! Intra-core data movement: VR↔VR copies, immediate broadcast, and
+//! subgroup duplication (the enabler of the paper's DMA coalescing
+//! optimization).
+
+use apu_sim::{ApuCore, Error, VecOp, Vr};
+
+use crate::ops_util::unary_op;
+use crate::Result;
+
+/// Elements per physical bank (32 K elements striped over 16 banks).
+fn bank_elems(core: &ApuCore) -> usize {
+    core.vr_len() / apu_sim::core::NUM_BANKS
+}
+
+/// VR↔VR movement operations.
+pub trait MoveOps {
+    /// `cpy`: element-wise VR→VR copy (29 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range register indices.
+    fn cpy_16(&mut self, dst: Vr, src: Vr) -> Result<()>;
+
+    /// `cpy_imm`: broadcast an immediate to every element (13 cycles).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range register index.
+    fn cpy_imm_16(&mut self, dst: Vr, imm: u16) -> Result<()>;
+
+    /// `cpy_subgrp`: replicate the leading `subgrp_len` elements of each
+    /// `grp_len`-element group of `src` across the whole group in `dst`
+    /// (82 cycles, plus a bank-crossing penalty when the subgroup is not
+    /// bank-aligned).
+    ///
+    /// With `grp_len == vr_len()` this duplicates one chunk across the
+    /// entire register — the "reuse VR" pattern of the paper's Fig. 10.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `subgrp_len` divides `grp_len` and `grp_len` divides
+    /// the VR length, or on aliased registers.
+    fn cpy_subgrp_16(&mut self, dst: Vr, src: Vr, subgrp_len: usize, grp_len: usize) -> Result<()>;
+
+    /// Replicates only into the destination range `[dst_start, dst_end)`,
+    /// leaving the rest of `dst` untouched (the partial-target flexibility
+    /// noted in §4.3). Same cost as a full subgroup copy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MoveOps::cpy_subgrp_16`], plus range validation.
+    fn cpy_subgrp_16_range(
+        &mut self,
+        dst: Vr,
+        src: Vr,
+        subgrp_len: usize,
+        dst_start: usize,
+        dst_end: usize,
+    ) -> Result<()>;
+}
+
+impl MoveOps for ApuCore {
+    fn cpy_16(&mut self, dst: Vr, src: Vr) -> Result<()> {
+        self.charge(VecOp::Cpy);
+        if dst == src {
+            self.vr(dst)?;
+            return Ok(());
+        }
+        unary_op(self, dst, src, |x| x)
+    }
+
+    fn cpy_imm_16(&mut self, dst: Vr, imm: u16) -> Result<()> {
+        self.charge(VecOp::CpyImm);
+        self.vr(dst)?;
+        if self.is_functional() {
+            self.vr_mut(dst)?.fill(imm);
+        }
+        Ok(())
+    }
+
+    fn cpy_subgrp_16(&mut self, dst: Vr, src: Vr, subgrp_len: usize, grp_len: usize) -> Result<()> {
+        let n = self.vr_len();
+        validate_subgrp(n, subgrp_len, grp_len)?;
+        self.charge(VecOp::CpySubgrp);
+        self.charge_bank_crossing(subgrp_len);
+        if dst == src {
+            return Err(Error::InvalidArg(
+                "cpy_subgrp source and destination must differ".into(),
+            ));
+        }
+        self.vr(dst)?;
+        self.vr(src)?;
+        if !self.is_functional() {
+            return Ok(());
+        }
+        let (d, s) = self.vr_pair_mut(dst, src)?;
+        for g in (0..n).step_by(grp_len) {
+            for i in 0..grp_len {
+                d[g + i] = s[g + i % subgrp_len];
+            }
+        }
+        Ok(())
+    }
+
+    fn cpy_subgrp_16_range(
+        &mut self,
+        dst: Vr,
+        src: Vr,
+        subgrp_len: usize,
+        dst_start: usize,
+        dst_end: usize,
+    ) -> Result<()> {
+        let n = self.vr_len();
+        if subgrp_len == 0 || dst_start >= dst_end || dst_end > n {
+            return Err(Error::InvalidArg(format!(
+                "invalid subgroup range [{dst_start}, {dst_end}) with subgroup {subgrp_len}"
+            )));
+        }
+        self.charge(VecOp::CpySubgrp);
+        self.charge_bank_crossing(subgrp_len);
+        if dst == src {
+            return Err(Error::InvalidArg(
+                "cpy_subgrp source and destination must differ".into(),
+            ));
+        }
+        self.vr(dst)?;
+        self.vr(src)?;
+        if !self.is_functional() {
+            return Ok(());
+        }
+        let (d, s) = self.vr_pair_mut(dst, src)?;
+        for i in dst_start..dst_end {
+            d[i] = s[(i - dst_start) % subgrp_len];
+        }
+        Ok(())
+    }
+}
+
+/// Shared private helper: penalty charging for non-bank-aligned subgroup
+/// traffic.
+trait BankCross {
+    fn charge_bank_crossing(&mut self, subgrp_len: usize);
+}
+
+impl BankCross for ApuCore {
+    fn charge_bank_crossing(&mut self, subgrp_len: usize) {
+        let be = bank_elems(self);
+        if subgrp_len % be != 0 && be % subgrp_len != 0 {
+            let penalty = self.config().timing.bank_cross_penalty;
+            self.charge_cycles(
+                apu_sim::core::CycleClass::Compute,
+                apu_sim::Cycles::new(penalty),
+            );
+        }
+    }
+}
+
+fn validate_subgrp(n: usize, subgrp_len: usize, grp_len: usize) -> Result<()> {
+    if subgrp_len == 0 || grp_len == 0 || grp_len % subgrp_len != 0 || n % grp_len != 0 {
+        return Err(Error::InvalidArg(format!(
+            "subgroup {subgrp_len} must divide group {grp_len}, which must divide VR length {n}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn cpy_and_broadcast() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.cpy_16(Vr::new(1), Vr::new(0))?;
+            assert_eq!(core.vr(Vr::new(1))?[123], 123);
+            core.cpy_imm_16(Vr::new(1), 7)?;
+            assert!(core.vr(Vr::new(1))?.iter().all(|&v| v == 7));
+            // self-copy is a charged no-op
+            core.cpy_16(Vr::new(1), Vr::new(1))?;
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn subgroup_duplicates_across_whole_vr() {
+        with_core(|core| {
+            let n = core.vr_len();
+            fill(
+                core,
+                Vr::new(0),
+                |i| if i < 256 { 1000 + i as u16 } else { 0 },
+            );
+            core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 256, n)?;
+            let d = core.vr(Vr::new(1))?;
+            for i in 0..n {
+                assert_eq!(d[i], 1000 + (i % 256) as u16);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn subgroup_within_groups() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 4, 16)?;
+            let d = core.vr(Vr::new(1))?;
+            assert_eq!(&d[0..8], &[0, 1, 2, 3, 0, 1, 2, 3]);
+            assert_eq!(&d[16..20], &[16, 17, 18, 19]);
+            assert_eq!(d[20], 16);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn subgroup_range_targets_portion() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.cpy_imm_16(Vr::new(1), 9999)?;
+            core.cpy_subgrp_16_range(Vr::new(1), Vr::new(0), 4, 100, 108)?;
+            let d = core.vr(Vr::new(1))?;
+            assert_eq!(d[99], 9999);
+            assert_eq!(&d[100..108], &[0, 1, 2, 3, 0, 1, 2, 3]);
+            assert_eq!(d[108], 9999);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn subgroup_validation() {
+        with_core(|core| {
+            let n = core.vr_len();
+            assert!(core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 3, 16).is_err());
+            assert!(core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 0, 16).is_err());
+            assert!(core.cpy_subgrp_16(Vr::new(1), Vr::new(1), 4, n).is_err());
+            assert!(core
+                .cpy_subgrp_16_range(Vr::new(1), Vr::new(0), 4, 10, 10)
+                .is_err());
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn unaligned_subgroup_pays_bank_penalty() {
+        let (aligned, unaligned) = with_core(|core| {
+            let n = core.vr_len();
+            // 2048 elements is exactly one bank: aligned.
+            let t0 = core.cycles();
+            core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 2048, n)?;
+            let t1 = core.cycles();
+            // 96 elements neither divides nor is a multiple of a bank.
+            core.cpy_subgrp_16_range(Vr::new(1), Vr::new(0), 96, 0, 960)?;
+            let t2 = core.cycles();
+            Ok(((t1 - t0).get(), (t2 - t1).get()))
+        });
+        assert_eq!(aligned, 82 + 2);
+        assert_eq!(unaligned, 82 + 2 + 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Internal helpers: alias-safe element-wise operation plumbing shared by
+//! every operation module.
+
+use apu_sim::{ApuCore, Vr};
+
+use crate::Result;
+
+/// Runs an element-wise binary operation `dst[i] = f(a[i], b[i])`,
+/// handling every aliasing combination of the three registers. The caller
+/// has already charged the command cost; this only moves data, and only
+/// in functional mode.
+pub(crate) fn bin_op<F>(core: &mut ApuCore, dst: Vr, a: Vr, b: Vr, f: F) -> Result<()>
+where
+    F: Fn(u16, u16) -> u16,
+{
+    // Validate indices in every mode.
+    core.vr(dst)?;
+    core.vr(a)?;
+    core.vr(b)?;
+    if !core.is_functional() {
+        return Ok(());
+    }
+    if dst == a && dst == b {
+        let d = core.vr_mut(dst)?;
+        for x in d.iter_mut() {
+            *x = f(*x, *x);
+        }
+    } else if dst == a {
+        let (d, s) = core.vr_pair_mut(dst, b)?;
+        for (x, y) in d.iter_mut().zip(s.iter()) {
+            *x = f(*x, *y);
+        }
+    } else if dst == b {
+        let (d, s) = core.vr_pair_mut(dst, a)?;
+        for (x, y) in d.iter_mut().zip(s.iter()) {
+            *x = f(*y, *x);
+        }
+    } else {
+        let (d, x, y) = core.vr3_mut(dst, a, b)?;
+        for i in 0..d.len() {
+            d[i] = f(x[i], y[i]);
+        }
+    }
+    Ok(())
+}
+
+/// Runs an element-wise unary operation `dst[i] = f(src[i])`, handling
+/// `dst == src` aliasing. Same contract as [`bin_op`].
+pub(crate) fn unary_op<F>(core: &mut ApuCore, dst: Vr, src: Vr, f: F) -> Result<()>
+where
+    F: Fn(u16) -> u16,
+{
+    core.vr(dst)?;
+    core.vr(src)?;
+    if !core.is_functional() {
+        return Ok(());
+    }
+    if dst == src {
+        let d = core.vr_mut(dst)?;
+        for x in d.iter_mut() {
+            *x = f(*x);
+        }
+    } else {
+        let (d, s) = core.vr_pair_mut(dst, src)?;
+        for (x, y) in d.iter_mut().zip(s.iter()) {
+            *x = f(*y);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use apu_sim::{ApuCore, ApuDevice, SimConfig, Vr};
+
+    /// Builds a small device and runs `f` against core 0, panicking on
+    /// error (tests only).
+    pub(crate) fn with_core<R>(f: impl FnOnce(&mut ApuCore) -> crate::Result<R>) -> R {
+        let mut cfg = SimConfig::default();
+        cfg.l4_bytes = 1 << 20;
+        let mut dev = ApuDevice::new(cfg);
+        let mut out = None;
+        dev.run_task(|ctx| {
+            out = Some(f(ctx.core_mut())?);
+            Ok(())
+        })
+        .expect("test task failed");
+        out.unwrap()
+    }
+
+    /// Fills a VR with the given pattern function.
+    pub(crate) fn fill(core: &mut ApuCore, vr: Vr, f: impl Fn(usize) -> u16) {
+        for (i, v) in core.vr_mut(vr).unwrap().iter_mut().enumerate() {
+            *v = f(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn bin_op_handles_all_alias_shapes() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |_| 5);
+            fill(core, Vr::new(1), |_| 3);
+            // distinct
+            bin_op(core, Vr::new(2), Vr::new(0), Vr::new(1), |a, b| a + b)?;
+            assert_eq!(core.vr(Vr::new(2))?[0], 8);
+            // dst == a
+            bin_op(core, Vr::new(0), Vr::new(0), Vr::new(1), |a, b| a + b)?;
+            assert_eq!(core.vr(Vr::new(0))?[0], 8);
+            // dst == b (non-commutative check)
+            fill(core, Vr::new(0), |_| 10);
+            bin_op(core, Vr::new(1), Vr::new(0), Vr::new(1), |a, b| a - b)?;
+            assert_eq!(core.vr(Vr::new(1))?[0], 7);
+            // all aliased
+            bin_op(core, Vr::new(0), Vr::new(0), Vr::new(0), |a, b| a + b)?;
+            assert_eq!(core.vr(Vr::new(0))?[0], 20);
+            // a == b, distinct dst
+            bin_op(core, Vr::new(3), Vr::new(0), Vr::new(0), |a, b| a + b)?;
+            assert_eq!(core.vr(Vr::new(3))?[0], 40);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn unary_op_aliases() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            unary_op(core, Vr::new(1), Vr::new(0), |x| x.wrapping_mul(2))?;
+            assert_eq!(core.vr(Vr::new(1))?[10], 20);
+            unary_op(core, Vr::new(1), Vr::new(1), |x| x + 1)?;
+            assert_eq!(core.vr(Vr::new(1))?[10], 21);
+            Ok(())
+        });
+    }
+}

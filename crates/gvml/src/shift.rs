@@ -1,0 +1,186 @@
+//! Intra-VR element shifts.
+//!
+//! The paper distinguishes two shift mechanisms with wildly different
+//! costs (Table 4):
+//!
+//! * `shift_e(k)` — shift VR entries toward the head/tail by an arbitrary
+//!   `k`, serialized through the RSP FIFO at **373 cycles per element** of
+//!   shift magnitude;
+//! * `shift_e(4k)` — an intra-bank shift of `4·k` elements at only
+//!   **8 + k cycles**, possible because the data stays inside each
+//!   physical bank and moves on the bank's internal lines.
+//!
+//! Minimizing use of the former is one of the paper's core optimization
+//! principles; [`ShiftOps::shift_elements`] automatically routes through
+//! the cheap path when the magnitude is a multiple of 4.
+
+use apu_sim::{ApuCore, Error, Vr};
+
+use crate::Result;
+
+/// Shift direction within the vector register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftDir {
+    /// Element `i` receives element `i + k` (data moves toward index 0).
+    TowardHead,
+    /// Element `i` receives element `i - k` (data moves toward the end).
+    TowardTail,
+}
+
+/// Intra-VR element shift operations.
+pub trait ShiftOps {
+    /// Shifts all elements of `vr` by `k` positions, zero-filling the
+    /// vacated tail/head. Cost: `8 + k/4` cycles when `k % 4 == 0`
+    /// (intra-bank path), `373·k` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range register or `k >= vr_len()`.
+    fn shift_elements(&mut self, vr: Vr, k: usize, dir: ShiftDir) -> Result<()>;
+
+    /// Forces the expensive general shift path regardless of alignment
+    /// (used to measure the cost difference).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range register or `k >= vr_len()`.
+    fn shift_elements_slow(&mut self, vr: Vr, k: usize, dir: ShiftDir) -> Result<()>;
+}
+
+fn do_shift(core: &mut ApuCore, vr: Vr, k: usize, dir: ShiftDir) -> Result<()> {
+    core.vr(vr)?;
+    if !core.is_functional() || k == 0 {
+        return Ok(());
+    }
+    let v = core.vr_mut(vr)?;
+    match dir {
+        ShiftDir::TowardHead => {
+            v.copy_within(k.., 0);
+            let n = v.len();
+            v[n - k..].fill(0);
+        }
+        ShiftDir::TowardTail => {
+            let n = v.len();
+            v.copy_within(..n - k, k);
+            v[..k].fill(0);
+        }
+    }
+    Ok(())
+}
+
+impl ShiftOps for ApuCore {
+    fn shift_elements(&mut self, vr: Vr, k: usize, dir: ShiftDir) -> Result<()> {
+        if k >= self.vr_len() {
+            return Err(Error::InvalidArg(format!(
+                "shift magnitude {k} exceeds VR length {}",
+                self.vr_len()
+            )));
+        }
+        let t = &self.config().timing;
+        let cost = if k % 4 == 0 {
+            t.shift_bank(k / 4)
+        } else {
+            t.shift_e(k)
+        };
+        let issue = apu_sim::Cycles::new(t.cmd_issue);
+        self.charge_cycles(apu_sim::core::CycleClass::Compute, cost + issue);
+        do_shift(self, vr, k, dir)
+    }
+
+    fn shift_elements_slow(&mut self, vr: Vr, k: usize, dir: ShiftDir) -> Result<()> {
+        if k >= self.vr_len() {
+            return Err(Error::InvalidArg(format!(
+                "shift magnitude {k} exceeds VR length {}",
+                self.vr_len()
+            )));
+        }
+        let t = &self.config().timing;
+        let cost = t.shift_e(k);
+        let issue = apu_sim::Cycles::new(t.cmd_issue);
+        self.charge_cycles(apu_sim::core::CycleClass::Compute, cost + issue);
+        do_shift(self, vr, k, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_util::test_util::{fill, with_core};
+
+    #[test]
+    fn shift_toward_head_moves_data_down() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.shift_elements(Vr::new(0), 4, ShiftDir::TowardHead)?;
+            let v = core.vr(Vr::new(0))?;
+            assert_eq!(v[0], 4);
+            assert_eq!(v[100], 104);
+            let n = v.len();
+            assert_eq!(v[n - 1], 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shift_toward_tail_moves_data_up() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            core.shift_elements(Vr::new(0), 8, ShiftDir::TowardTail)?;
+            let v = core.vr(Vr::new(0))?;
+            assert_eq!(v[0], 0);
+            assert_eq!(v[7], 0);
+            assert_eq!(v[8], 0u16);
+            assert_eq!(v[9], 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn aligned_shift_is_cheap_unaligned_expensive() {
+        let (cheap, expensive) = with_core(|core| {
+            let t0 = core.cycles();
+            core.shift_elements(Vr::new(0), 1024, ShiftDir::TowardHead)?;
+            let t1 = core.cycles();
+            core.shift_elements(Vr::new(0), 3, ShiftDir::TowardHead)?;
+            let t2 = core.cycles();
+            Ok(((t1 - t0).get(), (t2 - t1).get()))
+        });
+        assert_eq!(cheap, 8 + 1024 / 4 + 2);
+        assert_eq!(expensive, 373 * 3 + 2);
+        // the paper's point: orders of magnitude apart per element moved
+        assert!((expensive as f64 / 3.0) > 100.0 * (cheap as f64 / 1024.0));
+    }
+
+    #[test]
+    fn forced_slow_path() {
+        let slow = with_core(|core| {
+            let t0 = core.cycles();
+            core.shift_elements_slow(Vr::new(0), 4, ShiftDir::TowardHead)?;
+            Ok((core.cycles() - t0).get())
+        });
+        assert_eq!(slow, 373 * 4 + 2);
+    }
+
+    #[test]
+    fn zero_shift_is_noop_but_charged() {
+        with_core(|core| {
+            fill(core, Vr::new(0), |i| i as u16);
+            let t0 = core.cycles();
+            core.shift_elements(Vr::new(0), 0, ShiftDir::TowardHead)?;
+            assert_eq!(core.vr(Vr::new(0))?[5], 5);
+            assert_eq!((core.cycles() - t0).get(), 8 + 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oversized_shift_rejected() {
+        with_core(|core| {
+            let n = core.vr_len();
+            assert!(core
+                .shift_elements(Vr::new(0), n, ShiftDir::TowardHead)
+                .is_err());
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the DRAM model: address-map bijectivity, timing
+//! monotonicity, and energy/statistics consistency.
+
+use hbm_sim::{AccessKind, AddressMap, DramEnergy, DramSpec, EnergyParams, MemorySystem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distinct burst-aligned addresses decode to distinct
+    /// (channel, rank, bank-group, bank, row, column) tuples within the
+    /// device's address space.
+    #[test]
+    fn address_decode_is_injective(bursts in proptest::collection::hash_set(0u64..1_000_000, 2..64)) {
+        let spec = DramSpec::hbm2e_16gb();
+        let map = AddressMap::new(spec.clone());
+        let g = spec.access_bytes() as u64;
+        let mut seen = std::collections::HashMap::new();
+        for b in bursts {
+            let d = map.decode(b * g);
+            if let Some(prev) = seen.insert(
+                (d.channel, d.rank, d.bank_group, d.bank, d.row, d.column),
+                b,
+            ) {
+                prop_assert_eq!(prev, b, "two bursts decode identically");
+            }
+        }
+    }
+
+    /// Every byte of a burst decodes to the same location.
+    #[test]
+    fn burst_bytes_are_coherent(burst in 0u64..1_000_000, off in 0usize..64) {
+        let spec = DramSpec::hbm2e_16gb();
+        let map = AddressMap::new(spec.clone());
+        let g = spec.access_bytes() as u64;
+        let a = map.decode(burst * g);
+        let b = map.decode(burst * g + off as u64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The completion horizon is monotone: every access finishes at or
+    /// after the latest completion so far minus nothing — no access can
+    /// travel back in time, whatever the address pattern.
+    #[test]
+    fn horizon_is_monotone(addrs in proptest::collection::vec(0u64..(1u64 << 30), 1..200)) {
+        let mut mem = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let mut last_horizon = 0;
+        for a in addrs {
+            let done = mem.access(AccessKind::Read, a, 0);
+            prop_assert!(done >= 1);
+            prop_assert!(mem.horizon() >= last_horizon);
+            prop_assert!(mem.horizon() >= done);
+            last_horizon = mem.horizon();
+        }
+    }
+
+    /// Energy is non-negative, additive in its categories, and grows
+    /// with traffic.
+    #[test]
+    fn energy_is_monotone_in_traffic(kb1 in 4u64..128, kb2 in 4u64..128) {
+        let (lo, hi) = ((kb1.min(kb2)) << 10, (kb1.max(kb2)) << 10);
+        let run = |bytes: u64| {
+            let mut mem = MemorySystem::new(DramSpec::hbm2e_16gb());
+            mem.stream_read(0, bytes);
+            DramEnergy::from_stats(
+                mem.spec(),
+                &EnergyParams::hbm2e(),
+                &mem.stats(),
+                mem.horizon(),
+            )
+            .total_j()
+        };
+        let (e_lo, e_hi) = (run(lo), run(hi));
+        prop_assert!(e_lo >= 0.0);
+        prop_assert!(e_hi + 1e-15 >= e_lo, "energy shrank: {e_lo} -> {e_hi}");
+    }
+
+    /// Statistics account for every access issued.
+    #[test]
+    fn stats_count_every_access(n in 1u64..500) {
+        let spec = DramSpec::hbm2e_16gb();
+        let g = spec.access_bytes() as u64;
+        let mut mem = MemorySystem::new(spec);
+        for i in 0..n {
+            mem.access(AccessKind::Read, i * g * 7919, 0);
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.reads, n);
+        prop_assert_eq!(s.bytes, n * g);
+        prop_assert!(s.row_hits <= n);
+        prop_assert!(s.activates <= n);
+    }
+}

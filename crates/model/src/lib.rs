@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Analytical latency framework for general-purpose compute-in-SRAM
+//! devices (paper §3).
+//!
+//! The framework parameterizes the architectural factors that dominate
+//! performance on compute-in-SRAM platforms — computation latency, data
+//! movement bandwidth, and (non-uniform) communication costs — and
+//! predicts program latency *without* running the simulator. It is the
+//! Rust equivalent of the paper's Python function library (Fig. 6): a
+//! program is modeled by calling methods that mirror the GSI C++ API on a
+//! [`LatencyEstimator`], which records an abstract trace and reports the
+//! total latency.
+//!
+//! ```rust
+//! use cis_model::{LatencyEstimator, ModelParams};
+//!
+//! let mut est = LatencyEstimator::new(ModelParams::leda_e());
+//! // Model one tile of a streaming kernel.
+//! for _ in 0..48 {
+//!     est.fast_dma_l4_to_l2(32 * 512);
+//!     est.direct_dma_l2_to_l1_32k();
+//! }
+//! for _ in 0..48 {
+//!     est.gvml_load_16();
+//!     est.gvml_add_u16();
+//!     est.gvml_store_16();
+//! }
+//! let us = est.report_latency_us();
+//! assert!(us > 0.0);
+//! ```
+//!
+//! Because the estimator records a parameter-free trace, the same modeled
+//! program can be re-evaluated under different architectural parameters
+//! for design-space exploration (see [`dse`]).
+//!
+//! The subgroup-reduction cost (the paper's Eq. 1) is a cubic polynomial
+//! in `log₂ s` whose coefficients depend linearly on `log₂ r`; the
+//! coefficients are fitted by least squares against the simulator's
+//! emergent staged-reduction cost (see [`reduction`]).
+
+pub mod dse;
+pub mod estimator;
+pub mod params;
+pub mod reduction;
+
+pub use dse::{DesignPoint, DesignSweep};
+pub use estimator::{LatencyEstimator, LatencyReport, TraceOp};
+pub use params::ModelParams;
+pub use reduction::SgAddModel;
+
+/// Relative error of a prediction against a measurement, as a signed
+/// fraction (`+0.02` = model predicts 2% high).
+///
+/// ```
+/// assert!((cis_model::relative_error(102.0, 100.0) - 0.02).abs() < 1e-12);
+/// ```
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    (predicted - measured) / measured
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! The Phoenix benchmark suite (Ranger et al., HPCA '07) on CPU and on
+//! the simulated compute-in-SRAM device (paper §5.2).
+//!
+//! Seven data-intensive applications, each with:
+//!
+//! * a seeded synthetic workload generator (scaled-down by default; the
+//!   paper input sizes are reachable with `--paper-scale` in the bench
+//!   harness),
+//! * a single-threaded CPU reference,
+//! * a multi-threaded CPU implementation in the scatter/gather MapReduce
+//!   style of the original suite,
+//! * a device implementation whose data movement and reduction strategy
+//!   is controlled by [`OptConfig`] — baseline, each of the paper's three
+//!   optimizations standalone, and all together (Fig. 13's variants), and
+//! * an analytical-framework twin used for the Table 7 model validation.
+//!
+//! Device implementations compute real results in functional mode and are
+//! validated against the CPU reference in each module's tests.
+
+pub mod common;
+pub mod histogram;
+pub mod kmeans;
+pub mod linreg;
+pub mod matmul;
+pub mod revindex;
+pub mod strmatch;
+pub mod textops;
+pub mod wordcount;
+
+pub use common::{text_corpus, OptConfig};
+
+/// Crate-wide result alias (errors are [`apu_sim::Error`]).
+pub type Result<T> = apu_sim::Result<T>;
+
+/// The seven applications, in the paper's Table 6 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Per-byte value histogram (256 bins).
+    Histogram,
+    /// Least-squares linear regression over (x, y) points.
+    LinearRegression,
+    /// Dense integer matrix multiplication.
+    MatrixMultiply,
+    /// Lloyd's k-means over low-dimensional points.
+    Kmeans,
+    /// Link extraction / reverse indexing over HTML-like text.
+    ReverseIndex,
+    /// Multi-key exact string matching.
+    StringMatch,
+    /// Word-frequency counting over a fixed vocabulary.
+    WordCount,
+}
+
+impl App {
+    /// All applications in Table 6 order.
+    pub const ALL: [App; 7] = [
+        App::Histogram,
+        App::LinearRegression,
+        App::MatrixMultiply,
+        App::Kmeans,
+        App::ReverseIndex,
+        App::StringMatch,
+        App::WordCount,
+    ];
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Histogram => "Histogram",
+            App::LinearRegression => "Linear Regression",
+            App::MatrixMultiply => "Matrix Multiply",
+            App::Kmeans => "Kmeans",
+            App::ReverseIndex => "Reverse Index",
+            App::StringMatch => "String Match",
+            App::WordCount => "Word Count",
+        }
+    }
+
+    /// The paper's input size description (Table 6).
+    pub fn paper_input(&self) -> &'static str {
+        match self {
+            App::Histogram => "1.5GB",
+            App::LinearRegression => "512MB",
+            App::MatrixMultiply => "1,024 x 1,024",
+            App::Kmeans => "128k",
+            App::ReverseIndex => "100MB",
+            App::StringMatch => "512MB",
+            App::WordCount => "10MB",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_metadata() {
+        assert_eq!(App::ALL.len(), 7);
+        for app in App::ALL {
+            assert!(!app.name().is_empty());
+            assert!(!app.paper_input().is_empty());
+        }
+    }
+}

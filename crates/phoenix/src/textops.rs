@@ -1,0 +1,394 @@
+//! Shared text-matching machinery for the string workloads (word count,
+//! string match, reverse index).
+//!
+//! The device matches a pattern at every text position simultaneously by
+//! holding *offset planes* in the VRs: plane `o`, lane `i` contains the
+//! text character at position `base + i + o`. A pattern of length `L`
+//! then matches at lane `i` iff the per-plane equality marks AND
+//! together — all element-wise, inter-VR operations. Planes are derived
+//! from one DMA load per tile with cheap single-element shifts.
+//!
+//! Two storage modes:
+//!
+//! * **unpacked** (baseline): one 16-bit element per character — simple,
+//!   but every tile moves 2 bytes per character;
+//! * **packed** (opt2): raw bytes, two characters per element; plane
+//!   `Q^b`, lane `i` holds character `base + 2i + b`, and candidate
+//!   starts split by parity (even starts use planes `b = o`, odd starts
+//!   `b = o + 1`). Half the off-chip traffic for a few unpack
+//!   operations.
+//!
+//! A leading sentinel space is prepended to the text so word-boundary
+//! checks can look one character *before* every candidate start.
+
+use apu_sim::{ApuContext, ApuDevice, Error, MemHandle, Vmr, Vr};
+use gvml::prelude::*;
+use gvml::shift::ShiftDir;
+
+use crate::Result;
+
+/// Maximum pattern length supported (planes 0..=MAX_PAT+2 must fit).
+pub const MAX_PAT: usize = 9;
+/// Halo characters reserved at each tile's end for cross-tile patterns.
+const HALO: usize = 16;
+
+const VR_T: Vr = Vr::new(16);
+const VR_T2: Vr = Vr::new(17);
+const VR_IDX: Vr = Vr::new(18);
+/// Scratch marker for per-character equality.
+const M_CHAR: Marker = Marker::new(0);
+/// Validity marker (lane addresses a start inside this tile's range).
+const M_VALID: Marker = Marker::new(3);
+
+/// A text uploaded to device DRAM and tiled for plane-based matching.
+#[derive(Debug)]
+pub struct TextKernel {
+    handle: MemHandle,
+    /// Candidate starts per tile.
+    pub starts_per_tile: usize,
+    /// Number of tiles.
+    pub n_tiles: usize,
+    /// Original text length in characters.
+    pub text_len: usize,
+    packed: bool,
+}
+
+impl TextKernel {
+    /// Uploads `text` (with sentinel and padding) and computes the
+    /// tiling.
+    ///
+    /// # Errors
+    ///
+    /// Fails on device-memory exhaustion.
+    pub fn new(dev: &mut ApuDevice, text: &[u8], packed: bool) -> Result<TextKernel> {
+        let l = dev.config().vr_len;
+        let chars_per_tile = if packed { 2 * l } else { l };
+        let starts_per_tile = chars_per_tile - HALO;
+        let n_tiles = text.len().div_ceil(starts_per_tile).max(1);
+        let buf_chars = (n_tiles - 1) * starts_per_tile + chars_per_tile;
+
+        let mut buffer = Vec::with_capacity(buf_chars + 1);
+        buffer.push(b' '); // sentinel before position 0
+        buffer.extend_from_slice(text);
+        buffer.resize(buf_chars + 1, b' ');
+
+        let handle = if packed {
+            // pad one extra byte so any even-aligned u16 window is full
+            buffer.push(b' ');
+            let h = dev.alloc(buffer.len())?;
+            dev.write_bytes(h, &buffer)?;
+            h
+        } else {
+            let words: Vec<u16> = buffer.iter().map(|&b| b as u16).collect();
+            let h = dev.alloc_u16(words.len())?;
+            dev.write_u16s(h, &words)?;
+            h
+        };
+        Ok(TextKernel {
+            handle,
+            starts_per_tile,
+            n_tiles,
+            text_len: text.len(),
+            packed,
+        })
+    }
+
+    /// Whether the packed (byte) layout is in use.
+    pub fn packed(&self) -> bool {
+        self.packed
+    }
+
+    /// Frees the device buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a stale handle (double free).
+    pub fn free(self, dev: &mut ApuDevice) -> Result<()> {
+        dev.free(self.handle)
+    }
+
+    /// Start-position parities resolved per lane (1 unpacked, 2 packed).
+    pub fn parities(&self) -> usize {
+        if self.packed {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Loads `n_planes` offset planes for `tile` into VR 0..n_planes and
+    /// rebuilds the validity marker.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n_planes` exceeds the plane budget.
+    pub fn load_tile(&self, ctx: &mut ApuContext<'_>, tile: usize, n_planes: usize) -> Result<()> {
+        if n_planes > MAX_PAT + 3 {
+            return Err(Error::InvalidArg(format!(
+                "{n_planes} planes exceed the {} budget",
+                MAX_PAT + 3
+            )));
+        }
+        let l = ctx.core().vr_len();
+        let base_char = tile * self.starts_per_tile;
+        if self.packed {
+            // One byte-packed load covers 2·l characters.
+            ctx.dma_l4_to_l2(0, self.handle.offset_by(base_char)?, 2 * l)?;
+            ctx.dma_l2_to_l1(Vmr::new(47))?;
+            ctx.load(VR_T2, Vmr::new(47))?;
+            let core = ctx.core_mut();
+            core.cpy_imm_16(VR_T, 0x00FF)?;
+            core.and_16(Vr::new(0), VR_T2, VR_T)?; // Q^0
+            if n_planes > 1 {
+                core.sr_imm_u16(Vr::new(1), VR_T2, 8)?; // Q^1
+            }
+            for b in 2..n_planes {
+                core.cpy_16(Vr::new(b as u8), Vr::new(b as u8 - 2))?;
+                core.shift_elements(Vr::new(b as u8), 1, ShiftDir::TowardHead)?;
+            }
+        } else {
+            ctx.dma_l4_to_l2(0, self.handle.offset_by(base_char * 2)?, 2 * l)?;
+            ctx.dma_l2_to_l1(Vmr::new(47))?;
+            ctx.load(Vr::new(0), Vmr::new(47))?;
+            for o in 1..n_planes {
+                let core = ctx.core_mut();
+                core.cpy_16(Vr::new(o as u8), Vr::new(o as u8 - 1))?;
+                core.shift_elements(Vr::new(o as u8), 1, ShiftDir::TowardHead)?;
+            }
+        }
+        // validity: lane < starts_per_tile / parities
+        let valid_lanes = (self.starts_per_tile / self.parities()) as u16;
+        let core = ctx.core_mut();
+        core.create_index_u16(VR_IDX)?;
+        core.cpy_imm_16(VR_T, valid_lanes)?;
+        core.lt_u16(M_VALID, VR_IDX, VR_T)?;
+        Ok(())
+    }
+
+    /// Marks candidate starts of `pattern` for one parity into `out`.
+    /// With `boundaries`, a space is required immediately before and
+    /// after the pattern (whole-word matching).
+    ///
+    /// Plane requirements relative to a start: plane 0 is the character
+    /// *before* the start (thanks to the sentinel), plane `j+1` is
+    /// pattern character `j`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pattern is empty or longer than [`MAX_PAT`].
+    pub fn mark(
+        &self,
+        ctx: &mut ApuContext<'_>,
+        pattern: &[u8],
+        boundaries: bool,
+        parity: usize,
+        out: Marker,
+    ) -> Result<()> {
+        if pattern.is_empty() || pattern.len() > MAX_PAT {
+            return Err(Error::InvalidArg(format!(
+                "pattern length {} outside 1..={MAX_PAT}",
+                pattern.len()
+            )));
+        }
+        let mut reqs: Vec<(usize, u8)> = Vec::with_capacity(pattern.len() + 2);
+        if boundaries {
+            reqs.push((0, b' '));
+        }
+        for (j, &c) in pattern.iter().enumerate() {
+            reqs.push((j + 1, c));
+        }
+        if boundaries {
+            reqs.push((pattern.len() + 1, b' '));
+        }
+        for (i, &(off, ch)) in reqs.iter().enumerate() {
+            let plane = Vr::new((off + parity) as u8);
+            let core = ctx.core_mut();
+            if i == 0 {
+                core.eq_imm_16(out, plane, ch as u16)?;
+            } else {
+                core.eq_imm_16(M_CHAR, plane, ch as u16)?;
+                core.and_m(out, M_CHAR)?;
+            }
+        }
+        // restrict to valid in-tile starts
+        ctx.core_mut().and_m(out, M_VALID)?;
+        Ok(())
+    }
+
+    /// Planes a pattern with boundaries needs.
+    pub fn planes_needed(&self, pattern_len: usize, boundaries: bool) -> usize {
+        let base = pattern_len + if boundaries { 2 } else { 1 };
+        base + if self.packed { 1 } else { 0 }
+    }
+
+    /// Counts a marker's set lanes (one `count_m`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on marker-register errors.
+    pub fn count(&self, ctx: &mut ApuContext<'_>, m: Marker) -> Result<u64> {
+        Ok(ctx.core_mut().count_m(m)? as u64)
+    }
+
+    /// Extracts the marked start positions (text coordinates) of `tile`
+    /// for the given parity, one RSP-FIFO element at a time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on marker-register errors.
+    pub fn extract_positions(
+        &self,
+        ctx: &mut ApuContext<'_>,
+        tile: usize,
+        parity: usize,
+        m: Marker,
+        expected: usize,
+    ) -> Result<Vec<usize>> {
+        let pairs = ctx.core_mut().extract_marked(Vr::new(0), m, expected)?;
+        let base = tile * self.starts_per_tile;
+        Ok(pairs
+            .into_iter()
+            .map(|(lane, _)| base + lane * self.parities() + parity)
+            .filter(|&p| p < self.text_len)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::{ApuDevice, SimConfig};
+
+    fn device() -> ApuDevice {
+        ApuDevice::new(SimConfig::default().with_l4_bytes(32 << 20))
+    }
+
+    fn count_occurrences(
+        dev: &mut ApuDevice,
+        text: &str,
+        pattern: &str,
+        boundaries: bool,
+        packed: bool,
+    ) -> u64 {
+        let tk = TextKernel::new(dev, text.as_bytes(), packed).unwrap();
+        let planes = tk.planes_needed(pattern.len(), boundaries);
+        let mut total = 0;
+        for tile in 0..tk.n_tiles {
+            dev.run_task(|ctx| {
+                tk.load_tile(ctx, tile, planes)?;
+                for parity in 0..tk.parities() {
+                    tk.mark(ctx, pattern.as_bytes(), boundaries, parity, Marker::new(1))?;
+                    total += tk.count(ctx, Marker::new(1))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        tk.free(dev).unwrap();
+        total
+    }
+
+    fn cpu_count(text: &str, pat: &str) -> u64 {
+        let mut n = 0;
+        let mut start = 0;
+        while let Some(p) = text[start..].find(pat) {
+            n += 1;
+            start += p + 1;
+        }
+        n
+    }
+
+    #[test]
+    fn counts_substring_occurrences_unpacked() {
+        let mut dev = device();
+        let text = "the cat sat on the mat with the bat ".repeat(50);
+        let got = count_occurrences(&mut dev, &text, "the", false, false);
+        assert_eq!(got, cpu_count(&text, "the"));
+        let got = count_occurrences(&mut dev, &text, "at", false, false);
+        assert_eq!(got, cpu_count(&text, "at"));
+    }
+
+    #[test]
+    fn counts_substring_occurrences_packed() {
+        let mut dev = device();
+        let text = "abra cadabra abracadabra ".repeat(77);
+        for pat in ["abra", "cad", "a"] {
+            let got = count_occurrences(&mut dev, &text, pat, false, true);
+            assert_eq!(got, cpu_count(&text, pat), "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn boundary_matching_counts_whole_words_only() {
+        let mut dev = device();
+        let text = "the theme thesis the lathe the ".repeat(20);
+        let whole = text.split_whitespace().filter(|w| *w == "the").count() as u64;
+        for packed in [false, true] {
+            let got = count_occurrences(&mut dev, &text, "the", true, packed);
+            assert_eq!(got, whole, "packed={packed}");
+        }
+    }
+
+    #[test]
+    fn matches_across_tile_boundaries_are_counted_once() {
+        let mut dev = device();
+        let l = dev.config().vr_len;
+        // construct text long enough for 2+ tiles with markers sprinkled
+        // right around the tile boundary region
+        let unit = "x".repeat(97) + " needle ";
+        let text = unit.repeat((2 * l) / unit.len() + 10);
+        for packed in [false, true] {
+            let got = count_occurrences(&mut dev, &text, "needle", true, packed);
+            assert_eq!(got, cpu_count(&text, "needle"), "packed={packed}");
+        }
+    }
+
+    #[test]
+    fn extraction_returns_exact_positions() {
+        let mut dev = device();
+        let text = "aa bb needle cc needle dd".to_string();
+        let expected: Vec<usize> =
+            vec![text.find("needle").unwrap(), text.rfind("needle").unwrap()];
+        for packed in [false, true] {
+            let tk = TextKernel::new(&mut dev, text.as_bytes(), packed).unwrap();
+            let planes = tk.planes_needed(6, true);
+            let mut positions = Vec::new();
+            for tile in 0..tk.n_tiles {
+                dev.run_task(|ctx| {
+                    tk.load_tile(ctx, tile, planes)?;
+                    for parity in 0..tk.parities() {
+                        tk.mark(ctx, b"needle", true, parity, Marker::new(1))?;
+                        positions.extend(tk.extract_positions(
+                            ctx,
+                            tile,
+                            parity,
+                            Marker::new(1),
+                            2,
+                        )?);
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+            positions.sort_unstable();
+            assert_eq!(positions, expected, "packed={packed}");
+            tk.free(&mut dev).unwrap();
+        }
+    }
+
+    #[test]
+    fn pattern_length_validation() {
+        let mut dev = device();
+        let tk = TextKernel::new(&mut dev, b"hello world", false).unwrap();
+        dev.run_task(|ctx| {
+            let tk = &tk;
+            tk.load_tile(ctx, 0, 12)?;
+            assert!(tk.mark(ctx, b"", false, 0, Marker::new(1)).is_err());
+            assert!(tk
+                .mark(ctx, b"0123456789", false, 0, Marker::new(1))
+                .is_err());
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,262 @@
+//! Phoenix **Word Count**: frequency of every vocabulary word in a text
+//! corpus.
+//!
+//! The device marks whole-word occurrences of each vocabulary word with
+//! offset-plane comparisons (see [`crate::textops`]).
+//!
+//! Optimization mapping:
+//!
+//! * **opt1** (reduction mapping): the naive MapReduce port *emits* one
+//!   (word, 1) pair per occurrence — every scattered match leaves the VR
+//!   through the RSP FIFO. The communication-aware version reduces
+//!   on-device with `count_m` and emits one (word, count) per tile.
+//! * **opt2** (coalesced DMA / packing): byte-packed text halves the
+//!   off-chip traffic.
+//! * **opt3**: comparisons use immediates, not lookup tables — no effect
+//!   (the paper lists word count under the opt1 winners).
+
+use std::collections::BTreeMap;
+
+use apu_sim::{ApuDevice, TaskReport};
+use gvml::prelude::*;
+
+use crate::common::{map_reduce, parallel_tiles, vocabulary, OptConfig};
+use crate::textops::TextKernel;
+use crate::Result;
+
+/// Word frequencies over the fixed vocabulary.
+pub type WordCounts = BTreeMap<String, u64>;
+
+/// Generates a corpus (see [`crate::common::text_corpus`]).
+pub fn generate(bytes: usize, seed: u64) -> String {
+    crate::common::text_corpus(bytes, seed)
+}
+
+/// Single-threaded CPU reference.
+pub fn cpu(text: &str) -> WordCounts {
+    let mut counts: WordCounts = vocabulary()
+        .into_iter()
+        .map(|w| (w.to_string(), 0))
+        .collect();
+    for token in text.split_ascii_whitespace() {
+        if let Some(c) = counts.get_mut(token) {
+            *c += 1;
+        }
+    }
+    counts
+}
+
+/// Multi-threaded CPU implementation: the text splits at whitespace
+/// boundaries, chunks map to partial counts, and the partials merge.
+pub fn cpu_mt(text: &str, threads: usize) -> WordCounts {
+    let bytes = text.as_bytes();
+    let threads = threads.max(1);
+    // chunk boundaries aligned to whitespace
+    let mut bounds = vec![0usize];
+    for t in 1..threads {
+        let mut pos = bytes.len() * t / threads;
+        while pos < bytes.len() && bytes[pos] != b' ' {
+            pos += 1;
+        }
+        bounds.push(pos);
+    }
+    bounds.push(bytes.len());
+    bounds.dedup();
+    let chunks: Vec<&str> = bounds
+        .windows(2)
+        .map(|w| std::str::from_utf8(&bytes[w[0]..w[1]]).expect("ascii input"))
+        .collect();
+    map_reduce(
+        &chunks,
+        threads,
+        |cs| {
+            let mut acc = WordCounts::new();
+            for c in cs {
+                for (w, n) in cpu(c) {
+                    *acc.entry(w).or_insert(0) += n;
+                }
+            }
+            acc
+        },
+        |mut a, b| {
+            for (w, n) in b {
+                *a.entry(w).or_insert(0) += n;
+            }
+            a
+        },
+    )
+}
+
+/// Estimated retired CPU instructions for Table 6 (paper: 0.7 G for
+/// 10 MB ≈ 70 per byte).
+pub fn cpu_inst_estimate(bytes: usize) -> u64 {
+    bytes as u64 * 70
+}
+
+/// Device implementation.
+///
+/// # Errors
+///
+/// Fails on device-memory exhaustion or kernel errors.
+pub fn apu(dev: &mut ApuDevice, text: &str, opts: OptConfig) -> Result<(WordCounts, TaskReport)> {
+    let vocab = vocabulary();
+    let tk = TextKernel::new(dev, text.as_bytes(), opts.coalesced_dma)?;
+    let n_tiles = tk.n_tiles;
+    let max_planes = tk.planes_needed(9, true);
+    // Rough per-(tile, word, parity) match count for timing-only runs.
+    let expected = (tk.starts_per_tile / tk.parities() / (6 * vocab.len())).max(1);
+
+    let (partials, report) = {
+        let tk = &tk;
+        let vocab = &vocab;
+        parallel_tiles(dev, n_tiles, move |ctx, start, end| {
+            let mut counts = vec![0u64; vocab.len()];
+            for tile in start..end {
+                tk.load_tile(ctx, tile, max_planes)?;
+                for (wi, word) in vocab.iter().enumerate() {
+                    for parity in 0..tk.parities() {
+                        tk.mark(ctx, word.as_bytes(), true, parity, Marker::new(1))?;
+                        if opts.reduction_mapping {
+                            counts[wi] += tk.count(ctx, Marker::new(1))?;
+                        } else {
+                            // naive port: emit each (word, 1) pair via the FIFO
+                            let hits =
+                                tk.extract_positions(ctx, tile, parity, Marker::new(1), expected)?;
+                            counts[wi] += hits.len() as u64;
+                        }
+                    }
+                }
+            }
+            Ok(counts)
+        })?
+    };
+
+    let mut out: WordCounts = vocab.iter().map(|w| (w.to_string(), 0)).collect();
+    for p in partials {
+        for (wi, n) in p.iter().enumerate() {
+            *out.get_mut(vocab[wi]).expect("vocab key") += n;
+        }
+    }
+    tk.free(dev)?;
+    Ok((out, report))
+}
+
+/// Analytical-framework twin (models the configured kernel).
+pub fn model(est: &mut cis_model::LatencyEstimator, bytes: usize, opts: OptConfig) {
+    let l = 32 * 1024;
+    let vocab = vocabulary();
+    let packed = opts.coalesced_dma;
+    let chars_per_tile = if packed { 2 * l } else { l } - 16;
+    let cores = 4usize;
+    let n_tiles = bytes.div_ceil(chars_per_tile).max(1);
+    let tiles_per_core = n_tiles.div_ceil(cores);
+    let parities = if packed { 2 } else { 1 };
+    let planes = 12;
+    for _ in 0..tiles_per_core {
+        est.section("load");
+        est.record(cis_model::TraceOp::DmaL4L2(2 * l * cores));
+        est.direct_dma_l2_to_l1_32k();
+        est.gvml_load_16();
+        if packed {
+            est.gvml_cpy_imm_16();
+            est.record(cis_model::TraceOp::Op(apu_sim::VecOp::And16));
+            est.gvml_shift_imm_16();
+        }
+        for _ in 0..planes - if packed { 2 } else { 1 } {
+            est.gvml_cpy_16();
+            est.record(cis_model::TraceOp::ShiftE(1));
+        }
+        est.gvml_create_grp_index_u16();
+        est.gvml_cpy_imm_16();
+        est.gvml_lt_u16();
+        est.section("match");
+        for word in &vocab {
+            for _ in 0..parities {
+                for _ in 0..word.len() + 2 {
+                    est.gvml_eq_16();
+                    est.record(cis_model::TraceOp::Op(apu_sim::VecOp::And16));
+                }
+                if opts.reduction_mapping {
+                    est.gvml_count_m();
+                } else {
+                    let hits = chars_per_tile / parities / (6 * vocab.len());
+                    est.gvml_cpy_from_mrk_16_msk(hits.max(1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::SimConfig;
+
+    fn device() -> ApuDevice {
+        ApuDevice::new(SimConfig::default().with_l4_bytes(32 << 20))
+    }
+
+    #[test]
+    fn cpu_mt_matches_single() {
+        let text = generate(200_000, 1);
+        assert_eq!(cpu(&text), cpu_mt(&text, 8));
+    }
+
+    #[test]
+    fn counts_are_zipf_like() {
+        let text = generate(100_000, 2);
+        let counts = cpu(&text);
+        // the first vocabulary word is the most common by construction
+        let max = counts.values().max().copied().unwrap();
+        assert_eq!(counts["the"], max);
+        assert!(counts.values().sum::<u64>() > 1000);
+    }
+
+    #[test]
+    fn apu_all_opts_matches_cpu() {
+        let text = generate(80_000, 3);
+        let mut dev = device();
+        let (counts, _) = apu(&mut dev, &text, OptConfig::all()).unwrap();
+        assert_eq!(counts, cpu(&text));
+    }
+
+    #[test]
+    fn apu_baseline_matches_cpu() {
+        let text = generate(50_000, 4);
+        let mut dev = device();
+        let (counts, _) = apu(&mut dev, &text, OptConfig::none()).unwrap();
+        assert_eq!(counts, cpu(&text));
+    }
+
+    #[test]
+    fn apu_variants_match_cpu() {
+        let text = generate(60_000, 5);
+        let expected = cpu(&text);
+        let mut dev = device();
+        for o in OptConfig::fig13_variants() {
+            let (counts, _) = apu(&mut dev, &text, o).unwrap();
+            assert_eq!(counts, expected, "{}", o.label());
+        }
+    }
+
+    #[test]
+    fn opt1_avoids_per_occurrence_emission() {
+        let text = generate(150_000, 6);
+        let mut dev = device();
+        let (_, base) = apu(&mut dev, &text, OptConfig::none()).unwrap();
+        let (_, o1) = apu(&mut dev, &text, OptConfig::only_opt1()).unwrap();
+        assert!(o1.stats.pio_elems * 10 < base.stats.pio_elems.max(1));
+        assert!(
+            o1.cycles.get() * 2 < base.cycles.get(),
+            "opt1 {} vs base {}",
+            o1.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn instruction_estimate_matches_table6_scale() {
+        let est = cpu_inst_estimate(10 * 1024 * 1024);
+        assert!((0.6e9..0.8e9).contains(&(est as f64)));
+    }
+}

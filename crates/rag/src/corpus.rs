@@ -1,0 +1,196 @@
+//! Synthetic corpus and embedding store.
+//!
+//! The paper chunks each corpus into 16,384-token segments and embeds
+//! every chunk: 10 GB → 163 K chunks (120 MB of embeddings), 50 GB →
+//! 819 K (600 MB), 200 GB → 3.3 M (2.4 GB). The retrieval kernel's cost
+//! depends only on (#chunks × dimension), so the store generates
+//! deterministic pseudo-embeddings instead of embedding real text, and
+//! only materializes them at functional (small) scales.
+//!
+//! Embedding values are quantized to −6..=6 so a 384-dimension dot
+//! product (≤ 13,824) fits a 16-bit device lane exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Embedding dimensionality (the paper's 120 MB / 163 K chunks ≈ 2-byte
+/// 384-dim vectors).
+pub const EMBED_DIM: usize = 384;
+/// Tokens per corpus chunk.
+pub const CHUNK_TOKENS: usize = 16_384;
+/// Quantized embedding magnitude bound.
+pub const EMBED_MAX: i16 = 6;
+
+/// A corpus size point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Nominal corpus size in bytes (the paper's 10/50/200 GB axis).
+    pub corpus_bytes: u64,
+    /// Number of chunks.
+    pub chunks: usize,
+}
+
+impl CorpusSpec {
+    /// Derives the chunk count from a corpus size using the paper's
+    /// ratio (163 K chunks per 10 GB).
+    pub fn from_corpus_bytes(bytes: u64) -> Self {
+        let chunks = ((bytes as f64) * 163_000.0 / 10e9).round() as usize;
+        CorpusSpec {
+            corpus_bytes: bytes,
+            chunks: chunks.max(1),
+        }
+    }
+
+    /// The paper's three evaluation points.
+    pub fn paper_points() -> [CorpusSpec; 3] {
+        [
+            CorpusSpec::from_corpus_bytes(10_000_000_000),
+            CorpusSpec::from_corpus_bytes(50_000_000_000),
+            CorpusSpec::from_corpus_bytes(200_000_000_000),
+        ]
+    }
+
+    /// Embedding bytes (chunks × dim × 2).
+    pub fn embedding_bytes(&self) -> u64 {
+        self.chunks as u64 * EMBED_DIM as u64 * 2
+    }
+
+    /// Human-readable label ("10 GB").
+    pub fn label(&self) -> String {
+        format!("{:.0} GB", self.corpus_bytes as f64 / 1e9)
+    }
+}
+
+/// Deterministic embedding store.
+///
+/// Chunk embeddings derive from the seed; `materialized` stores are
+/// backed by real vectors (functional runs and tests), size-only stores
+/// carry just the spec (timing-only paper-scale runs).
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    spec: CorpusSpec,
+    seed: u64,
+    data: Option<Vec<i16>>, // chunk-major [chunks × EMBED_DIM]
+}
+
+impl EmbeddingStore {
+    /// Creates a materialized store (generates `chunks × dim` values).
+    pub fn materialized(spec: CorpusSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..spec.chunks * EMBED_DIM)
+            .map(|_| rng.gen_range(-EMBED_MAX..=EMBED_MAX))
+            .collect();
+        EmbeddingStore {
+            spec,
+            seed,
+            data: Some(data),
+        }
+    }
+
+    /// Creates a size-only store for timing-only runs.
+    pub fn size_only(spec: CorpusSpec, seed: u64) -> Self {
+        EmbeddingStore {
+            spec,
+            seed,
+            data: None,
+        }
+    }
+
+    /// The corpus spec.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether vectors are materialized.
+    pub fn is_materialized(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// One chunk's embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is size-only or `chunk` is out of range.
+    pub fn embedding(&self, chunk: usize) -> &[i16] {
+        let data = self.data.as_ref().expect("store not materialized");
+        &data[chunk * EMBED_DIM..(chunk + 1) * EMBED_DIM]
+    }
+
+    /// All embeddings, chunk-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is size-only.
+    pub fn raw(&self) -> &[i16] {
+        self.data.as_ref().expect("store not materialized")
+    }
+
+    /// A deterministic query embedding.
+    pub fn query(&self, query_id: u64) -> Vec<i16> {
+        // Separate seed domain so queries never collide with chunks.
+        const QUERY_DOMAIN: u64 = 0x5175_6572_795f_5365; // "Query_Se"
+        let mut rng = StdRng::seed_from_u64(self.seed ^ QUERY_DOMAIN.wrapping_add(query_id));
+        (0..EMBED_DIM)
+            .map(|_| rng.gen_range(-EMBED_MAX..=EMBED_MAX))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_points_match_table_sizes() {
+        let pts = CorpusSpec::paper_points();
+        assert_eq!(pts[0].chunks, 163_000);
+        // 819K and 3.3M chunks within rounding
+        assert!((810_000..=825_000).contains(&pts[1].chunks));
+        assert!((3_250_000..=3_300_000).contains(&pts[2].chunks));
+        // embedding sizes ≈ 120 MB / 600 MB / 2.4 GB
+        assert!((115e6..130e6).contains(&(pts[0].embedding_bytes() as f64)));
+        assert!((2.3e9..2.6e9).contains(&(pts[2].embedding_bytes() as f64)));
+    }
+
+    #[test]
+    fn store_is_deterministic() {
+        let spec = CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 10,
+        };
+        let a = EmbeddingStore::materialized(spec, 1);
+        let b = EmbeddingStore::materialized(spec, 1);
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.query(0), b.query(0));
+        assert_ne!(a.query(0), a.query(1));
+    }
+
+    #[test]
+    fn values_stay_in_band() {
+        let spec = CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 100,
+        };
+        let s = EmbeddingStore::materialized(spec, 2);
+        assert!(s
+            .raw()
+            .iter()
+            .all(|&v| (-EMBED_MAX..=EMBED_MAX).contains(&v)));
+        // worst-case dot product fits i16
+        assert!(EMBED_DIM as i32 * (EMBED_MAX as i32).pow(2) <= i16::MAX as i32);
+    }
+
+    #[test]
+    fn size_only_reports_spec() {
+        let spec = CorpusSpec::from_corpus_bytes(10_000_000_000);
+        let s = EmbeddingStore::size_only(spec, 3);
+        assert!(!s.is_materialized());
+        assert_eq!(s.spec().chunks, 163_000);
+    }
+}

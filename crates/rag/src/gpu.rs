@@ -1,0 +1,140 @@
+//! GPU comparators: A6000 retrieval latency/energy models and the
+//! Llama-3.1-8B generation (time-to-first-token) model.
+//!
+//! Substitution note (no GPU in the loop): GPU flat k-NN over a resident
+//! embedding matrix is memory-bandwidth-bound, so its *latency* scales
+//! with embedding bytes over effective HBM bandwidth plus fixed launch /
+//! PCIe terms. Its *energy* is modeled nvidia-smi style — average board
+//! draw over the retrieval service window — with the effective scan rate
+//! calibrated against the paper's measured energy ratios (54.4×–117.9×),
+//! which imply a far lower batch-1 service throughput than the raw
+//! kernel bandwidth; the calibration is documented on each constant.
+
+use serde::{Deserialize, Serialize};
+
+use cis_energy::GpuPowerModel;
+
+/// A6000 retrieval model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuRetrievalModel {
+    /// Effective kernel scan bandwidth in GB/s (A6000 HBM ≈ 768 GB/s,
+    /// flat-IP kernels reach ~80%).
+    pub kernel_gbps: f64,
+    /// Fixed kernel-launch + top-k + result copy overhead (ms).
+    pub fixed_ms: f64,
+    /// PCIe query upload (ms).
+    pub pcie_ms: f64,
+    /// Effective *service* throughput for batch-1 retrieval used for
+    /// energy accounting (GB/s). Calibrated so the APU:GPU energy ratio
+    /// reproduces the paper's 54×–118× band; batch-1 FAISS-GPU service
+    /// utilizes a small fraction of the kernel's streaming rate.
+    pub energy_service_gbps: f64,
+    /// Board power model.
+    pub power: GpuPowerModel,
+}
+
+impl GpuRetrievalModel {
+    /// Calibrated A6000.
+    pub fn a6000() -> Self {
+        GpuRetrievalModel {
+            kernel_gbps: 614.0,
+            fixed_ms: 0.35,
+            pcie_ms: 0.05,
+            energy_service_gbps: 3.0,
+            power: GpuPowerModel::a6000(),
+        }
+    }
+
+    /// Retrieval latency for an embedding matrix of `bytes`.
+    pub fn retrieval_ms(&self, bytes: u64) -> f64 {
+        self.fixed_ms + self.pcie_ms + bytes as f64 / (self.kernel_gbps * 1e9) * 1e3
+    }
+
+    /// Retrieval energy in joules (nvidia-smi-style accounting over the
+    /// batch-1 service window).
+    pub fn retrieval_energy_j(&self, bytes: u64) -> f64 {
+        let service_secs = bytes as f64 / (self.energy_service_gbps * 1e9);
+        self.power.busy_energy_j(service_secs)
+    }
+}
+
+impl Default for GpuRetrievalModel {
+    fn default() -> Self {
+        GpuRetrievalModel::a6000()
+    }
+}
+
+/// Llama-3.1-8B prefill (time-to-first-token) model on a dedicated
+/// generation GPU. The generation stage is identical across retrieval
+/// platforms, so a single analytical term preserves every end-to-end
+/// ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationModel {
+    /// Model parameters (8 B for Llama-3.1-8B).
+    pub params: f64,
+    /// Prompt tokens entering prefill (query + retrieved context).
+    pub prompt_tokens: f64,
+    /// Effective prefill throughput in TFLOP/s (A6000 dense f16 tensor
+    /// peak ≈ 77 TFLOP/s; prefill sustains ≈ 78%).
+    pub effective_tflops: f64,
+}
+
+impl GenerationModel {
+    /// Llama-3.1-8B on an A6000 with a ~2 K-token assembled prompt
+    /// (query plus truncated retrieved passages), landing at the ≈545 ms
+    /// TTFT the paper's end-to-end ratios imply.
+    pub fn llama31_8b_a6000() -> Self {
+        GenerationModel {
+            params: 8.0e9,
+            prompt_tokens: 2048.0,
+            effective_tflops: 60.0,
+        }
+    }
+
+    /// Time-to-first-token in milliseconds (prefill ≈ 2·params FLOPs per
+    /// token).
+    pub fn ttft_ms(&self) -> f64 {
+        2.0 * self.params * self.prompt_tokens / (self.effective_tflops * 1e12) * 1e3
+    }
+}
+
+impl Default for GenerationModel {
+    fn default() -> Self {
+        GenerationModel::llama31_8b_a6000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    #[test]
+    fn gpu_retrieval_is_bandwidth_bound_at_scale() {
+        let g = GpuRetrievalModel::a6000();
+        let pts = CorpusSpec::paper_points();
+        let t200 = g.retrieval_ms(pts[2].embedding_bytes());
+        // 2.4 GB over ~614 GB/s + overheads ≈ 4–5 ms.
+        assert!((3.5..6.5).contains(&t200), "{t200} ms");
+        let t10 = g.retrieval_ms(pts[0].embedding_bytes());
+        assert!(t10 < t200 / 5.0);
+    }
+
+    #[test]
+    fn ttft_matches_implied_generation_latency() {
+        // The paper's end-to-end vs retrieval speedups imply ≈ 545 ms of
+        // platform-independent generation latency.
+        let ms = GenerationModel::llama31_8b_a6000().ttft_ms();
+        assert!((480.0..620.0).contains(&ms), "TTFT {ms} ms");
+    }
+
+    #[test]
+    fn energy_grows_linearly_with_corpus() {
+        let g = GpuRetrievalModel::a6000();
+        let pts = CorpusSpec::paper_points();
+        let e10 = g.retrieval_energy_j(pts[0].embedding_bytes());
+        let e200 = g.retrieval_energy_j(pts[2].embedding_bytes());
+        assert!((e200 / e10 - 20.0).abs() < 1.0); // 20× the bytes
+        assert!(e200 > 100.0, "200 GB retrieval energy {e200} J");
+    }
+}

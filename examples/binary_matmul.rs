@@ -1,0 +1,52 @@
+//! The paper's motivating example (§4): binary matrix multiplication
+//! on the device, from the inner-product baseline to all three
+//! optimizations, with the Fig. 12-style stage breakdown.
+//!
+//! Run with: `cargo run --release --example binary_matmul`
+
+use apu_sim::{ApuDevice, SimConfig};
+use binmm::{cpu_matmul, ApuMatmul, BinMatrix};
+use cis_core::MatmulVariant;
+
+fn main() -> Result<(), apu_sim::Error> {
+    let (m, n, kbits) = (64, 2048, 1024);
+    println!("binary matmul: {m} x {n}, K = {kbits} bits (±1 encoding)\n");
+
+    let a = BinMatrix::random(m, kbits, 7);
+    let b_t = BinMatrix::random(n, kbits, 8);
+    let reference = cpu_matmul(&a, &b_t);
+
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(128 << 20));
+    let problem = ApuMatmul::new(a, b_t)?;
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>9}",
+        "variant", "LD LHS", "LD RHS", "VR ops", "ST", "total (ms)", "speedup"
+    );
+    let mut baseline_ms = 0.0;
+    for variant in MatmulVariant::ALL {
+        let run = problem.run(&mut dev, variant)?;
+        assert_eq!(run.c, reference, "{} result mismatch", variant.label());
+        let clock = dev.config().clock;
+        let ms = |c: apu_sim::Cycles| clock.cycles_to_secs(c) * 1e3;
+        let total = run.report.millis();
+        if variant == MatmulVariant::Baseline {
+            baseline_ms = total;
+        }
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>8.1}x",
+            variant.label(),
+            ms(run.breakdown.ld_lhs),
+            ms(run.breakdown.ld_rhs),
+            ms(run.breakdown.vr_ops),
+            ms(run.breakdown.st),
+            total,
+            baseline_ms / total,
+        );
+    }
+    println!("\nAll variants verified bit-exactly against the CPU reference.");
+    println!("The baseline drowns in PIO stores of scattered results; the");
+    println!("temporal mapping (opt1) makes outputs contiguous, and the");
+    println!("coalescing + broadcast layouts clean up the input side.");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Extension beyond the paper's blocking `direct_dma_*` calls: the two
+//! per-core DMA engines (Fig. 3b) support double buffering, hiding
+//! transfer latency behind computation.
+//!
+//! Run with: `cargo run --release --example double_buffering`
+
+use apu_sim::{ApuDevice, SimConfig, VecOp, Vmr};
+
+fn main() -> Result<(), apu_sim::Error> {
+    let tiles = 16;
+    let compute_cmds = 110; // ~22k cycles of mul_s16 per tile
+
+    let run = |overlapped: bool| -> Result<u64, apu_sim::Error> {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(64 << 20));
+        let n = dev.config().vr_len;
+        let h = dev.alloc_u16(tiles * n)?;
+        let report = dev.run_task(|ctx| {
+            if overlapped {
+                let mut pending = ctx.dma_l4_to_l1_async(Vmr::new(0), h)?;
+                for i in 0..tiles {
+                    ctx.dma_wait(pending);
+                    if i + 1 < tiles {
+                        pending = ctx.dma_l4_to_l1_async(
+                            Vmr::new(((i + 1) % 2) as u8),
+                            h.offset_by((i + 1) * n * 2)?,
+                        )?;
+                    }
+                    for _ in 0..compute_cmds {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                    }
+                }
+                ctx.dma_wait_all();
+            } else {
+                for i in 0..tiles {
+                    ctx.dma_l4_to_l1(Vmr::new(0), h.offset_by(i * n * 2)?)?;
+                    for _ in 0..compute_cmds {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(report.cycles.get())
+    };
+
+    let blocking = run(false)?;
+    let overlapped = run(true)?;
+    println!("streaming kernel, {tiles} tiles, ~22k cycles compute per tile:");
+    println!("  blocking DMA        : {blocking:>9} cycles");
+    println!("  double-buffered DMA : {overlapped:>9} cycles");
+    println!(
+        "  overlap hides {:.0}% of the transfer time",
+        (blocking - overlapped) as f64 / (tiles as f64 * 22283.0) * 100.0
+    );
+    println!("\nWith compute roughly matching the 22k-cycle transfer, double");
+    println!("buffering approaches the max(DMA, compute) bound — the headroom");
+    println!("the paper's two-engine design leaves for software.");
+    Ok(())
+}

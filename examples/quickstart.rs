@@ -1,0 +1,56 @@
+//! Quickstart: the paper's Fig. 5 vector-addition example on the
+//! simulated compute-in-SRAM device — host-side memory management,
+//! device-side DMA + vector compute, and the latency report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use apu_sim::{ApuDevice, SimConfig, Vmr, Vr};
+use gvml::prelude::*;
+
+fn main() -> Result<(), apu_sim::Error> {
+    // The APU platform: an x86 host plus a 4-core device sharing DRAM.
+    let mut dev = ApuDevice::new(SimConfig::default());
+    let n = dev.config().vr_len; // 32,768 elements per vector register
+
+    // ---- host side (the gdl_* calls of Fig. 5a) ----
+    let vec1 = dev.alloc_u16(n)?;
+    let vec2 = dev.alloc_u16(n)?;
+    let out = dev.alloc_u16(n)?;
+    let a: Vec<u16> = (0..n as u32).map(|i| (i % 1000) as u16).collect();
+    let b: Vec<u16> = (0..n as u32).map(|i| (i % 77) as u16).collect();
+    dev.write_u16s(vec1, &a)?;
+    dev.write_u16s(vec2, &b)?;
+
+    // ---- device side (the GAL task of Fig. 5b) ----
+    let report = dev.run_task(|ctx| {
+        // DMA both operands from device DRAM (L4) into L1 vector memory.
+        ctx.dma_l4_to_l1(Vmr::new(0), vec1)?;
+        ctx.dma_l4_to_l1(Vmr::new(1), vec2)?;
+        // Load into computation-enabled vector registers and add.
+        ctx.load(Vr::new(0), Vmr::new(0))?;
+        ctx.load(Vr::new(1), Vmr::new(1))?;
+        ctx.core_mut().add_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+        // Store the result back out to device DRAM.
+        ctx.store(Vmr::new(2), Vr::new(2))?;
+        ctx.dma_l1_to_l4(out, Vmr::new(2))
+    })?;
+
+    // ---- host side again: read back and verify ----
+    let mut result = vec![0u16; n];
+    dev.read_u16s(out, &mut result)?;
+    for i in 0..n {
+        assert_eq!(result[i], a[i] + b[i]);
+    }
+
+    println!("vec_add over {n} lanes: OK");
+    println!(
+        "device latency: {} = {:.2} us at 500 MHz",
+        report.cycles,
+        report.micros()
+    );
+    println!(
+        "commands: {}, uCode ops: {}, DMA bytes: {}",
+        report.stats.commands, report.stats.micro_ops, report.stats.l4_bytes
+    );
+    Ok(())
+}

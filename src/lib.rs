@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the reproduction of *"Characterizing and
+//! Optimizing Realistic Workloads on a Commercial Compute-in-SRAM
+//! Device"* (MICRO 2025).
+//!
+//! Re-exports every workspace layer so examples and integration tests
+//! can reach the whole stack through one dependency:
+//!
+//! * [`apu_sim`] — the compute-in-SRAM device simulator;
+//! * [`gvml`] — the vector math library on top of it;
+//! * [`cis_model`] — the analytical latency framework (§3);
+//! * [`hbm_sim`] — the HBM2e/DDR4 DRAM timing + energy simulator;
+//! * [`cis_energy`] — APU/CPU/GPU energy accounting;
+//! * [`cis_core`] — the paper's data-movement/layout optimizations (§4);
+//! * [`binmm`] — the binary matmul motivating example (§4.1, §5.1);
+//! * [`phoenix`] — the Phoenix benchmark suite (§5.2);
+//! * [`rag`] — retrieval-augmented generation (§5.3).
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use apu_sim;
+pub use binmm;
+pub use cis_core;
+pub use cis_energy;
+pub use cis_model;
+pub use gvml;
+pub use hbm_sim;
+pub use phoenix;
+pub use rag;

@@ -1,0 +1,161 @@
+//! Integration tests spanning crates: the full stack from the host API
+//! through GVML kernels, the analytical framework, the HBM model, and
+//! the energy accounting.
+
+use apu_sim::{ApuDevice, SimConfig};
+use cis_core::{recommend_mapping, ReductionMapping};
+use cis_energy::ApuPowerModel;
+use cis_model::{LatencyEstimator, ModelParams};
+use hbm_sim::{DramSpec, MemorySystem};
+use rag::{Platform, RagPipeline, RagVariant};
+
+#[test]
+fn simulator_and_model_agree_on_a_simple_stream_kernel() {
+    // Simulate a tile-streaming kernel and predict it with the framework;
+    // the gap must be the documented second-order overheads (small).
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(32 << 20));
+    let tiles = 16;
+    let h = dev.alloc_u16(tiles * 32 * 1024).unwrap();
+    let report = dev
+        .run_task(|ctx| {
+            use gvml::prelude::*;
+            for tile in 0..tiles {
+                ctx.dma_l4_to_l2(0, h.offset_by(tile * 64 * 1024)?, 64 * 1024)?;
+                ctx.dma_l2_to_l1(apu_sim::Vmr::new(0))?;
+                ctx.load(apu_sim::Vr::new(0), apu_sim::Vmr::new(0))?;
+                ctx.core_mut().mul_u16(
+                    apu_sim::Vr::new(1),
+                    apu_sim::Vr::new(0),
+                    apu_sim::Vr::new(0),
+                )?;
+                ctx.core_mut().add_u16(
+                    apu_sim::Vr::new(2),
+                    apu_sim::Vr::new(2),
+                    apu_sim::Vr::new(1),
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let mut est = LatencyEstimator::new(ModelParams::leda_e());
+    for _ in 0..tiles {
+        est.fast_dma_l4_to_l2(64 * 1024);
+        est.direct_dma_l2_to_l1_32k();
+        est.gvml_load_16();
+        est.gvml_mul_u16();
+        est.gvml_add_u16();
+    }
+    let predicted = est.report().total_cycles;
+    let measured = report.cycles.get() as f64;
+    let err = (predicted - measured).abs() / measured;
+    assert!(
+        err < 0.01,
+        "model error {:.2}% on a stream kernel",
+        err * 100.0
+    );
+}
+
+#[test]
+fn reduction_advice_matches_simulated_outcome() {
+    // cis-core recommends temporal mapping for matmul-like shapes; the
+    // binmm simulator agrees.
+    let p = ModelParams::leda_e();
+    assert_eq!(
+        recommend_mapping(&p, 64, 1024 * 2048),
+        ReductionMapping::Temporal
+    );
+    let problem = binmm::ApuMatmul::new(
+        binmm::BinMatrix::random(32, 1024, 1),
+        binmm::BinMatrix::random(2048, 1024, 2),
+    )
+    .unwrap();
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(64 << 20));
+    let spatial = problem
+        .run(&mut dev, cis_core::MatmulVariant::Baseline)
+        .unwrap();
+    let temporal = problem
+        .run(&mut dev, cis_core::MatmulVariant::Opt1)
+        .unwrap();
+    assert!(temporal.report.cycles < spatial.report.cycles);
+}
+
+#[test]
+fn energy_accounting_composes_across_crates() {
+    // Run a device kernel, stream DRAM traffic, and fold both into the
+    // rail model.
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(8 << 20));
+    let report = dev
+        .run_task(|ctx| {
+            use gvml::prelude::*;
+            for _ in 0..100 {
+                ctx.core_mut().mul_s16(
+                    apu_sim::Vr::new(2),
+                    apu_sim::Vr::new(0),
+                    apu_sim::Vr::new(1),
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+    hbm.stream_read(0, 8 << 20);
+    let dram = hbm_sim::DramEnergy::from_stats(
+        hbm.spec(),
+        &hbm_sim::EnergyParams::hbm2e(),
+        &hbm.stats(),
+        hbm.horizon(),
+    );
+    let breakdown =
+        ApuPowerModel::leda_e().breakdown(&report, apu_sim::Frequency::LEDA_E, dram.total_j());
+    assert!(breakdown.total_j() > 0.0);
+    assert!(breakdown.dram_j > 0.0);
+    let s: f64 = breakdown.fractions().iter().sum();
+    assert!((s - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rag_pipeline_runs_every_platform() {
+    let pipeline = RagPipeline::paper();
+    let mut dev = ApuDevice::new(
+        SimConfig::default()
+            .with_l4_bytes(1 << 20)
+            .with_exec_mode(apu_sim::ExecMode::TimingOnly),
+    );
+    let store =
+        rag::EmbeddingStore::size_only(rag::CorpusSpec::from_corpus_bytes(10_000_000_000), 0);
+    let q = vec![1i16; rag::corpus::EMBED_DIM];
+    let mut results = Vec::new();
+    for platform in [
+        Platform::CpuModel,
+        Platform::Gpu,
+        Platform::Apu(RagVariant::NoOpt),
+        Platform::Apu(RagVariant::AllOpts),
+    ] {
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let e2e = pipeline
+            .run(platform, &store, &q, &mut dev, &mut hbm)
+            .unwrap();
+        assert!(e2e.total_ms() > e2e.generation_ms);
+        results.push((e2e.platform.clone(), e2e.retrieval_ms));
+    }
+    // the optimized CIS beats the unoptimized CIS and the CPU
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|(p, _)| p == name)
+            .map(|(_, ms)| *ms)
+            .unwrap()
+    };
+    assert!(get("CIS all opts") < get("CIS no opt"));
+    assert!(get("CIS all opts") < get("CPU"));
+}
+
+#[test]
+fn workspace_reexports_compose() {
+    // The root crate exposes every layer.
+    let _ = cis_repro::apu_sim::SimConfig::default();
+    let _ = cis_repro::cis_model::ModelParams::leda_e();
+    let _ = cis_repro::hbm_sim::DramSpec::hbm2e_16gb();
+    let _ = cis_repro::phoenix::App::ALL;
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the core data structures and kernels:
+//! GVML operation semantics vs scalar references, reduction exactness,
+//! layout permutations, float encodings, DRAM model sanity, and
+//! device/CPU agreement on randomized workloads.
+
+use apu_sim::{ApuDevice, SimConfig, Vr};
+use gvml::prelude::*;
+use proptest::prelude::*;
+
+fn with_core<R>(f: impl FnOnce(&mut apu_sim::ApuCore) -> apu_sim::Result<R>) -> R {
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+    let mut out = None;
+    dev.run_task(|ctx| {
+        out = Some(f(ctx.core_mut())?);
+        Ok(())
+    })
+    .expect("task");
+    out.unwrap()
+}
+
+fn fill_prefix(core: &mut apu_sim::ApuCore, vr: Vr, data: &[u16]) {
+    let reg = core.vr_mut(vr).unwrap();
+    reg.fill(0);
+    reg[..data.len()].copy_from_slice(data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn elementwise_ops_match_scalar_semantics(
+        a in proptest::collection::vec(any::<u16>(), 64..200),
+        b in proptest::collection::vec(any::<u16>(), 64..200),
+    ) {
+        let n = a.len().min(b.len());
+        let (got_add, got_mul, got_sub) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &a);
+            fill_prefix(core, Vr::new(1), &b);
+            core.add_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            let add = core.vr(Vr::new(2))?[..n].to_vec();
+            core.mul_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            let mul = core.vr(Vr::new(2))?[..n].to_vec();
+            core.sub_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            let sub = core.vr(Vr::new(2))?[..n].to_vec();
+            Ok((add, mul, sub))
+        });
+        for i in 0..n {
+            prop_assert_eq!(got_add[i], a[i].wrapping_add(b[i]));
+            prop_assert_eq!(got_mul[i] as i16, (a[i] as i16).wrapping_mul(b[i] as i16));
+            prop_assert_eq!(got_sub[i] as i16, (a[i] as i16).wrapping_sub(b[i] as i16));
+        }
+    }
+
+    #[test]
+    fn subgroup_sums_are_exact(
+        data in proptest::collection::vec(-100i16..100, 256),
+        log_s in 1u32..8,
+    ) {
+        let s = 1usize << log_s;
+        let words: Vec<u16> = data.iter().map(|&v| v as u16).collect();
+        let heads = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &words);
+            core.add_subgrp_s16(Vr::new(1), Vr::new(0), s, 256)?;
+            Ok(core.vr(Vr::new(1))?[..256].to_vec())
+        });
+        for head in (0..256).step_by(s) {
+            let expect: i16 = data[head..head + s].iter().fold(0i16, |acc, &v| acc.wrapping_add(v));
+            prop_assert_eq!(heads[head] as i16, expect, "subgroup at {}", head);
+        }
+    }
+
+    #[test]
+    fn max_subgrp_finds_the_argmax(
+        data in proptest::collection::vec(any::<u16>(), 128),
+    ) {
+        let (maxes, tags) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &data);
+            core.create_index_u16(Vr::new(1))?;
+            core.max_subgrp_u16(Vr::new(2), Vr::new(0), 128, 128, Some((Vr::new(3), Vr::new(1))))?;
+            Ok((core.vr(Vr::new(2))?[0], core.vr(Vr::new(3))?[0]))
+        });
+        // lanes beyond the prefix are zero; ignore them unless all data is 0
+        let (best_i, best_v) = data
+            .iter()
+            .enumerate()
+            .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+            .map(|(i, v)| (i, *v))
+            .unwrap();
+        if best_v > 0 {
+            prop_assert_eq!(maxes, best_v);
+            prop_assert_eq!(tags as usize, best_i);
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_is_monotone_on_normals(
+        x in -60000.0f32..60000.0,
+        y in -60000.0f32..60000.0,
+    ) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let a = gvml::f16_to_f32(gvml::f16_from_f32(lo));
+        let b = gvml::f16_to_f32(gvml::f16_from_f32(hi));
+        prop_assert!(a <= b, "rounding broke order: {lo} -> {a}, {hi} -> {b}");
+    }
+
+    #[test]
+    fn gf16_relative_error_is_bounded(x in 1.0e-6f32..1.0e8) {
+        let r = gvml::gf16_to_f32(gvml::gf16_from_f32(x));
+        prop_assert!(((r - x) / x).abs() < 2e-3, "{x} decoded as {r}");
+    }
+
+    #[test]
+    fn layout_apply_is_a_permutation(rows in 1usize..12, cols in 1usize..12) {
+        let data: Vec<u32> = (0..rows * cols).map(|i| i as u32).collect();
+        let cm = cis_core::Layout::col_major(rows, cols);
+        let mut permuted = cm.apply(&data);
+        permuted.sort_unstable();
+        prop_assert_eq!(permuted, data);
+    }
+
+    #[test]
+    fn binmm_device_matches_cpu_on_random_shapes(
+        seed in 0u64..1000,
+        m in 1usize..12,
+    ) {
+        let a = binmm::BinMatrix::random(m, 128, seed);
+        let b = binmm::BinMatrix::random(2048, 128, seed + 1);
+        let expected = binmm::cpu_matmul(&a, &b);
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(32 << 20));
+        let run = binmm::ApuMatmul::new(a, b)
+            .unwrap()
+            .run(&mut dev, cis_core::MatmulVariant::Baseline)
+            .unwrap();
+        prop_assert_eq!(run.c, expected);
+    }
+
+    #[test]
+    fn hbm_time_is_monotone_in_bytes(kb1 in 1u64..512, kb2 in 1u64..512) {
+        let (lo, hi) = (kb1.min(kb2) << 10, kb1.max(kb2) << 10);
+        let mut m1 = hbm_sim::MemorySystem::new(hbm_sim::DramSpec::hbm2e_16gb());
+        let mut m2 = hbm_sim::MemorySystem::new(hbm_sim::DramSpec::hbm2e_16gb());
+        let t_lo = m1.stream_read(0, lo).cycles;
+        let t_hi = m2.stream_read(0, hi).cycles;
+        prop_assert!(t_lo <= t_hi);
+    }
+
+    #[test]
+    fn coalesce_plan_never_loses_bytes(
+        rows in proptest::collection::vec((0usize..64, 1usize..8), 1..20),
+    ) {
+        let transfers: Vec<cis_core::RowTransfer> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(slot, len))| cis_core::RowTransfer {
+                src_off: slot * 4096,
+                bytes: len * 512,
+                dst_off: i * 4096,
+            })
+            .collect();
+        let plan = cis_core::CoalescePlan::plan(&transfers);
+        let planned: usize = plan.chunks.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(planned, plan.unique_bytes);
+        prop_assert!(plan.unique_bytes <= plan.naive_bytes);
+        prop_assert!(plan.chunks.len() + plan.subgroup_copies >= 1);
+        prop_assert!(plan.chunks.len() <= plan.naive_transactions);
+    }
+}
