@@ -88,6 +88,13 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: set the core count (a zero count is rejected by
+    /// [`SimConfig::validate`]).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
     /// Builder-style: replace the latency calibration table (used for
     /// design-space exploration).
     pub fn with_timing(mut self, timing: DeviceTiming) -> Self {
@@ -121,7 +128,7 @@ impl SimConfig {
                 self.vr_bytes()
             )));
         }
-        if self.vr_len % crate::core::NUM_BANKS != 0 {
+        if !self.vr_len.is_multiple_of(crate::core::NUM_BANKS) {
             return Err(crate::Error::InvalidArg(format!(
                 "vr_len {} must be a multiple of the {}-bank organization",
                 self.vr_len,

@@ -13,7 +13,7 @@ use crate::clock::Cycles;
 use crate::config::SimConfig;
 use crate::core::ApuCore;
 use crate::error::Error;
-use crate::mem::{bytes_to_u16s, u16s_to_bytes, Dram, MemHandle};
+use crate::mem::{bytes_to_pods, pods_to_bytes, u16s_to_bytes, Dram, MemHandle, Pod};
 use crate::stats::VcuStats;
 use crate::timing::DeviceTiming;
 use crate::Result;
@@ -51,7 +51,24 @@ impl TaskReport {
         self.cores_used = self.cores_used.max(other.cores_used);
         self
     }
+
+    /// Combines two reports for tasks that ran *concurrently* (e.g. on
+    /// disjoint cores): elapsed time is the maximum of the two, not the
+    /// sum, while work (statistics) and core counts accumulate.
+    ///
+    /// Use [`TaskReport::chain`] only for back-to-back phases; chaining
+    /// concurrent reports double-counts elapsed time.
+    pub fn join_concurrent(mut self, other: &TaskReport) -> TaskReport {
+        self.cycles = self.cycles.max(other.cycles);
+        self.duration = self.duration.max(other.duration);
+        self.stats.merge(&other.stats);
+        self.cores_used += other.cores_used;
+        self
+    }
 }
+
+/// A boxed per-core kernel, as submitted to [`ApuDevice::run_parallel`].
+pub type CoreTask<'t> = Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + 't>;
 
 /// A simulated APU platform: host-visible device DRAM, shared L3, and the
 /// APU cores.
@@ -72,7 +89,19 @@ impl ApuDevice {
     /// [`SimConfig::validate`]); the default configurations are always
     /// valid.
     pub fn new(cfg: SimConfig) -> Self {
-        cfg.validate().expect("invalid simulator configuration");
+        ApuDevice::try_new(cfg).expect("invalid simulator configuration")
+    }
+
+    /// Creates a device, reporting configuration errors instead of
+    /// panicking — the entry point for serving setups where the
+    /// configuration comes from user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimConfig::validate`] error for an inconsistent
+    /// configuration.
+    pub fn try_new(cfg: SimConfig) -> Result<Self> {
+        cfg.validate()?;
         let cores = (0..cfg.cores)
             .map(|i| ApuCore::new(i, cfg.clone()))
             .collect();
@@ -83,12 +112,12 @@ impl ApuDevice {
             // store so paper-scale (multi-GB) configurations stay cheap.
             Dram::new_virtual(cfg.l4_bytes)
         };
-        ApuDevice {
+        Ok(ApuDevice {
             l4,
             l3: vec![0; cfg.l3_bytes],
             cores,
             cfg,
-        }
+        })
     }
 
     /// The device configuration.
@@ -144,22 +173,55 @@ impl ApuDevice {
         self.l4.free(handle)
     }
 
-    /// Copies bytes host → device (`gdl_mem_cpy_to_dev`).
+    /// Copies elements of any [`Pod`] type host → device
+    /// (`gdl_mem_cpy_to_dev`). Elements are stored little-endian, so
+    /// `copy_to_device::<u8>` writes raw bytes and `copy_to_device::<u16>`
+    /// matches the device's native 16-bit element layout.
     ///
     /// # Errors
     ///
     /// Fails on stale handles or size overruns.
-    pub fn write_bytes(&mut self, handle: MemHandle, data: &[u8]) -> Result<()> {
-        self.l4.write(handle, data)
+    pub fn copy_to_device<T: Pod>(&mut self, handle: MemHandle, data: &[T]) -> Result<()> {
+        let byte_len = data.len() * T::SIZE;
+        if !self.l4.is_backed() {
+            // Virtual DRAM: validate without materializing a byte copy
+            // (paper-scale uploads would otherwise allocate gigabytes).
+            return self.l4.validate(handle.truncated(byte_len)?, byte_len);
+        }
+        self.l4.write(handle, &pods_to_bytes(data))
     }
 
-    /// Copies bytes device → host (`gdl_mem_cpy_from_dev`).
+    /// Copies elements of any [`Pod`] type device → host
+    /// (`gdl_mem_cpy_from_dev`).
     ///
     /// # Errors
     ///
     /// Fails on stale handles or size overruns.
+    pub fn copy_from_device<T: Pod>(&self, handle: MemHandle, out: &mut [T]) -> Result<()> {
+        let mut bytes = vec![0u8; out.len() * T::SIZE];
+        self.l4.read(handle, &mut bytes)?;
+        bytes_to_pods(&bytes, out);
+        Ok(())
+    }
+
+    /// Copies bytes host → device.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    #[deprecated(since = "0.2.0", note = "use `copy_to_device::<u8>` instead")]
+    pub fn write_bytes(&mut self, handle: MemHandle, data: &[u8]) -> Result<()> {
+        self.copy_to_device(handle, data)
+    }
+
+    /// Copies bytes device → host.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or size overruns.
+    #[deprecated(since = "0.2.0", note = "use `copy_from_device::<u8>` instead")]
     pub fn read_bytes(&self, handle: MemHandle, out: &mut [u8]) -> Result<()> {
-        self.l4.read(handle, out)
+        self.copy_from_device(handle, out)
     }
 
     /// Copies u16 elements host → device.
@@ -167,15 +229,9 @@ impl ApuDevice {
     /// # Errors
     ///
     /// Fails on stale handles or size overruns.
+    #[deprecated(since = "0.2.0", note = "use `copy_to_device::<u16>` instead")]
     pub fn write_u16s(&mut self, handle: MemHandle, data: &[u16]) -> Result<()> {
-        if !self.l4.is_backed() {
-            // Virtual DRAM: validate without materializing a byte copy
-            // (paper-scale uploads would otherwise allocate gigabytes).
-            return self
-                .l4
-                .validate(handle.truncated(data.len() * 2)?, data.len() * 2);
-        }
-        self.l4.write(handle, &u16s_to_bytes(data))
+        self.copy_to_device(handle, data)
     }
 
     /// Copies u16 elements device → host.
@@ -183,11 +239,9 @@ impl ApuDevice {
     /// # Errors
     ///
     /// Fails on stale handles or size overruns.
+    #[deprecated(since = "0.2.0", note = "use `copy_from_device::<u16>` instead")]
     pub fn read_u16s(&self, handle: MemHandle, out: &mut [u16]) -> Result<()> {
-        let mut bytes = vec![0u8; out.len() * 2];
-        self.l4.read(handle, &mut bytes)?;
-        out.copy_from_slice(&bytes_to_u16s(&bytes));
-        Ok(())
+        self.copy_from_device(handle, out)
     }
 
     /// Device DRAM capacity and live bytes, for capacity planning.
@@ -258,10 +312,7 @@ impl ApuDevice {
     ///
     /// Fails if more tasks than cores are supplied, or propagates the
     /// first kernel error.
-    pub fn run_parallel<'t>(
-        &mut self,
-        tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + 't>>,
-    ) -> Result<TaskReport> {
+    pub fn run_parallel<'t>(&mut self, tasks: Vec<CoreTask<'t>>) -> Result<TaskReport> {
         if tasks.is_empty() {
             return Err(Error::InvalidArg("no tasks supplied".into()));
         }
@@ -397,13 +448,68 @@ mod tests {
     fn host_roundtrip_u16() {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
         let h = dev.alloc_u16(10).unwrap();
-        dev.write_u16s(h, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        dev.copy_to_device(h, &[1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+            .unwrap();
         let mut out = vec![0u16; 10];
-        dev.read_u16s(h, &mut out).unwrap();
+        dev.copy_from_device(h, &mut out).unwrap();
         assert_eq!(out[9], 10);
         let (live, cap) = dev.l4_usage();
         assert_eq!(live, 512);
         assert_eq!(cap, 1 << 20);
+    }
+
+    #[test]
+    fn host_roundtrip_generic_pod() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let h = dev.alloc(6 * 8).unwrap();
+        let vals = [-1i64, 0, 1, i64::MAX, i64::MIN, 42];
+        dev.copy_to_device(h, &vals).unwrap();
+        let mut out = [0i64; 6];
+        dev.copy_from_device(h, &mut out).unwrap();
+        assert_eq!(out, vals);
+        // Oversized transfers are still rejected.
+        assert!(dev.copy_to_device(h, &[0i64; 7]).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_copy_wrappers_still_work() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let h = dev.alloc_u16(4).unwrap();
+        dev.write_u16s(h, &[10, 20, 30, 40]).unwrap();
+        let mut out = vec![0u16; 4];
+        dev.read_u16s(h, &mut out).unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+
+        let hb = dev.alloc(4).unwrap();
+        dev.write_bytes(hb, &[1, 2, 3, 4]).unwrap();
+        let mut bytes = [0u8; 4];
+        dev.read_bytes(hb, &mut bytes).unwrap();
+        assert_eq!(bytes, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn virtual_dram_validates_without_copying() {
+        let mut dev = ApuDevice::new(
+            SimConfig::default()
+                .with_exec_mode(crate::config::ExecMode::TimingOnly)
+                .with_l4_bytes(1 << 20),
+        );
+        let h = dev.alloc_u16(8).unwrap();
+        dev.copy_to_device(h, &[7u16; 8]).unwrap();
+        assert!(dev.copy_to_device(h, &[7u16; 9]).is_err());
+        // Reads come back zeroed on the unbacked store.
+        let mut out = [1u16; 8];
+        dev.copy_from_device(h, &mut out).unwrap();
+        assert_eq!(out, [0u16; 8]);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_configs() {
+        let mut cfg = SimConfig::default();
+        cfg.cores = 0;
+        assert!(matches!(ApuDevice::try_new(cfg), Err(Error::InvalidArg(_))));
+        assert!(ApuDevice::try_new(SimConfig::default().with_l4_bytes(1 << 20)).is_ok());
     }
 
     #[test]
@@ -424,6 +530,30 @@ mod tests {
         let c = a.clone().chain(&b);
         assert_eq!(c.cycles, a.cycles + b.cycles);
         assert_eq!(c.stats.commands, 2);
+    }
+
+    #[test]
+    fn task_report_join_concurrent_takes_max_time() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let a = dev
+            .run_task(|ctx| {
+                ctx.core_mut().charge(crate::timing::VecOp::DivS16); // long
+                Ok(())
+            })
+            .unwrap();
+        let b = dev
+            .run_task_on(1, |ctx| {
+                ctx.core_mut().charge(crate::timing::VecOp::Or16); // short
+                Ok(())
+            })
+            .unwrap();
+        let j = a.clone().join_concurrent(&b);
+        assert_eq!(j.cycles, a.cycles.max(b.cycles));
+        assert_eq!(j.duration, a.duration.max(b.duration));
+        assert_eq!(j.cores_used, 2);
+        assert_eq!(j.stats.commands, 2);
+        // Chaining the same two reports double-counts elapsed time.
+        assert!(a.clone().chain(&b).cycles > j.cycles);
     }
 
     #[test]

@@ -518,14 +518,14 @@ mod tests {
         let src = dev.alloc_u16(n).unwrap();
         let dst = dev.alloc_u16(n).unwrap();
         let data: Vec<u16> = (0..n as u32).map(|i| (i % 65536) as u16).collect();
-        dev.write_u16s(src, &data).unwrap();
+        dev.copy_to_device(src, &data).unwrap();
         dev.run_task(|ctx| {
             ctx.dma_l4_to_l1(Vmr::new(0), src)?;
             ctx.dma_l1_to_l4(dst, Vmr::new(0))
         })
         .unwrap();
         let mut out = vec![0u16; n];
-        dev.read_u16s(dst, &mut out).unwrap();
+        dev.copy_from_device(dst, &mut out).unwrap();
         assert_eq!(out, data);
     }
 
@@ -583,7 +583,7 @@ mod tests {
         let n = dev.config().vr_len;
         let src = dev.alloc_u16(256).unwrap();
         let row: Vec<u16> = (0..256).map(|i| i as u16).collect();
-        dev.write_u16s(src, &row).unwrap();
+        dev.copy_to_device(src, &row).unwrap();
         // Duplicate the 512-byte row across the whole staged vector.
         let chunks: Vec<ChunkCopy> = (0..n * 2 / 512)
             .map(|i| ChunkCopy::new(0, i * 512, 512))
@@ -602,7 +602,7 @@ mod tests {
         let mut dev = device();
         let src = dev.alloc_u16(16).unwrap();
         let dst = dev.alloc_u16(16).unwrap();
-        dev.write_u16s(src, &(0..16).map(|i| 100 + i as u16).collect::<Vec<_>>())
+        dev.copy_to_device(src, &(0..16).map(|i| 100 + i as u16).collect::<Vec<_>>())
             .unwrap();
         let report = dev
             .run_task(|ctx| {
@@ -611,7 +611,7 @@ mod tests {
             })
             .unwrap();
         let mut out = vec![0u16; 16];
-        dev.read_u16s(dst, &mut out).unwrap();
+        dev.copy_from_device(dst, &mut out).unwrap();
         assert_eq!(&out[..2], &[102, 103]);
         // 2×57 + 2×61
         assert_eq!(report.cycles.get(), 2 * 57 + 2 * 61);
@@ -635,7 +635,7 @@ mod tests {
         let mut dev = device();
         let table: Vec<u16> = (0..100).map(|i| 1000 + i as u16).collect();
         let src = dev.alloc_u16(100).unwrap();
-        dev.write_u16s(src, &table).unwrap();
+        dev.copy_to_device(src, &table).unwrap();
         let report = dev
             .run_task(|ctx| {
                 ctx.dma_l4_to_l3(0, src, 200)?;

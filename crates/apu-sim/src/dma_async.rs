@@ -247,7 +247,7 @@ mod tests {
         let mut dev = device();
         let n = dev.config().vr_len;
         let h = dev.alloc_u16(n).unwrap();
-        dev.write_u16s(h, &vec![0xABCD; n]).unwrap();
+        dev.copy_to_device(h, &vec![0xABCDu16; n]).unwrap();
         dev.run_task(|ctx| {
             let t = ctx.dma_l4_to_l1_async(Vmr::new(5), h)?;
             ctx.dma_wait(t);

@@ -59,6 +59,13 @@ pub enum Error {
     InvalidArg(String),
     /// A device kernel reported failure.
     TaskFailed(String),
+    /// A command-queue submission was rejected by admission control.
+    QueueFull {
+        /// Tasks already pending in the queue.
+        pending: usize,
+        /// The queue's admission bound.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -97,6 +104,10 @@ impl fmt::Display for Error {
             }
             Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             Error::TaskFailed(msg) => write!(f, "device task failed: {msg}"),
+            Error::QueueFull { pending, capacity } => write!(
+                f,
+                "device queue full: {pending} tasks pending (admission bound {capacity})"
+            ),
         }
     }
 }
@@ -125,6 +136,14 @@ mod tests {
             kind: "VR",
         };
         assert!(e.to_string().contains("25"));
+
+        let e = Error::QueueFull {
+            pending: 128,
+            capacity: 128,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("queue full"));
+        assert!(msg.contains("128"));
     }
 
     #[test]

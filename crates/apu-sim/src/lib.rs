@@ -39,8 +39,8 @@
 //! let a = dev.alloc_u16(n)?;
 //! let b = dev.alloc_u16(n)?;
 //! let out = dev.alloc_u16(n)?;
-//! dev.write_u16s(a, &vec![3u16; n])?;
-//! dev.write_u16s(b, &vec![4u16; n])?;
+//! dev.copy_to_device(a, &vec![3u16; n])?;
+//! dev.copy_to_device(b, &vec![4u16; n])?;
 //!
 //! // Device side: DMA both vectors to L1, load to VRs, add, store back.
 //! let report = dev.run_task(|ctx| {
@@ -59,7 +59,7 @@
 //! })?;
 //!
 //! let mut result = vec![0u16; n];
-//! dev.read_u16s(out, &mut result)?;
+//! dev.copy_from_device(out, &mut result)?;
 //! assert!(result.iter().all(|&v| v == 7));
 //! assert!(report.cycles.get() > 0);
 //! # Ok(())
@@ -78,17 +78,19 @@ pub mod dma_async;
 pub mod error;
 pub mod mem;
 pub mod micro;
+pub mod queue;
 pub mod stats;
 pub mod timing;
 
 pub use clock::{Cycles, Frequency};
 pub use config::{ExecMode, SimConfig};
 pub use core::{ApuCore, Marker, Vmr, Vr};
-pub use device::{ApuContext, ApuDevice, TaskReport};
+pub use device::{ApuContext, ApuDevice, CoreTask, TaskReport};
 pub use dma_async::DmaTicket;
 pub use error::Error;
-pub use mem::MemHandle;
+pub use mem::{MemHandle, Pod};
 pub use micro::{BitOp, LatchSrc, MicroOp, SliceMask, WriteSrc};
+pub use queue::{Completion, DeviceQueue, Priority, QueueConfig, QueueStats, TaskHandle};
 pub use stats::VcuStats;
 pub use timing::{DeviceTiming, VecOp};
 

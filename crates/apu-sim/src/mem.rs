@@ -369,6 +369,66 @@ pub(crate) fn bounds_check(
     }
 }
 
+/// A plain-old-data element that can cross the host–device boundary.
+///
+/// Device DRAM stores raw little-endian bytes; `Pod` defines the
+/// conversion for each transferable element type so the host API can be
+/// generic ([`crate::ApuDevice::copy_to_device`] /
+/// [`crate::ApuDevice::copy_from_device`]) instead of one method pair
+/// per type. Implemented for the fixed-width integer and float
+/// primitives; all conversions are explicit, no `unsafe` transmutes.
+pub trait Pod: Copy {
+    /// Serialized size of one element in bytes.
+    const SIZE: usize;
+
+    /// Writes the little-endian encoding into `out` (exactly
+    /// [`Pod::SIZE`] bytes).
+    fn write_le(self, out: &mut [u8]);
+
+    /// Decodes one element from exactly [`Pod::SIZE`] little-endian
+    /// bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("caller passes SIZE bytes"))
+            }
+        }
+    )*};
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Serializes a `Pod` slice to its little-endian byte representation.
+pub fn pods_to_bytes<T: Pod>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * T::SIZE];
+    for (chunk, v) in out.chunks_exact_mut(T::SIZE).zip(values) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Decodes little-endian bytes into `out`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != out.len() * T::SIZE`.
+pub fn bytes_to_pods<T: Pod>(bytes: &[u8], out: &mut [T]) {
+    assert_eq!(bytes.len(), out.len() * T::SIZE, "length mismatch");
+    for (chunk, v) in bytes.chunks_exact(T::SIZE).zip(out.iter_mut()) {
+        *v = T::read_le(chunk);
+    }
+}
+
 /// Converts a `u16` slice to its little-endian byte representation.
 pub fn u16s_to_bytes(values: &[u16]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 2);
@@ -384,7 +444,7 @@ pub fn u16s_to_bytes(values: &[u16]) -> Vec<u8> {
 ///
 /// Panics if `bytes.len()` is odd.
 pub fn bytes_to_u16s(bytes: &[u8]) -> Vec<u16> {
-    assert!(bytes.len() % 2 == 0, "byte length must be even");
+    assert!(bytes.len().is_multiple_of(2), "byte length must be even");
     bytes
         .chunks_exact(2)
         .map(|c| u16::from_le_bytes([c[0], c[1]]))
@@ -476,6 +536,25 @@ mod tests {
     fn u16_byte_conversions_roundtrip() {
         let v = vec![0u16, 1, 0xBEEF, u16::MAX];
         assert_eq!(bytes_to_u16s(&u16s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn pod_conversions_roundtrip() {
+        let v = vec![-3i32, 0, 7, i32::MAX, i32::MIN];
+        let bytes = pods_to_bytes(&v);
+        assert_eq!(bytes.len(), v.len() * 4);
+        let mut out = vec![0i32; v.len()];
+        bytes_to_pods(&bytes, &mut out);
+        assert_eq!(out, v);
+
+        let f = vec![0.5f64, -1.25, f64::MAX];
+        let mut fout = vec![0.0f64; f.len()];
+        bytes_to_pods(&pods_to_bytes(&f), &mut fout);
+        assert_eq!(fout, f);
+
+        // u16 Pod encoding matches the legacy helper byte-for-byte.
+        let u = vec![0u16, 1, 0xBEEF, u16::MAX];
+        assert_eq!(pods_to_bytes(&u), u16s_to_bytes(&u));
     }
 
     #[test]

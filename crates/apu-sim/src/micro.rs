@@ -289,6 +289,9 @@ impl MicroState {
     /// Panics if a referenced VR index is out of range or a VR length does
     /// not match the column count; the callers in [`crate::core`] validate
     /// indices before issue.
+    // Index loops stay: each arm writes `self.rl[i]` while reading
+    // `self.latch_view(..)`, which a zipped iterator cannot borrow-split.
+    #[allow(clippy::needless_range_loop)]
     pub fn execute(&mut self, vrs: &mut [Vec<u16>], op: &MicroOp) {
         let n = self.columns();
         match op {

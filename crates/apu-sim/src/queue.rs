@@ -1,0 +1,779 @@
+//! Device command queue: a serving engine over the simulated APU.
+//!
+//! The paper's host runtime drives the APU through a GDL command queue —
+//! tasks are enqueued, dispatched to cores, and retired asynchronously.
+//! This module provides that layer for the simulator: clients open a
+//! [`DeviceQueue`] over an [`ApuDevice`], submit boxed jobs with a
+//! [`Priority`] and an arrival timestamp, and receive a [`TaskHandle`].
+//! The scheduler replays jobs on the simulated device and places them on
+//! a discrete-event *virtual timeline* with per-core availability, so a
+//! stream of queries reports realistic queueing delay, service time, and
+//! end-to-end latency without wall-clock sleeps.
+//!
+//! Scheduling model:
+//!
+//! * jobs become eligible at their arrival time (open-loop streams pass
+//!   Poisson timestamps; closed-loop callers use [`DeviceQueue::submit`],
+//!   which arrives "now"),
+//! * among eligible jobs the highest [`Priority`] wins, FIFO within a
+//!   priority class,
+//! * a job that used `c` cores (see [`TaskReport::cores_used`]) occupies
+//!   the `c` earliest-available cores from its start until its finish,
+//! * admission control bounds the backlog: submissions beyond
+//!   [`QueueConfig::max_pending`] are rejected with [`Error::QueueFull`].
+//!
+//! Per-queue counters ([`QueueStats`]) mirror the [`crate::VcuStats`]
+//! style: monotone counts plus accumulated wait/service/latency and a
+//! latency reservoir for percentile reporting.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::device::{ApuContext, ApuDevice, TaskReport};
+use crate::error::Error;
+use crate::Result;
+
+/// Dispatch priority of a queued task. Lower discriminant = served first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive foreground work (interactive queries).
+    High,
+    /// Default class.
+    Normal,
+    /// Throughput-oriented background work (batch analytics).
+    Low,
+}
+
+/// Identifier of a submitted task, returned by the `submit` family and
+/// echoed in the matching [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskHandle(u64);
+
+impl TaskHandle {
+    /// The raw submission sequence number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// Configuration of a [`DeviceQueue`].
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Maximum number of not-yet-dispatched tasks; submissions beyond
+    /// this are rejected with [`Error::QueueFull`] (admission control).
+    pub max_pending: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig { max_pending: 1024 }
+    }
+}
+
+impl QueueConfig {
+    /// Sets the admission-control backlog bound.
+    #[must_use]
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+}
+
+/// Monotone per-queue counters, in the style of [`crate::VcuStats`].
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Tasks accepted by `submit`.
+    pub submitted: u64,
+    /// Tasks rejected by admission control.
+    pub rejected: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Tasks whose job returned an error.
+    pub failed: u64,
+    /// Multi-query batch jobs dispatched (see `submit_weighted`).
+    pub batches: u64,
+    /// Logical tasks folded into those batch jobs.
+    pub batched_tasks: u64,
+    /// Accumulated queueing delay (start − arrival) over completions.
+    pub total_wait: Duration,
+    /// Accumulated service time (finish − start) over completions.
+    pub total_service: Duration,
+    /// Accumulated end-to-end latency (finish − arrival).
+    pub total_latency: Duration,
+    /// Per-completion end-to-end latencies, for percentile reporting.
+    pub latency_samples: Vec<Duration>,
+    /// Core-seconds of busy time (`cores_used × service`).
+    pub busy: Duration,
+    /// Virtual time of the latest finish.
+    pub makespan: Duration,
+    /// Number of device cores the queue schedules over.
+    pub cores: usize,
+}
+
+impl QueueStats {
+    /// Mean end-to-end latency over completions, or zero when idle.
+    pub fn mean_latency(&self) -> Duration {
+        if self.completed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.completed as u32
+        }
+    }
+
+    /// Latency percentile `q` in `[0, 1]` over completed tasks (nearest
+    /// rank), or zero when no task completed.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        percentile(&self.latency_samples, q)
+    }
+
+    /// Fraction of core-time spent busy over the queue's makespan.
+    pub fn occupancy(&self) -> f64 {
+        let wall = self.makespan.as_secs_f64() * self.cores as f64;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / wall
+        }
+    }
+
+    /// Sustained completions per second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        let wall = self.makespan.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / wall
+        }
+    }
+}
+
+/// Nearest-rank percentile of a (not necessarily sorted) sample set.
+pub fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// A retired task: scheduling timestamps, the device-side [`TaskReport`],
+/// and the job's output value.
+#[derive(Debug)]
+pub struct Completion {
+    /// Handle returned at submission.
+    pub handle: TaskHandle,
+    /// Priority the task ran at.
+    pub priority: Priority,
+    /// Arrival time on the virtual timeline.
+    pub submitted_at: Duration,
+    /// Dispatch time (arrival + queueing delay).
+    pub started_at: Duration,
+    /// Retire time (`started_at` + service).
+    pub finished_at: Duration,
+    /// Device-side execution report.
+    pub report: TaskReport,
+    /// Output produced by the job; downcast with [`Completion::output`].
+    pub value: Box<dyn Any>,
+}
+
+impl Completion {
+    /// Queueing delay before dispatch.
+    pub fn wait(&self) -> Duration {
+        self.started_at - self.submitted_at
+    }
+
+    /// End-to-end latency (arrival to retire).
+    pub fn latency(&self) -> Duration {
+        self.finished_at - self.submitted_at
+    }
+
+    /// Downcasts the job output to `T`, or `None` on type mismatch.
+    pub fn output<T: Any>(&self) -> Option<&T> {
+        self.value.downcast_ref::<T>()
+    }
+
+    /// Consumes the completion, returning the job output as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] when the output has a different type.
+    pub fn into_output<T: Any>(self) -> Result<T> {
+        self.value
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| Error::InvalidArg("completion output has a different type".into()))
+    }
+}
+
+/// A queued device job: runs kernels on the device and returns the
+/// task report plus an arbitrary output value.
+pub type Job<'t> = Box<dyn FnOnce(&mut ApuDevice) -> Result<(TaskReport, Box<dyn Any>)> + 't>;
+
+struct Pending<'t> {
+    handle: TaskHandle,
+    priority: Priority,
+    arrival: Duration,
+    weight: u64,
+    job: Job<'t>,
+}
+
+/// A serving queue over a borrowed [`ApuDevice`].
+///
+/// See the [module documentation](self) for the scheduling model.
+///
+/// ```
+/// use apu_sim::{DeviceQueue, Priority, QueueConfig, ApuDevice, SimConfig, VecOp};
+///
+/// # fn main() -> Result<(), apu_sim::Error> {
+/// let mut dev = ApuDevice::try_new(SimConfig::default())?;
+/// let mut queue = DeviceQueue::new(&mut dev, QueueConfig::default());
+/// let h = queue.submit_kernel(Priority::High, |ctx| {
+///     ctx.core_mut().charge(VecOp::AddU16);
+///     Ok(())
+/// })?;
+/// let done = queue.wait(h)?;
+/// assert!(done.report.cycles.get() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeviceQueue<'d, 't> {
+    dev: &'d mut ApuDevice,
+    cfg: QueueConfig,
+    /// Submission order preserved for FIFO-within-priority.
+    pending: VecDeque<Pending<'t>>,
+    completions: Vec<Completion>,
+    /// Virtual time each core becomes free.
+    core_free_at: Vec<Duration>,
+    next_id: u64,
+    stats: QueueStats,
+}
+
+impl<'d, 't> DeviceQueue<'d, 't> {
+    /// Opens a queue over a device.
+    pub fn new(dev: &'d mut ApuDevice, cfg: QueueConfig) -> Self {
+        let cores = dev.config().cores;
+        DeviceQueue {
+            dev,
+            cfg,
+            pending: VecDeque::new(),
+            completions: Vec::new(),
+            core_free_at: vec![Duration::ZERO; cores],
+            next_id: 0,
+            stats: QueueStats {
+                cores,
+                ..QueueStats::default()
+            },
+        }
+    }
+
+    /// The underlying device (e.g. to allocate task buffers between
+    /// dispatches).
+    pub fn device_mut(&mut self) -> &mut ApuDevice {
+        self.dev
+    }
+
+    /// Tasks submitted but not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Per-queue counters so far.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Submits a job arriving "now" (at the queue's current virtual
+    /// time, so it is immediately eligible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit(&mut self, priority: Priority, job: Job<'t>) -> Result<TaskHandle> {
+        self.submit_at(priority, Duration::ZERO, job)
+    }
+
+    /// Submits a job with an explicit arrival time on the virtual
+    /// timeline (open-loop request streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_at(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit_weighted(priority, arrival, 1, job)
+    }
+
+    /// Submits a *batch* job folding `weight` logical tasks (e.g. a
+    /// VR-limited RAG retrieval batch) into one dispatch. `weight > 1`
+    /// is counted in [`QueueStats::batches`] / `batched_tasks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit, or
+    /// [`Error::InvalidArg`] for a zero weight.
+    pub fn submit_weighted(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        weight: u64,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        if weight == 0 {
+            return Err(Error::InvalidArg("batch weight must be non-zero".into()));
+        }
+        if self.pending.len() >= self.cfg.max_pending {
+            self.stats.rejected += 1;
+            return Err(Error::QueueFull {
+                pending: self.pending.len(),
+                capacity: self.cfg.max_pending,
+            });
+        }
+        let handle = TaskHandle(self.next_id);
+        self.next_id += 1;
+        self.stats.submitted += 1;
+        if weight > 1 {
+            self.stats.batches += 1;
+            self.stats.batched_tasks += weight;
+        }
+        self.pending.push_back(Pending {
+            handle,
+            priority,
+            arrival,
+            weight,
+            job,
+        });
+        Ok(handle)
+    }
+
+    /// Convenience: submits a single-core kernel (the
+    /// [`ApuDevice::run_task`] shape) arriving now, with unit output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_kernel<F>(&mut self, priority: Priority, kernel: F) -> Result<TaskHandle>
+    where
+        F: FnOnce(&mut ApuContext<'_>) -> Result<()> + 't,
+    {
+        self.submit(
+            priority,
+            Box::new(move |dev| {
+                let report = dev.run_task(kernel)?;
+                Ok((report, Box::new(()) as Box<dyn Any>))
+            }),
+        )
+    }
+
+    /// Convenience: submits a job with a typed output, boxing it for the
+    /// [`Completion`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_job<T, F>(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        job: F,
+    ) -> Result<TaskHandle>
+    where
+        T: Any,
+        F: FnOnce(&mut ApuDevice) -> Result<(TaskReport, T)> + 't,
+    {
+        self.submit_at(
+            priority,
+            arrival,
+            Box::new(move |dev| {
+                let (report, value) = job(dev)?;
+                Ok((report, Box::new(value) as Box<dyn Any>))
+            }),
+        )
+    }
+
+    /// Index (into `pending`) of the next task to dispatch: among tasks
+    /// that have arrived by the time a core frees up, the highest
+    /// priority wins, FIFO within a class; if none has arrived yet, the
+    /// earliest arrival (then priority, then FIFO) is chosen and the
+    /// timeline advances to it.
+    fn select(&self) -> Option<usize> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let horizon = self
+            .core_free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Duration::ZERO);
+        let arrived = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.arrival <= horizon)
+            .min_by_key(|(i, p)| (p.priority, *i))
+            .map(|(i, _)| i);
+        arrived.or_else(|| {
+            self.pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.arrival, p.priority, *i))
+                .map(|(i, _)| i)
+        })
+    }
+
+    /// Dispatches one task: runs its job on the device and places it on
+    /// the virtual timeline. Returns `Ok(None)` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's error; the task is consumed and counted in
+    /// [`QueueStats::failed`].
+    pub fn step(&mut self) -> Result<Option<&Completion>> {
+        let Some(idx) = self.select() else {
+            return Ok(None);
+        };
+        let task = self.pending.remove(idx).expect("selected index is valid");
+        let (report, value) = match (task.job)(self.dev) {
+            Ok(out) => out,
+            Err(e) => {
+                self.stats.failed += 1;
+                return Err(e);
+            }
+        };
+
+        // Occupy the `cores_used` earliest-available cores.
+        let c = report.cores_used.clamp(1, self.core_free_at.len());
+        let mut order: Vec<usize> = (0..self.core_free_at.len()).collect();
+        order.sort_by_key(|&i| self.core_free_at[i]);
+        let ready = self.core_free_at[order[c - 1]];
+        let start = task.arrival.max(ready);
+        let finish = start + report.duration;
+        for &i in &order[..c] {
+            self.core_free_at[i] = finish;
+        }
+
+        self.stats.completed += task.weight;
+        self.stats.total_wait += (start - task.arrival) * task.weight as u32;
+        self.stats.total_service += report.duration * task.weight as u32;
+        let latency = finish - task.arrival;
+        self.stats.total_latency += latency * task.weight as u32;
+        for _ in 0..task.weight {
+            self.stats.latency_samples.push(latency);
+        }
+        self.stats.busy += report.duration * c as u32;
+        self.stats.makespan = self.stats.makespan.max(finish);
+
+        self.completions.push(Completion {
+            handle: task.handle,
+            priority: task.priority,
+            submitted_at: task.arrival,
+            started_at: start,
+            finished_at: finish,
+            report,
+            value,
+        });
+        Ok(self.completions.last())
+    }
+
+    /// Dispatches until the given task retires and returns its
+    /// completion. Returns immediately if it already retired.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the handle is unknown or a dispatched job fails first.
+    pub fn wait(&mut self, handle: TaskHandle) -> Result<&Completion> {
+        // Completions are append-only, so scan by position to keep the
+        // borrow checker happy across `step` calls.
+        loop {
+            if let Some(pos) = self.completions.iter().position(|c| c.handle == handle) {
+                return Ok(&self.completions[pos]);
+            }
+            if self.pending.iter().any(|p| p.handle == handle) {
+                self.step()?;
+            } else {
+                return Err(Error::InvalidArg(format!(
+                    "unknown task handle {}",
+                    handle.id()
+                )));
+            }
+        }
+    }
+
+    /// Dispatches every pending task and returns all completions so far,
+    /// ordered by finish time (FIFO for ties), consuming them from the
+    /// queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first job error; earlier completions stay queued
+    /// for a later `drain`.
+    pub fn drain(&mut self) -> Result<Vec<Completion>> {
+        while !self.pending.is_empty() {
+            self.step()?;
+        }
+        let mut done = std::mem::take(&mut self.completions);
+        done.sort_by_key(|c| (c.finished_at, c.handle.id()));
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::timing::VecOp;
+
+    fn device() -> ApuDevice {
+        ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20))
+    }
+
+    fn charge_kernel(op: VecOp) -> impl FnOnce(&mut ApuContext<'_>) -> Result<()> {
+        move |ctx| {
+            ctx.core_mut().charge(op);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn kernel_roundtrip_reports_cycles() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        let done = q.wait(h).unwrap();
+        assert!(done.report.cycles.get() > 0);
+        assert_eq!(done.submitted_at, Duration::ZERO);
+        assert_eq!(done.started_at, Duration::ZERO);
+        assert_eq!(done.finished_at, done.report.duration);
+        assert!(done.output::<()>().is_some());
+        assert_eq!(q.stats().completed, 1);
+    }
+
+    #[test]
+    fn priorities_jump_the_line() {
+        // One core: dispatch order is observable through start times.
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let lo = q
+            .submit_kernel(Priority::Low, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        let hi = q
+            .submit_kernel(Priority::High, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        let done = q.drain().unwrap();
+        let pos = |h: TaskHandle| done.iter().position(|c| c.handle == h).unwrap();
+        assert!(
+            pos(hi) < pos(lo),
+            "high-priority task must dispatch before the earlier low-priority one"
+        );
+        assert!(done[pos(hi)].started_at < done[pos(lo)].started_at);
+    }
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let handles: Vec<TaskHandle> = (0..4)
+            .map(|_| {
+                q.submit_kernel(Priority::Normal, charge_kernel(VecOp::Or16))
+                    .unwrap()
+            })
+            .collect();
+        let done = q.drain().unwrap();
+        let starts: Vec<Duration> = handles
+            .iter()
+            .map(|&h| done.iter().find(|c| c.handle == h).unwrap().started_at)
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn arrivals_gate_dispatch_and_waits_accumulate() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        // Second task arrives late; the queue idles until its arrival.
+        let late = Duration::from_millis(10);
+        let a = q
+            .submit_at(
+                Priority::Normal,
+                Duration::ZERO,
+                Box::new(|dev: &mut ApuDevice| {
+                    let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                    Ok((r, Box::new(()) as Box<dyn Any>))
+                }),
+            )
+            .unwrap();
+        let b = q
+            .submit_at(
+                Priority::Normal,
+                late,
+                Box::new(|dev: &mut ApuDevice| {
+                    let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                    Ok((r, Box::new(()) as Box<dyn Any>))
+                }),
+            )
+            .unwrap();
+        let done = q.drain().unwrap();
+        let first = done.iter().find(|c| c.handle == a).unwrap();
+        let second = done.iter().find(|c| c.handle == b).unwrap();
+        assert!(first.finished_at < late, "first task fits before arrival");
+        assert_eq!(second.started_at, late, "idle queue waits for arrival");
+        assert_eq!(second.wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_full_rejects_and_counts() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_pending(2));
+        q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        let r = q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16));
+        assert!(matches!(
+            r,
+            Err(Error::QueueFull {
+                pending: 2,
+                capacity: 2
+            })
+        ));
+        assert_eq!(q.stats().rejected, 1);
+        // Draining frees capacity.
+        q.drain().unwrap();
+        assert!(q
+            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .is_ok());
+    }
+
+    #[test]
+    fn failed_jobs_propagate_and_count() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        q.submit(
+            Priority::Normal,
+            Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
+        )
+        .unwrap();
+        assert!(q.step().is_err());
+        assert_eq!(q.stats().failed, 1);
+        assert_eq!(q.stats().completed, 0);
+    }
+
+    #[test]
+    fn multi_core_jobs_occupy_multiple_cores() {
+        let mut dev = device();
+        let cores = dev.config().cores;
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        q.submit_job(Priority::Normal, Duration::ZERO, move |dev| {
+            let tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()>>> = (0..cores)
+                .map(|_| {
+                    Box::new(|ctx: &mut ApuContext<'_>| {
+                        ctx.core_mut().charge(VecOp::AddU16);
+                        Ok(())
+                    }) as _
+                })
+                .collect();
+            let r = dev.run_parallel(tasks)?;
+            Ok((r, ()))
+        })
+        .unwrap();
+        let done = q.drain().unwrap();
+        assert_eq!(done[0].report.cores_used, cores);
+        // All cores are busy until the parallel job's finish.
+        assert!((q.stats().occupancy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_submission_counts_batches() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        q.submit_weighted(
+            Priority::Normal,
+            Duration::ZERO,
+            8,
+            Box::new(|dev: &mut ApuDevice| {
+                let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                Ok((r, Box::new(()) as Box<dyn Any>))
+            }),
+        )
+        .unwrap();
+        q.drain().unwrap();
+        let s = q.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_tasks, 8);
+        assert_eq!(s.completed, 8);
+        assert_eq!(s.latency_samples.len(), 8);
+        assert!(q
+            .submit_weighted(
+                Priority::Normal,
+                Duration::ZERO,
+                0,
+                Box::new(|_: &mut ApuDevice| unreachable!()),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn typed_outputs_downcast() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit_job(Priority::Normal, Duration::ZERO, |dev| {
+                let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                Ok((r, vec![1u32, 2, 3]))
+            })
+            .unwrap();
+        q.wait(h).unwrap();
+        let done = q.drain().unwrap();
+        let v: Vec<u32> = done.into_iter().next().unwrap().into_output().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_handle_is_an_error() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        q.drain().unwrap();
+        // Handle retired and drained away: no longer known.
+        assert!(q.wait(h).is_err());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&samples, 0.0), ms(1));
+        assert_eq!(percentile(&samples, 0.5), ms(51));
+        assert_eq!(percentile(&samples, 0.99), ms(99));
+        assert_eq!(percentile(&samples, 1.0), ms(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_track_throughput_and_occupancy() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        for _ in 0..4 {
+            q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+                .unwrap();
+        }
+        q.drain().unwrap();
+        let s = q.stats();
+        assert_eq!(s.completed, 4);
+        assert!(s.throughput() > 0.0);
+        assert!(s.occupancy() > 0.0 && s.occupancy() <= 1.0);
+        assert!(s.mean_latency() > Duration::ZERO);
+        assert!(s.latency_percentile(0.5) <= s.latency_percentile(0.99));
+    }
+}

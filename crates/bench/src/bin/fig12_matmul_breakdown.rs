@@ -36,7 +36,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut base_ms = 0.0;
     for v in MatmulVariant::ALL {
-        let run = problem.run(&mut dev, v).expect(v.label());
+        let run = problem
+            .run(&mut dev, v)
+            .unwrap_or_else(|_| panic!("{}", v.label()));
         let clock = dev.config().clock;
         let ms = |c: apu_sim::Cycles| clock.cycles_to_secs(c) * 1e3;
         let total = run.report.millis();

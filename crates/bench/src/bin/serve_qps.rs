@@ -1,0 +1,111 @@
+//! Serving study: sustained throughput vs. tail latency for an
+//! open-loop Poisson query stream served through the device command
+//! queue ([`rag::RagServer`], all-opts retrieval kernel, timing-only).
+//!
+//! Each offered rate submits a seeded Poisson arrival stream; the server
+//! groups arrivals into VR-limited batches and dispatches them through
+//! the [`apu_sim::DeviceQueue`] virtual timeline, reporting sustained
+//! QPS, p50/p99 end-to-end latency, mean batch size, and device
+//! occupancy. Past saturation the sustained rate plateaus at the
+//! batch-amortized service capacity while tail latency grows with the
+//! backlog — the classic open-loop serving curve.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use cis_bench::table::{print_table, section};
+use hbm_sim::{DramSpec, MemorySystem};
+use rag::corpus::EMBED_DIM;
+use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cfg = cis_bench::parse_args();
+    let corpus_bytes = (10.0e9 * cfg.scale).max(32.0e6) as u64;
+    let spec = CorpusSpec::from_corpus_bytes(corpus_bytes);
+    let store = EmbeddingStore::size_only(spec, cfg.seed);
+    let queries_per_point = 120usize;
+
+    section(&format!(
+        "serving: open-loop Poisson stream on the {} corpus (all-opts, timing-only)",
+        cis_bench::fmt_bytes(corpus_bytes)
+    ));
+
+    // Calibrate the sweep around the device's service capacity: one
+    // full batch's amortized per-query service time sets the knee.
+    let per_query_s = {
+        let mut dev = probe_device();
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let batch: Vec<Vec<i16>> = (0..rag::MAX_BATCH).map(query).collect();
+        let r = rag::retrieve_batch(&mut dev, &mut hbm, &store, &batch, 5)
+            .expect("probe batch retrieval");
+        r.breakdown.total_ms() / 1e3 / rag::MAX_BATCH as f64
+    };
+    let capacity_qps = 1.0 / per_query_s;
+
+    let mut rows = Vec::new();
+    for &frac in &[0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5] {
+        let offered = capacity_qps * frac;
+        let mut dev = probe_device();
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+
+        // Seeded Poisson arrivals: exponential inter-arrival times by
+        // inverse CDF, identical across offered-rate runs up to scale.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut t = 0.0f64;
+        let mut rejected = 0u64;
+        for i in 0..queries_per_point {
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / offered;
+            if server.submit(Duration::from_secs_f64(t), query(i)).is_err() {
+                rejected += 1;
+            }
+        }
+        let report = server.drain().expect("serve drain");
+
+        rows.push(vec![
+            format!("{offered:.0}"),
+            format!("{:.0}", report.throughput_qps()),
+            format!("{:.2}", report.latency_percentile(0.50).as_secs_f64() * 1e3),
+            format!("{:.2}", report.latency_percentile(0.99).as_secs_f64() * 1e3),
+            format!("{:.1}", report.mean_batch_size()),
+            format!("{:.0}%", report.queue.occupancy() * 100.0),
+            format!("{rejected}"),
+        ]);
+    }
+    print_table(
+        &[
+            "offered QPS",
+            "sustained QPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "batch",
+            "busy",
+            "rejected",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "Per-query service floor {:.2} ms (full batch, amortized) -> capacity ~{:.0} QPS.",
+        per_query_s * 1e3,
+        capacity_qps
+    );
+    println!("Below the knee, latency is the batch window plus one service time;");
+    println!("past it the open-loop backlog stretches p99 while QPS saturates.");
+}
+
+fn probe_device() -> ApuDevice {
+    ApuDevice::try_new(
+        SimConfig::default()
+            .with_l4_bytes(1 << 20)
+            .with_exec_mode(ExecMode::TimingOnly),
+    )
+    .expect("default config is valid")
+}
+
+fn query(i: usize) -> Vec<i16> {
+    vec![(i as i16 % 7) - 3; EMBED_DIM]
+}

@@ -7,15 +7,14 @@ use apu_sim::{ApuDevice, SimConfig, VecOp, Vr};
 use cis_bench::table::{print_table, section};
 use gvml::prelude::*;
 
+type OpKernel = Box<dyn Fn(&mut apu_sim::ApuContext<'_>) -> apu_sim::Result<()>>;
+
 fn main() {
     let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(4 << 20));
     let t = dev.timing().clone();
     let mut rows: Vec<Vec<String>> = Vec::new();
 
-    let ops: Vec<(
-        VecOp,
-        Box<dyn Fn(&mut apu_sim::ApuContext<'_>) -> apu_sim::Result<()>>,
-    )> = vec![
+    let ops: Vec<(VecOp, OpKernel)> = vec![
         (
             VecOp::And16,
             Box::new(|c| c.core_mut().and_16(Vr::new(2), Vr::new(0), Vr::new(1))),
@@ -151,7 +150,7 @@ fn main() {
                 ctx.core_mut().l2_mut()[0..8].copy_from_slice(&dt.get().to_le_bytes());
                 Ok(())
             })
-            .expect(op.mnemonic());
+            .unwrap_or_else(|_| panic!("{}", op.mnemonic()));
         let _ = report;
         let measured = u64::from_le_bytes(dev.core(0).unwrap().l2()[0..8].try_into().unwrap());
         rows.push(vec![

@@ -172,11 +172,11 @@ impl ApuMatmul {
         // Resident tiles start at VMR 0; the opt2 LHS reuse vectors at
         // VMR_POOL.
         let ha = dev.alloc_u16(m * kw)?;
-        dev.write_u16s(ha, self.a.words())?;
+        dev.copy_to_device(ha, self.a.words())?;
         let mut bcols = self.b_t.words().to_vec();
         bcols.resize(n_tiles * l, 0);
         let hb = dev.alloc_u16(bcols.len())?;
-        dev.write_u16s(hb, &bcols)?;
+        dev.copy_to_device(hb, &bcols)?;
         let hc = dev.alloc_u16(m * n)?;
 
         let mut breakdown = StageBreakdown::default();
@@ -320,7 +320,7 @@ impl ApuMatmul {
         let l = dev.config().vr_len;
         let (m, n, kw) = (self.m(), self.n(), self.k_words());
         let kbits = self.a.cols_bits() as u16;
-        if n == 0 || l % n != 0 {
+        if n == 0 || !l.is_multiple_of(n) {
             return Err(Error::InvalidArg(format!(
                 "temporal mapping requires N ({n}) to divide the VR length ({l})"
             )));
@@ -344,7 +344,7 @@ impl ApuMatmul {
 
         // Host-side layout prep.
         let ha = dev.alloc_u16(m * kw)?;
-        dev.write_u16s(ha, self.a.words())?;
+        dev.copy_to_device(ha, self.a.words())?;
         // B in row-of-words layout: (kw × n).
         let mut brows = vec![0u16; (kw * n).max(n_bvecs * l)];
         for j in 0..n {
@@ -354,12 +354,12 @@ impl ApuMatmul {
         }
         brows.resize(n_bvecs.max(1) * l, 0);
         let hb = dev.alloc_u16(brows.len())?;
-        dev.write_u16s(hb, &brows)?;
+        dev.copy_to_device(hb, &brows)?;
         // A transposed for the lookup path.
         let hat = if lhs == TemporalLhs::Lookup {
             let at = self.a.transposed_words();
             let h = dev.alloc_u16(at.len())?;
-            dev.write_u16s(h, &at)?;
+            dev.copy_to_device(h, &at)?;
             Some(h)
         } else {
             None
@@ -493,7 +493,7 @@ impl ApuMatmul {
             return Ok(Vec::new());
         }
         let mut raw = vec![0u16; len];
-        dev.read_u16s(hc.truncated(len * 2)?, &mut raw)?;
+        dev.copy_from_device(hc.truncated(len * 2)?, &mut raw)?;
         Ok(raw.into_iter().map(|v| v as i16).collect())
     }
 }

@@ -27,7 +27,7 @@ impl BinMatrix {
     pub fn from_bits(rows: usize, cols_bits: usize, bits: &[bool]) -> Self {
         assert_eq!(bits.len(), rows * cols_bits, "bit count mismatch");
         assert!(
-            cols_bits % WORD_BITS == 0,
+            cols_bits.is_multiple_of(WORD_BITS),
             "cols_bits {cols_bits} must be a multiple of {WORD_BITS}"
         );
         let wpr = cols_bits / WORD_BITS;
@@ -52,7 +52,7 @@ impl BinMatrix {
     ///
     /// Panics if `cols_bits` is not a multiple of 16.
     pub fn random(rows: usize, cols_bits: usize, seed: u64) -> Self {
-        assert!(cols_bits % WORD_BITS == 0);
+        assert!(cols_bits.is_multiple_of(WORD_BITS));
         let mut rng = StdRng::seed_from_u64(seed);
         let wpr = cols_bits / WORD_BITS;
         let data = (0..rows * wpr).map(|_| rng.gen::<u16>()).collect();

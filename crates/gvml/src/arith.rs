@@ -206,7 +206,7 @@ impl ArithOps for ApuCore {
 
     fn div_u16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {
         self.charge(VecOp::DivU16);
-        bin_op(self, dst, a, b, |x, y| if y == 0 { 0xFFFF } else { x / y })
+        bin_op(self, dst, a, b, |x, y| x.checked_div(y).unwrap_or(0xFFFF))
     }
 
     fn div_s16(&mut self, dst: Vr, a: Vr, b: Vr) -> Result<()> {

@@ -34,7 +34,7 @@ pub trait IndexOps {
 impl IndexOps for ApuCore {
     fn create_grp_index_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()> {
         let n = self.vr_len();
-        if grp_len == 0 || n % grp_len != 0 || grp_len > 65536 {
+        if grp_len == 0 || !n.is_multiple_of(grp_len) || grp_len > 65536 {
             return Err(Error::InvalidArg(format!(
                 "group length {grp_len} must divide VR length {n} and fit u16"
             )));
@@ -68,7 +68,7 @@ impl IndexOps for ApuCore {
 
     fn create_grp_num_u16(&mut self, dst: Vr, grp_len: usize) -> Result<()> {
         let n = self.vr_len();
-        if grp_len == 0 || n % grp_len != 0 || n / grp_len > 65536 {
+        if grp_len == 0 || !n.is_multiple_of(grp_len) || n / grp_len > 65536 {
             return Err(Error::InvalidArg(format!(
                 "group length {grp_len} invalid for VR length {n}"
             )));

@@ -145,7 +145,7 @@ trait BankCross {
 impl BankCross for ApuCore {
     fn charge_bank_crossing(&mut self, subgrp_len: usize) {
         let be = bank_elems(self);
-        if subgrp_len % be != 0 && be % subgrp_len != 0 {
+        if !subgrp_len.is_multiple_of(be) && !be.is_multiple_of(subgrp_len) {
             let penalty = self.config().timing.bank_cross_penalty;
             self.charge_cycles(
                 apu_sim::core::CycleClass::Compute,
@@ -156,7 +156,11 @@ impl BankCross for ApuCore {
 }
 
 fn validate_subgrp(n: usize, subgrp_len: usize, grp_len: usize) -> Result<()> {
-    if subgrp_len == 0 || grp_len == 0 || grp_len % subgrp_len != 0 || n % grp_len != 0 {
+    if subgrp_len == 0
+        || grp_len == 0
+        || !grp_len.is_multiple_of(subgrp_len)
+        || !n.is_multiple_of(grp_len)
+    {
         return Err(Error::InvalidArg(format!(
             "subgroup {subgrp_len} must divide group {grp_len}, which must divide VR length {n}"
         )));

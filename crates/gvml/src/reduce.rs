@@ -42,7 +42,7 @@ fn log2_exact(x: usize) -> Option<u32> {
 
 /// The intra-VR shift cost for one reduction stage of span `m`.
 fn stage_shift_cycles(t: &DeviceTiming, m: usize) -> u64 {
-    if m % 4 == 0 {
+    if m.is_multiple_of(4) {
         t.shift_bank(m / 4).get()
     } else {
         NEIGHBOUR_SHIFT_PER_ELEM * m as u64
@@ -101,7 +101,7 @@ fn validate(n: usize, s: usize, r: usize) -> Result<()> {
             "subgroup {s} and group {r} must be powers of two"
         )));
     }
-    if s > r || r > n || n % r != 0 {
+    if s > r || r > n || !n.is_multiple_of(r) {
         return Err(Error::InvalidArg(format!(
             "need subgroup {s} <= group {r} <= VR length {n} with group dividing length"
         )));

@@ -77,7 +77,7 @@ impl ShiftOps for ApuCore {
             )));
         }
         let t = &self.config().timing;
-        let cost = if k % 4 == 0 {
+        let cost = if k.is_multiple_of(4) {
             t.shift_bank(k / 4)
         } else {
             t.shift_e(k)

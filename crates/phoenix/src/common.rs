@@ -2,7 +2,7 @@
 //! configuration, seeded text generation, tiling helpers, and the
 //! multi-core tile scheduler.
 
-use apu_sim::{ApuContext, ApuDevice, TaskReport};
+use apu_sim::{ApuContext, ApuDevice, CoreTask, TaskReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -169,15 +169,14 @@ where
     let ranges = split_ranges(n_tiles, cores);
     let mut partials: Vec<P> = (0..cores).map(|_| P::default()).collect();
     let work = &work;
-    let tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + '_>> = partials
+    let tasks: Vec<CoreTask<'_>> = partials
         .iter_mut()
         .zip(ranges)
         .map(|(slot, (start, end))| {
-            let f: Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + '_> =
-                Box::new(move |ctx: &mut ApuContext<'_>| {
-                    *slot = work(ctx, start, end)?;
-                    Ok(())
-                });
+            let f: CoreTask<'_> = Box::new(move |ctx: &mut ApuContext<'_>| {
+                *slot = work(ctx, start, end)?;
+                Ok(())
+            });
             f
         })
         .collect();
@@ -219,9 +218,7 @@ where
             partials.push(h.join().expect("worker panicked"));
         }
     });
-    partials
-        .into_iter()
-        .fold(P::default(), |acc, p| reduce(acc, p))
+    partials.into_iter().fold(P::default(), reduce)
 }
 
 #[cfg(test)]

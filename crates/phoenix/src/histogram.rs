@@ -18,7 +18,7 @@
 //! * **opt3** (broadcast layout): no broadcast tables exist here; no
 //!   effect, as in the paper.
 
-use apu_sim::{ApuDevice, TaskReport, Vmr, Vr};
+use apu_sim::{ApuDevice, DeviceQueue, Priority, TaskHandle, TaskReport, Vmr, Vr};
 use gvml::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,13 +106,13 @@ pub fn apu(dev: &mut ApuDevice, data: &[u8], opts: OptConfig) -> Result<(Histogr
         let mut padded = data.to_vec();
         padded.resize(n_tiles * pixels_per_tile, 0);
         let h = dev.alloc(padded.len())?;
-        dev.write_bytes(h, &padded)?;
+        dev.copy_to_device(h, &padded)?;
         h
     } else {
         let mut words: Vec<u16> = data.iter().map(|&b| b as u16).collect();
         words.resize(n_tiles * pixels_per_tile, 0);
         let h = dev.alloc_u16(words.len())?;
-        dev.write_u16s(h, &words)?;
+        dev.copy_to_device(h, &words)?;
         h
     };
     let pad = n_tiles * pixels_per_tile - data.len();
@@ -197,6 +197,27 @@ pub fn apu(dev: &mut ApuDevice, data: &[u8], opts: OptConfig) -> Result<(Histogr
     Ok((hist, report))
 }
 
+/// Submits the histogram workload through a device command queue
+/// instead of running it synchronously: the returned handle retires via
+/// [`DeviceQueue::wait`] / [`DeviceQueue::drain`] with a [`Histogram`]
+/// output, letting analytics batch work share the device with serving
+/// traffic at a chosen [`Priority`].
+///
+/// # Errors
+///
+/// Fails when the queue's admission control rejects the submission.
+pub fn enqueue<'t>(
+    queue: &mut DeviceQueue<'_, 't>,
+    priority: Priority,
+    data: &'t [u8],
+    opts: OptConfig,
+) -> Result<TaskHandle> {
+    queue.submit_job(priority, std::time::Duration::ZERO, move |dev| {
+        let (hist, report) = apu(dev, data, opts)?;
+        Ok((report, hist))
+    })
+}
+
 /// Analytical-framework twin of the all-opts kernel (used for Table 7).
 pub fn model(est: &mut cis_model::LatencyEstimator, bytes: usize, opts: OptConfig) {
     let l = 32 * 1024;
@@ -264,6 +285,18 @@ mod tests {
         let (h, report) = apu(&mut dev, &data, OptConfig::none()).unwrap();
         assert_eq!(h, cpu(&data));
         assert!(report.cycles.get() > 0);
+    }
+
+    #[test]
+    fn enqueued_histogram_matches_cpu() {
+        let data = generate(40_000, 5);
+        let mut dev = device();
+        let mut queue = DeviceQueue::new(&mut dev, apu_sim::QueueConfig::default());
+        let handle = enqueue(&mut queue, Priority::Low, &data, OptConfig::all()).unwrap();
+        let done = queue.wait(handle).unwrap();
+        assert!(done.report.cycles.get() > 0);
+        let hist = done.output::<Histogram>().unwrap();
+        assert_eq!(*hist, cpu(&data));
     }
 
     #[test]

@@ -159,9 +159,9 @@ fn cpu_with_threads(input: &KmeansInput, threads: usize) -> KmeansOutput {
             }
         }
         for c in 0..input.k {
-            if counts[c] > 0 {
-                for dim in 0..dims {
-                    centroids[c][dim] = (sums[c][dim] / counts[c]) as u16;
+            for dim in 0..dims {
+                if let Some(mean) = sums[c][dim].checked_div(counts[c]) {
+                    centroids[c][dim] = mean as u16;
                 }
             }
         }
@@ -207,7 +207,7 @@ pub fn apu(
     let n = input.n_points();
     let dims = input.dims();
     let k = input.k;
-    if n % l != 0 {
+    if !n.is_multiple_of(l) {
         return Err(Error::InvalidArg(format!(
             "point count {n} must be a multiple of the VR length {l}"
         )));
@@ -237,11 +237,11 @@ pub fn apu(
             let plane: Vec<u16> = (0..n)
                 .map(|p| lo[p] | (hi.map_or(0, |h| h[p]) << 8))
                 .collect();
-            dev.write_u16s(h_coords.offset_by(pair * n * 2)?.truncated(n * 2)?, &plane)?;
+            dev.copy_to_device(h_coords.offset_by(pair * n * 2)?.truncated(n * 2)?, &plane)?;
         }
     } else {
         for (dim, coord) in input.coords.iter().enumerate() {
-            dev.write_u16s(h_coords.offset_by(dim * n * 2)?.truncated(n * 2)?, coord)?;
+            dev.copy_to_device(h_coords.offset_by(dim * n * 2)?.truncated(n * 2)?, coord)?;
         }
     }
     let h_assign = dev.alloc_u16(n)?;
@@ -320,7 +320,7 @@ pub fn apu(
                     ctx.core_mut().eq_imm_16(M1, VR_BESTC, c as u16)?;
                     let cnt = ctx.core_mut().count_m(M1)?;
                     counts[c] += cnt as u64;
-                    for dim in 0..dims {
+                    for (dim, sum) in sums[c].iter_mut().enumerate() {
                         {
                             let core = ctx.core_mut();
                             core.cpy_imm_16(VR_T, 0)?;
@@ -328,7 +328,7 @@ pub fn apu(
                             core.add_subgrp_s16(VR_T, VR_T, SG_SUM, SG_SUM)?;
                         }
                         let heads = ctx.core_mut().extract_marked(VR_T, M_HEADS, l / SG_SUM)?;
-                        sums[c][dim] += heads.iter().map(|&(_, v)| v as u64).sum::<u64>();
+                        *sum += heads.iter().map(|&(_, v)| v as u64).sum::<u64>();
                     }
                 }
             }
@@ -348,9 +348,9 @@ pub fn apu(
         }
         if dev.config().exec_mode.is_functional() {
             for c in 0..k {
-                if counts[c] > 0 {
-                    for dim in 0..dims {
-                        centroids[c][dim] = (sums[c][dim] / counts[c]) as u16;
+                for dim in 0..dims {
+                    if let Some(mean) = sums[c][dim].checked_div(counts[c]) {
+                        centroids[c][dim] = mean as u16;
                     }
                 }
             }
@@ -364,7 +364,7 @@ pub fn apu(
     // Read back the final assignments.
     let assignments = if dev.config().exec_mode.is_functional() {
         let mut a = vec![0u16; n];
-        dev.read_u16s(h_assign, &mut a)?;
+        dev.copy_from_device(h_assign, &mut a)?;
         a
     } else {
         Vec::new()

@@ -152,7 +152,7 @@ pub fn apu(
         let mut bytes: Vec<u8> = points.iter().map(|&(x, y)| x | (y << 4)).collect();
         bytes.resize(n_tiles * points_per_tile, 0);
         let h = dev.alloc(bytes.len())?;
-        dev.write_bytes(h, &bytes)?;
+        dev.copy_to_device(h, &bytes)?;
         h
     } else {
         let mut words: Vec<u16> = Vec::with_capacity(points.len() * 2);
@@ -162,7 +162,7 @@ pub fn apu(
         }
         words.resize(n_tiles * l, 0);
         let h = dev.alloc_u16(words.len())?;
-        dev.write_u16s(h, &words)?;
+        dev.copy_to_device(h, &words)?;
         h
     };
 
@@ -250,7 +250,7 @@ pub fn apu(
                 for s in 0..NSTATS {
                     let off = (core_id * flush_stride + f * NSTATS * l + s * l) * 2;
                     let mut v = vec![0u16; l];
-                    dev.read_u16s(h_flush.offset_by(off)?.truncated(l * 2)?, &mut v)?;
+                    dev.copy_from_device(h_flush.offset_by(off)?.truncated(l * 2)?, &mut v)?;
                     let total: u64 = v.iter().map(|&x| x as u64).sum();
                     match s {
                         0 => stats.sx += total,

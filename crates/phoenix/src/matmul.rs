@@ -182,7 +182,7 @@ fn apu_inner(
     // loaded once, when the row cursor first enters it.
 
     let ha = dev.alloc_u16(m * k)?;
-    dev.write_u16s(ha, &a.data)?;
+    dev.copy_to_device(ha, &a.data)?;
     // B tiles: column-major blocks, each tile packs cols_per_tile columns
     // of K elements.
     let mut bcols = vec![0u16; n_tiles * l];
@@ -192,7 +192,7 @@ fn apu_inner(
         }
     }
     let hb = dev.alloc_u16(bcols.len())?;
-    dev.write_u16s(hb, &bcols)?;
+    dev.copy_to_device(hb, &bcols)?;
     let hc = dev.alloc_u16(m * n)?;
 
     let report = dev.run_task(|ctx| {
@@ -236,8 +236,11 @@ fn apu_inner(
                     // rows arrive in order: advance the resident staging
                     // register by the cheap incremental bank shift
                     if off > a_stage_off {
-                        ctx.core_mut()
-                            .shift_elements(VR_STAGE, off - a_stage_off, ShiftDir::TowardHead)?;
+                        ctx.core_mut().shift_elements(
+                            VR_STAGE,
+                            off - a_stage_off,
+                            ShiftDir::TowardHead,
+                        )?;
                         a_stage_off = off;
                     }
                 } else {
@@ -282,7 +285,7 @@ fn apu_temporal(
 ) -> Result<(Vec<u16>, TaskReport)> {
     let l = dev.config().vr_len;
     let (m, k, n) = (a.rows, a.cols, b.cols);
-    if n == 0 || l % n != 0 {
+    if n == 0 || !l.is_multiple_of(n) {
         return Err(Error::InvalidArg(format!(
             "temporal mapping requires N ({n}) to divide the VR length ({l})"
         )));
@@ -305,11 +308,11 @@ fn apu_temporal(
     let n_bvecs = (k * n).div_ceil(l);
 
     let ha = dev.alloc_u16(m * k)?;
-    dev.write_u16s(ha, &a.data)?;
+    dev.copy_to_device(ha, &a.data)?;
     let mut brows = b.data.clone();
     brows.resize(n_bvecs.max(1) * l, 0);
     let hb = dev.alloc_u16(brows.len())?;
-    dev.write_u16s(hb, &brows)?;
+    dev.copy_to_device(hb, &brows)?;
     // A transposed (k × m) for lookup broadcasting.
     let hat = if opts.broadcast_layout {
         let mut at = vec![0u16; k * m];
@@ -319,7 +322,7 @@ fn apu_temporal(
             }
         }
         let h = dev.alloc_u16(at.len())?;
-        dev.write_u16s(h, &at)?;
+        dev.copy_to_device(h, &at)?;
         Some(h)
     } else {
         None
@@ -360,8 +363,11 @@ fn apu_temporal(
                 }
                 // consecutive k: one cheap incremental n-element shift
                 if off > b_stage_off {
-                    ctx.core_mut()
-                        .shift_elements(VR_STAGE, off - b_stage_off, ShiftDir::TowardHead)?;
+                    ctx.core_mut().shift_elements(
+                        VR_STAGE,
+                        off - b_stage_off,
+                        ShiftDir::TowardHead,
+                    )?;
                     b_stage_off = off;
                 }
                 ctx.core_mut().cpy_subgrp_16(VR_B, VR_STAGE, n, l)?;
@@ -439,7 +445,7 @@ fn read_c(dev: &ApuDevice, hc: apu_sim::MemHandle, len: usize) -> Result<Vec<u16
         return Ok(Vec::new());
     }
     let mut c = vec![0u16; len];
-    dev.read_u16s(hc.truncated(len * 2)?, &mut c)?;
+    dev.copy_from_device(hc.truncated(len * 2)?, &mut c)?;
     Ok(c)
 }
 

@@ -76,12 +76,12 @@ impl TextKernel {
             // pad one extra byte so any even-aligned u16 window is full
             buffer.push(b' ');
             let h = dev.alloc(buffer.len())?;
-            dev.write_bytes(h, &buffer)?;
+            dev.copy_to_device(h, &buffer)?;
             h
         } else {
             let words: Vec<u16> = buffer.iter().map(|&b| b as u16).collect();
             let h = dev.alloc_u16(words.len())?;
-            dev.write_u16s(h, &words)?;
+            dev.copy_to_device(h, &words)?;
             h
         };
         Ok(TextKernel {

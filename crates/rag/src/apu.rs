@@ -21,7 +21,7 @@
 //! streamed data directly into each core's L2 (zero APU-side charge) and
 //! the APU pays the on-chip L2→L1→VR movement and all compute.
 
-use apu_sim::{ApuContext, ApuDevice, Cycles, Error, TaskReport, Vmr, Vr};
+use apu_sim::{ApuContext, ApuDevice, CoreTask, Cycles, Error, TaskReport, Vmr, Vr};
 use gvml::prelude::*;
 use hbm_sim::MemorySystem;
 use serde::{Deserialize, Serialize};
@@ -242,8 +242,7 @@ impl ApuRetriever {
             let make_pass = &make_pass;
             let variant = self.variant;
             let partial_refs: Vec<&mut Vec<Hit>> = partials.iter_mut().collect();
-            let mut tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + '_>> =
-                Vec::new();
+            let mut tasks: Vec<CoreTask<'_>> = Vec::new();
             let dist_ref = &mut dist_cycles;
             let query_ref = &mut query_cycles;
             // Collect per-core stage cycles through shared cells.
@@ -342,13 +341,13 @@ impl ApuRetriever {
             if !functional {
                 return out;
             }
-            for lane in 0..l {
+            for (lane, slot) in out.iter_mut().enumerate() {
                 let c = tile * l + lane;
                 if c >= n_chunks {
                     break;
                 }
                 let e = store.embedding(c);
-                out[lane] = if packed {
+                *slot = if packed {
                     let lo = (e[2 * dim_pair] + 6) as u16;
                     let hi = (e[2 * dim_pair + 1] + 6) as u16;
                     lo | (hi << 8)
@@ -367,8 +366,7 @@ impl ApuRetriever {
         let report = {
             let make_plane = &make_plane;
             let stage_ref = &stage_acc;
-            let mut tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()> + '_>> =
-                Vec::new();
+            let mut tasks: Vec<CoreTask<'_>> = Vec::new();
             for (core_id, slot) in partials.iter_mut().enumerate() {
                 let lo = core_id * per_core;
                 let hi = ((core_id + 1) * per_core).min(n_tiles);

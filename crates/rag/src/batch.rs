@@ -104,7 +104,7 @@ pub fn retrieve_batch(
         if !functional {
             return out;
         }
-        for lane in 0..l {
+        for (lane, slot) in out.iter_mut().enumerate() {
             let c = tile * l + lane;
             if c >= n_chunks {
                 break;
@@ -112,7 +112,7 @@ pub fn retrieve_batch(
             let e = store.embedding(c);
             let lo = (e[2 * dim_pair] + 6) as u16;
             let hi = (e[2 * dim_pair + 1] + 6) as u16;
-            out[lane] = lo | (hi << 8);
+            *slot = lo | (hi << 8);
         }
         out
     };

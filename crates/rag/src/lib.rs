@@ -27,6 +27,7 @@ pub mod corpus;
 pub mod cpu;
 pub mod gpu;
 pub mod pipeline;
+pub mod serve;
 
 pub use apu::{ApuRetriever, RagVariant, RetrievalBreakdown};
 pub use batch::{retrieve_batch, BatchResult, MAX_BATCH};
@@ -34,6 +35,7 @@ pub use corpus::{CorpusSpec, EmbeddingStore};
 pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};
 pub use pipeline::{EndToEnd, Platform, RagPipeline};
+pub use serve::{QueryCompletion, QueryTicket, RagServer, ServeConfig, ServeReport};
 
 pub(crate) use apu::{inject_l2 as apu_inject_l2, tile_top_k as apu_tile_top_k};
 

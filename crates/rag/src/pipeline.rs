@@ -4,15 +4,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use apu_sim::{ApuDevice, Frequency};
+use apu_sim::{ApuDevice, DeviceQueue, Frequency, Priority, QueueConfig, TaskReport};
 use cis_energy::{ApuPowerModel, CpuPowerModel};
 use hbm_sim::{DramEnergy, EnergyParams, MemorySystem};
 
-use crate::apu::{ApuRetriever, RagVariant};
+use crate::apu::{ApuRetriever, RagVariant, RetrievalBreakdown};
 use crate::corpus::EmbeddingStore;
 use crate::cpu::CpuRetrievalModel;
 use crate::gpu::{GenerationModel, GpuRetrievalModel};
-use crate::Result;
+use crate::{Hit, Result};
 
 /// Fixed per-query host-interface energy on the APU board (invocation,
 /// PCIe, host driver). Calibrated alongside the rail model so the
@@ -132,8 +132,31 @@ impl RagPipeline {
                 let retriever = ApuRetriever::new(variant);
                 let hbm_stats_before = hbm.stats();
                 let horizon_before = hbm.horizon();
-                let (_hits, breakdown, report) =
-                    retriever.retrieve(dev, hbm, store, query, self.k)?;
+                // Retrieval goes through the device command queue (one
+                // closed-loop client): same kernel, identical results,
+                // with dispatch accounted like production serving.
+                let (_hits, breakdown, report) = {
+                    let k = self.k;
+                    let hbm_cell = std::cell::RefCell::new(&mut *hbm);
+                    let mut queue = DeviceQueue::new(&mut *dev, QueueConfig::default());
+                    let handle = queue.submit_job(
+                        Priority::High,
+                        std::time::Duration::ZERO,
+                        |dev: &mut ApuDevice| {
+                            let mut hbm = hbm_cell.borrow_mut();
+                            let (hits, breakdown, report) =
+                                retriever.retrieve(dev, &mut hbm, store, query, k)?;
+                            Ok((report.clone(), (hits, breakdown, report)))
+                        },
+                    )?;
+                    queue.wait(handle)?;
+                    let done = queue
+                        .drain()?
+                        .into_iter()
+                        .next()
+                        .expect("one submitted task retires");
+                    done.into_output::<(Vec<Hit>, RetrievalBreakdown, TaskReport)>()?
+                };
                 // DRAM energy from the HBM model for this stream.
                 let mut delta = hbm.stats();
                 delta.activates -= hbm_stats_before.activates;

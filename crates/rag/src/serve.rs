@@ -1,0 +1,398 @@
+//! RAG serving: an online query front-end over the device command queue.
+//!
+//! [`RagServer`] accepts retrieval queries with arrival timestamps (an
+//! open-loop stream), groups compatible queries into VR-limited batches
+//! (at most [`MAX_BATCH`], closing a batch after
+//! [`ServeConfig::batch_window`]), and submits each batch through an
+//! [`apu_sim::DeviceQueue`] as one weighted task. The batch kernel is
+//! [`retrieve_batch`] — the queue path therefore returns *exactly* the
+//! hits the synchronous path returns; what the queue adds is realistic
+//! dispatch: queueing delay, priority, admission control, and per-query
+//! latency accounting on the virtual timeline.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use apu_sim::queue::percentile;
+use apu_sim::{ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats};
+use hbm_sim::MemorySystem;
+
+use crate::batch::{retrieve_batch, MAX_BATCH};
+use crate::corpus::EmbeddingStore;
+use crate::{Hit, Result};
+
+/// Configuration of a [`RagServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Retrieved chunks per query.
+    pub k: usize,
+    /// Largest batch to form (clamped to the VR-limited [`MAX_BATCH`]).
+    pub max_batch: usize,
+    /// A batch closes when the next query arrives later than this after
+    /// the batch's first query (bounds batching-induced latency).
+    pub batch_window: Duration,
+    /// Command-queue configuration (admission control bound).
+    pub queue: QueueConfig,
+    /// Priority retrieval batches are submitted at.
+    pub priority: Priority,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            k: 5,
+            max_batch: MAX_BATCH,
+            batch_window: Duration::from_millis(2),
+            queue: QueueConfig::default(),
+            priority: Priority::Normal,
+        }
+    }
+}
+
+/// Identifier of a submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryTicket(u64);
+
+impl QueryTicket {
+    /// The raw submission sequence number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One served query: scheduling timestamps and its top-k hits.
+#[derive(Debug, Clone)]
+pub struct QueryCompletion {
+    /// Ticket returned at submission.
+    pub ticket: QueryTicket,
+    /// The query's own arrival time.
+    pub arrival: Duration,
+    /// Dispatch time of the batch that carried it.
+    pub started_at: Duration,
+    /// Retire time of that batch.
+    pub finished_at: Duration,
+    /// How many queries shared the batch.
+    pub batch_size: usize,
+    /// Top-k hits, identical to the synchronous [`retrieve_batch`] path.
+    pub hits: Vec<Hit>,
+}
+
+impl QueryCompletion {
+    /// End-to-end latency: the query's own arrival to batch retire (so
+    /// waiting for the batch window is charged to the early arrivals).
+    pub fn latency(&self) -> Duration {
+        self.finished_at - self.arrival
+    }
+}
+
+/// Outcome of serving a drained query stream.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-query completions, in finish order (ticket order for ties).
+    pub completions: Vec<QueryCompletion>,
+    /// Command-queue counters for the run.
+    pub queue: QueueStats,
+}
+
+impl ServeReport {
+    /// Per-query end-to-end latency percentile (nearest rank).
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        let samples: Vec<Duration> = self.completions.iter().map(|c| c.latency()).collect();
+        percentile(&samples, q)
+    }
+
+    /// Sustained queries per second over the queue makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        let wall = self.queue.makespan.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / wall
+        }
+    }
+
+    /// Mean batch size over served queries.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.completions.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.completions.iter().map(|c| c.batch_size).sum();
+            total as f64 / self.completions.len() as f64
+        }
+    }
+}
+
+struct PendingQuery {
+    ticket: QueryTicket,
+    arrival: Duration,
+    query: Vec<i16>,
+}
+
+/// Output of one batch job, mapped back to per-query completions.
+struct BatchOutput {
+    queries: Vec<(QueryTicket, Duration)>,
+    hits: Vec<Vec<Hit>>,
+}
+
+/// An online RAG retrieval server over one device.
+///
+/// Submit queries with [`RagServer::submit`], then [`RagServer::drain`]
+/// to form batches, run them through the device command queue, and
+/// collect per-query completions.
+pub struct RagServer<'a> {
+    dev: &'a mut ApuDevice,
+    hbm: &'a mut MemorySystem,
+    store: &'a EmbeddingStore,
+    cfg: ServeConfig,
+    pending: Vec<PendingQuery>,
+    next_ticket: u64,
+}
+
+impl<'a> RagServer<'a> {
+    /// Opens a server over a device, its off-chip embedding memory, and
+    /// a corpus.
+    pub fn new(
+        dev: &'a mut ApuDevice,
+        hbm: &'a mut MemorySystem,
+        store: &'a EmbeddingStore,
+        cfg: ServeConfig,
+    ) -> Self {
+        RagServer {
+            dev,
+            hbm,
+            store,
+            cfg,
+            pending: Vec::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Queries accepted but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accepts one query arriving at `arrival` on the virtual timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog exceeds the queue's
+    /// admission bound, or [`Error::InvalidArg`] for a bad dimension
+    /// (checked later by the batch kernel as well).
+    pub fn submit(&mut self, arrival: Duration, query: Vec<i16>) -> Result<QueryTicket> {
+        if self.pending.len() >= self.cfg.queue.max_pending {
+            return Err(Error::QueueFull {
+                pending: self.pending.len(),
+                capacity: self.cfg.queue.max_pending,
+            });
+        }
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(PendingQuery {
+            ticket,
+            arrival,
+            query,
+        });
+        Ok(ticket)
+    }
+
+    /// Groups the pending queries into batches, runs every batch through
+    /// the device command queue, and returns per-query completions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device and kernel errors; pending queries are consumed
+    /// either way.
+    pub fn drain(&mut self) -> Result<ServeReport> {
+        let mut queries = std::mem::take(&mut self.pending);
+        queries.sort_by_key(|p| (p.arrival, p.ticket.0));
+
+        // Greedy batching in arrival order: a batch closes at the VR
+        // limit or when the next arrival falls outside the window.
+        let max_batch = self.cfg.max_batch.clamp(1, MAX_BATCH);
+        let mut batches: Vec<Vec<PendingQuery>> = Vec::new();
+        for q in queries {
+            match batches.last_mut() {
+                Some(batch)
+                    if batch.len() < max_batch
+                        && q.arrival <= batch[0].arrival + self.cfg.batch_window =>
+                {
+                    batch.push(q);
+                }
+                _ => batches.push(vec![q]),
+            }
+        }
+
+        let store = self.store;
+        let k = self.cfg.k;
+        let hbm = RefCell::new(&mut *self.hbm);
+        let mut queue = DeviceQueue::new(&mut *self.dev, self.cfg.queue.clone());
+        for batch in batches {
+            // The batch can only dispatch once its last query arrived.
+            let dispatchable = batch.last().expect("batches are non-empty").arrival;
+            let tickets: Vec<(QueryTicket, Duration)> =
+                batch.iter().map(|p| (p.ticket, p.arrival)).collect();
+            let texts: Vec<Vec<i16>> = batch.into_iter().map(|p| p.query).collect();
+            let hbm = &hbm;
+            queue.submit_weighted(
+                self.cfg.priority,
+                dispatchable,
+                tickets.len() as u64,
+                Box::new(move |dev: &mut ApuDevice| {
+                    let mut hbm = hbm.borrow_mut();
+                    let result = retrieve_batch(dev, &mut hbm, store, &texts, k)?;
+                    let out = BatchOutput {
+                        queries: tickets,
+                        hits: result.hits,
+                    };
+                    Ok((result.report, Box::new(out) as Box<dyn std::any::Any>))
+                }),
+            )?;
+        }
+
+        let mut completions = Vec::new();
+        for done in queue.drain()? {
+            let started_at = done.started_at;
+            let finished_at = done.finished_at;
+            let out: BatchOutput = done.into_output()?;
+            let batch_size = out.queries.len();
+            for ((ticket, arrival), hits) in out.queries.into_iter().zip(out.hits) {
+                completions.push(QueryCompletion {
+                    ticket,
+                    arrival,
+                    started_at,
+                    finished_at,
+                    batch_size,
+                    hits,
+                });
+            }
+        }
+        let stats = queue.stats().clone();
+        Ok(ServeReport {
+            completions,
+            queue: stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use apu_sim::SimConfig;
+    use hbm_sim::DramSpec;
+
+    fn setup(chunks: usize) -> (ApuDevice, MemorySystem, EmbeddingStore) {
+        (
+            ApuDevice::new(SimConfig::default().with_l4_bytes(8 << 20)),
+            MemorySystem::new(DramSpec::hbm2e_16gb()),
+            EmbeddingStore::materialized(
+                CorpusSpec {
+                    corpus_bytes: 0,
+                    chunks,
+                },
+                77,
+            ),
+        )
+    }
+
+    #[test]
+    fn queue_path_matches_synchronous_batch_path() {
+        let (mut dev, mut hbm, store) = setup(20_000);
+        let queries: Vec<Vec<i16>> = (0..4).map(|i| store.query(i)).collect();
+
+        let report = {
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+            for q in &queries {
+                server.submit(Duration::ZERO, q.clone()).unwrap();
+            }
+            server.drain().unwrap()
+        };
+
+        // Synchronous reference on a fresh device: same batch, same kernel.
+        let (mut dev2, mut hbm2, _) = setup(1);
+        let sync = retrieve_batch(&mut dev2, &mut hbm2, &store, &queries, 5).unwrap();
+        assert_eq!(report.completions.len(), 4);
+        for done in &report.completions {
+            assert_eq!(
+                done.hits,
+                sync.hits[done.ticket.id() as usize],
+                "query {}",
+                done.ticket.id()
+            );
+            assert_eq!(done.batch_size, 4);
+        }
+        assert_eq!(report.queue.batches, 1);
+        assert_eq!(report.queue.batched_tasks, 4);
+        assert!(report.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn batch_window_splits_distant_arrivals() {
+        let (mut dev, mut hbm, store) = setup(4096);
+        let cfg = ServeConfig {
+            batch_window: Duration::from_millis(1),
+            ..ServeConfig::default()
+        };
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, cfg);
+        server.submit(Duration::ZERO, store.query(0)).unwrap();
+        server
+            .submit(Duration::from_micros(100), store.query(1))
+            .unwrap();
+        // Outside the window of the first batch: forms its own.
+        server
+            .submit(Duration::from_millis(50), store.query(2))
+            .unwrap();
+        let report = server.drain().unwrap();
+        let sizes: Vec<usize> = report.completions.iter().map(|c| c.batch_size).collect();
+        assert_eq!(sizes.iter().filter(|&&s| s == 2).count(), 2);
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 1);
+        // Early arrival is charged the wait for its batch mate.
+        let first = report
+            .completions
+            .iter()
+            .find(|c| c.ticket.id() == 0)
+            .unwrap();
+        assert!(first.latency() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn vr_limit_caps_batch_size() {
+        let (mut dev, mut hbm, store) = setup(4096);
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+        for i in 0..(MAX_BATCH + 3) {
+            server
+                .submit(Duration::ZERO, store.query(i as u64))
+                .unwrap();
+        }
+        let report = server.drain().unwrap();
+        assert_eq!(report.completions.len(), MAX_BATCH + 3);
+        let max_seen = report
+            .completions
+            .iter()
+            .map(|c| c.batch_size)
+            .max()
+            .unwrap();
+        assert_eq!(max_seen, MAX_BATCH);
+        assert_eq!(report.queue.batches, 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_backlog() {
+        let (mut dev, mut hbm, store) = setup(4096);
+        let cfg = ServeConfig {
+            queue: QueueConfig::default().with_max_pending(2),
+            ..ServeConfig::default()
+        };
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, cfg);
+        server.submit(Duration::ZERO, store.query(0)).unwrap();
+        server.submit(Duration::ZERO, store.query(1)).unwrap();
+        assert!(matches!(
+            server.submit(Duration::ZERO, store.query(2)),
+            Err(Error::QueueFull { .. })
+        ));
+        // Draining clears the backlog.
+        server.drain().unwrap();
+        assert!(server.submit(Duration::ZERO, store.query(2)).is_ok());
+    }
+}

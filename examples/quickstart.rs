@@ -18,8 +18,8 @@ fn main() -> Result<(), apu_sim::Error> {
     let out = dev.alloc_u16(n)?;
     let a: Vec<u16> = (0..n as u32).map(|i| (i % 1000) as u16).collect();
     let b: Vec<u16> = (0..n as u32).map(|i| (i % 77) as u16).collect();
-    dev.write_u16s(vec1, &a)?;
-    dev.write_u16s(vec2, &b)?;
+    dev.copy_to_device(vec1, &a)?;
+    dev.copy_to_device(vec2, &b)?;
 
     // ---- device side (the GAL task of Fig. 5b) ----
     let report = dev.run_task(|ctx| {
@@ -37,7 +37,7 @@ fn main() -> Result<(), apu_sim::Error> {
 
     // ---- host side again: read back and verify ----
     let mut result = vec![0u16; n];
-    dev.read_u16s(out, &mut result)?;
+    dev.copy_from_device(out, &mut result)?;
     for i in 0..n {
         assert_eq!(result[i], a[i] + b[i]);
     }
