@@ -1,0 +1,1 @@
+//! Offline dev stub (empty). Local typecheck only; never committed.

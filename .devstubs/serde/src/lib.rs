@@ -1,0 +1,14 @@
+//! Offline dev stub of serde: traits satisfied by every type, derives
+//! that expand to nothing. Used only for local typechecking in a
+//! network-less container; never committed as a real dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {}
+pub trait Deserializer<'de> {}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_props-fd612cb6758ea6e3.d: crates/apu-sim/tests/allocator_props.rs
+
+/root/repo/target/debug/deps/allocator_props-fd612cb6758ea6e3: crates/apu-sim/tests/allocator_props.rs
+
+crates/apu-sim/tests/allocator_props.rs:

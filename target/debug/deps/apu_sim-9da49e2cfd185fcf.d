@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/apu_sim-9da49e2cfd185fcf.d: crates/apu-sim/src/lib.rs crates/apu-sim/src/clock.rs crates/apu-sim/src/config.rs crates/apu-sim/src/core.rs crates/apu-sim/src/device.rs crates/apu-sim/src/dma.rs crates/apu-sim/src/dma_async.rs crates/apu-sim/src/error.rs crates/apu-sim/src/mem.rs crates/apu-sim/src/micro.rs crates/apu-sim/src/queue.rs crates/apu-sim/src/stats.rs crates/apu-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libapu_sim-9da49e2cfd185fcf.rlib: crates/apu-sim/src/lib.rs crates/apu-sim/src/clock.rs crates/apu-sim/src/config.rs crates/apu-sim/src/core.rs crates/apu-sim/src/device.rs crates/apu-sim/src/dma.rs crates/apu-sim/src/dma_async.rs crates/apu-sim/src/error.rs crates/apu-sim/src/mem.rs crates/apu-sim/src/micro.rs crates/apu-sim/src/queue.rs crates/apu-sim/src/stats.rs crates/apu-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libapu_sim-9da49e2cfd185fcf.rmeta: crates/apu-sim/src/lib.rs crates/apu-sim/src/clock.rs crates/apu-sim/src/config.rs crates/apu-sim/src/core.rs crates/apu-sim/src/device.rs crates/apu-sim/src/dma.rs crates/apu-sim/src/dma_async.rs crates/apu-sim/src/error.rs crates/apu-sim/src/mem.rs crates/apu-sim/src/micro.rs crates/apu-sim/src/queue.rs crates/apu-sim/src/stats.rs crates/apu-sim/src/timing.rs
+
+crates/apu-sim/src/lib.rs:
+crates/apu-sim/src/clock.rs:
+crates/apu-sim/src/config.rs:
+crates/apu-sim/src/core.rs:
+crates/apu-sim/src/device.rs:
+crates/apu-sim/src/dma.rs:
+crates/apu-sim/src/dma_async.rs:
+crates/apu-sim/src/error.rs:
+crates/apu-sim/src/mem.rs:
+crates/apu-sim/src/micro.rs:
+crates/apu-sim/src/queue.rs:
+crates/apu-sim/src/stats.rs:
+crates/apu-sim/src/timing.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/apu_sim-bb08e2195c765993.d: crates/apu-sim/src/lib.rs crates/apu-sim/src/clock.rs crates/apu-sim/src/config.rs crates/apu-sim/src/core.rs crates/apu-sim/src/device.rs crates/apu-sim/src/dma.rs crates/apu-sim/src/dma_async.rs crates/apu-sim/src/error.rs crates/apu-sim/src/mem.rs crates/apu-sim/src/micro.rs crates/apu-sim/src/queue.rs crates/apu-sim/src/stats.rs crates/apu-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapu_sim-bb08e2195c765993.rmeta: crates/apu-sim/src/lib.rs crates/apu-sim/src/clock.rs crates/apu-sim/src/config.rs crates/apu-sim/src/core.rs crates/apu-sim/src/device.rs crates/apu-sim/src/dma.rs crates/apu-sim/src/dma_async.rs crates/apu-sim/src/error.rs crates/apu-sim/src/mem.rs crates/apu-sim/src/micro.rs crates/apu-sim/src/queue.rs crates/apu-sim/src/stats.rs crates/apu-sim/src/timing.rs Cargo.toml
+
+crates/apu-sim/src/lib.rs:
+crates/apu-sim/src/clock.rs:
+crates/apu-sim/src/config.rs:
+crates/apu-sim/src/core.rs:
+crates/apu-sim/src/device.rs:
+crates/apu-sim/src/dma.rs:
+crates/apu-sim/src/dma_async.rs:
+crates/apu-sim/src/error.rs:
+crates/apu-sim/src/mem.rs:
+crates/apu-sim/src/micro.rs:
+crates/apu-sim/src/queue.rs:
+crates/apu-sim/src/stats.rs:
+crates/apu-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

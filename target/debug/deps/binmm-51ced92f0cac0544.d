@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/binmm-51ced92f0cac0544.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinmm-51ced92f0cac0544.rmeta: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs Cargo.toml
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

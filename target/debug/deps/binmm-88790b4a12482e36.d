@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/binmm-88790b4a12482e36.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/libbinmm-88790b4a12482e36.rlib: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/libbinmm-88790b4a12482e36.rmeta: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/binmm-8dba270322fcc5c4.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/binmm-8dba270322fcc5c4: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:

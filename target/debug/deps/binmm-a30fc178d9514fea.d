@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/binmm-a30fc178d9514fea.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/libbinmm-a30fc178d9514fea.rmeta: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/binmm-a994131a0a4ba0f5.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/libbinmm-a994131a0a4ba0f5.rlib: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/debug/deps/libbinmm-a994131a0a4ba0f5.rmeta: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cis_bench-0a0c7a30e9d2e6c7.d: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcis_bench-0a0c7a30e9d2e6c7.rmeta: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/phoenix_suite.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

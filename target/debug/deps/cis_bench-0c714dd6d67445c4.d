@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_bench-0c714dd6d67445c4.d: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libcis_bench-0c714dd6d67445c4.rlib: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libcis_bench-0c714dd6d67445c4.rmeta: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phoenix_suite.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_bench-982bf360360e1360.d: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/cis_bench-982bf360360e1360: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phoenix_suite.rs:
+crates/bench/src/table.rs:

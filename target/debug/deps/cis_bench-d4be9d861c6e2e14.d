@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_bench-d4be9d861c6e2e14.d: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libcis_bench-d4be9d861c6e2e14.rmeta: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phoenix_suite.rs:
+crates/bench/src/table.rs:

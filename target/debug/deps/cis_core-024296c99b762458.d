@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cis_core-024296c99b762458.d: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcis_core-024296c99b762458.rmeta: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/layout.rs:
+crates/core/src/matmul_model.rs:
+crates/core/src/reduction.rs:
+crates/core/src/roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cis_core-882047e21f22273e.d: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/debug/deps/libcis_core-882047e21f22273e.rlib: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/debug/deps/libcis_core-882047e21f22273e.rmeta: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/layout.rs:
+crates/core/src/matmul_model.rs:
+crates/core/src/reduction.rs:
+crates/core/src/roofline.rs:

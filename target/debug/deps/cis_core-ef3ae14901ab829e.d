@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cis_core-ef3ae14901ab829e.d: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/debug/deps/cis_core-ef3ae14901ab829e: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/layout.rs:
+crates/core/src/matmul_model.rs:
+crates/core/src/reduction.rs:
+crates/core/src/roofline.rs:

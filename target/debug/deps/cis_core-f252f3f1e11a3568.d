@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cis_core-f252f3f1e11a3568.d: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/debug/deps/libcis_core-f252f3f1e11a3568.rlib: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/debug/deps/libcis_core-f252f3f1e11a3568.rmeta: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/layout.rs:
+crates/core/src/matmul_model.rs:
+crates/core/src/reduction.rs:
+crates/core/src/roofline.rs:

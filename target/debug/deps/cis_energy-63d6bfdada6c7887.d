@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cis_energy-63d6bfdada6c7887.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcis_energy-63d6bfdada6c7887.rmeta: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

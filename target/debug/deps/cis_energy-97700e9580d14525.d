@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_energy-97700e9580d14525.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/libcis_energy-97700e9580d14525.rlib: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/libcis_energy-97700e9580d14525.rmeta: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_energy-9e657c8cebcb4eb2.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/libcis_energy-9e657c8cebcb4eb2.rlib: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/libcis_energy-9e657c8cebcb4eb2.rmeta: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:

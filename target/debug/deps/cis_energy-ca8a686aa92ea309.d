@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_energy-ca8a686aa92ea309.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/cis_energy-ca8a686aa92ea309: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_energy-cf9434c175d0a5d5.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/debug/deps/libcis_energy-cf9434c175d0a5d5.rmeta: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:

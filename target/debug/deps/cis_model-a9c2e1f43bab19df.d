@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cis_model-a9c2e1f43bab19df.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/libcis_model-a9c2e1f43bab19df.rlib: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/libcis_model-a9c2e1f43bab19df.rmeta: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cis_model-b4c1422956991dd0.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcis_model-b4c1422956991dd0.rmeta: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_model-ba45293ab9745600.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/libcis_model-ba45293ab9745600.rmeta: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_model-d5bb3f7759645d29.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/cis_model-d5bb3f7759645d29: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cis_model-e08fe04c170e3441.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/libcis_model-e08fe04c170e3441.rlib: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/debug/deps/libcis_model-e08fe04c170e3441.rmeta: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:

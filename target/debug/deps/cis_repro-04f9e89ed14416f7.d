@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cis_repro-04f9e89ed14416f7.d: src/lib.rs
+
+/root/repo/target/debug/deps/cis_repro-04f9e89ed14416f7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_repro-384348140498bae3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcis_repro-384348140498bae3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcis_repro-384348140498bae3.rmeta: src/lib.rs
+
+src/lib.rs:

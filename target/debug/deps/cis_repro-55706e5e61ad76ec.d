@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cis_repro-55706e5e61ad76ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcis_repro-55706e5e61ad76ec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcis_repro-55706e5e61ad76ec.rmeta: src/lib.rs
+
+src/lib.rs:

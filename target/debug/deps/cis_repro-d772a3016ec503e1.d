@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cis_repro-d772a3016ec503e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcis_repro-d772a3016ec503e1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cis_repro-ecad50e06c21e2b8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcis_repro-ecad50e06c21e2b8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-fbda4e98d495c6a2.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fbda4e98d495c6a2.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fbda4e98d495c6a2.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

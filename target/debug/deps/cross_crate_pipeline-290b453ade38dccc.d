@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_pipeline-290b453ade38dccc.d: tests/cross_crate_pipeline.rs
+
+/root/repo/target/debug/deps/cross_crate_pipeline-290b453ade38dccc: tests/cross_crate_pipeline.rs
+
+tests/cross_crate_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-23c9782e8391163c.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-23c9782e8391163c.rlib: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-23c9782e8391163c.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

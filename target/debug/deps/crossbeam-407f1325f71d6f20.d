@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-407f1325f71d6f20.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-407f1325f71d6f20.rlib: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-407f1325f71d6f20.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-5565d047d6797ef1.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5565d047d6797ef1.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dse_nextgen-314620e40b8373b6.d: crates/bench/src/bin/dse_nextgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse_nextgen-314620e40b8373b6.rmeta: crates/bench/src/bin/dse_nextgen.rs Cargo.toml
+
+crates/bench/src/bin/dse_nextgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

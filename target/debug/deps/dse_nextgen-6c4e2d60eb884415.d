@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dse_nextgen-6c4e2d60eb884415.d: crates/bench/src/bin/dse_nextgen.rs
+
+/root/repo/target/debug/deps/libdse_nextgen-6c4e2d60eb884415.rmeta: crates/bench/src/bin/dse_nextgen.rs
+
+crates/bench/src/bin/dse_nextgen.rs:

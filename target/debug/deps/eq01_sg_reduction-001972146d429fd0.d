@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq01_sg_reduction-001972146d429fd0.d: crates/bench/src/bin/eq01_sg_reduction.rs
+
+/root/repo/target/debug/deps/libeq01_sg_reduction-001972146d429fd0.rmeta: crates/bench/src/bin/eq01_sg_reduction.rs
+
+crates/bench/src/bin/eq01_sg_reduction.rs:

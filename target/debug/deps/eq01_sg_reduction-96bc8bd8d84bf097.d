@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq01_sg_reduction-96bc8bd8d84bf097.d: crates/bench/src/bin/eq01_sg_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq01_sg_reduction-96bc8bd8d84bf097.rmeta: crates/bench/src/bin/eq01_sg_reduction.rs Cargo.toml
+
+crates/bench/src/bin/eq01_sg_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_query_batching-7b8229361ff05853.d: crates/bench/src/bin/ext_query_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_query_batching-7b8229361ff05853.rmeta: crates/bench/src/bin/ext_query_batching.rs Cargo.toml
+
+crates/bench/src/bin/ext_query_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_query_batching-cab43fdbd371fa5b.d: crates/bench/src/bin/ext_query_batching.rs
+
+/root/repo/target/debug/deps/libext_query_batching-cab43fdbd371fa5b.rmeta: crates/bench/src/bin/ext_query_batching.rs
+
+crates/bench/src/bin/ext_query_batching.rs:

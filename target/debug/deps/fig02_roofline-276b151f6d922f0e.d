@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_roofline-276b151f6d922f0e.d: crates/bench/src/bin/fig02_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_roofline-276b151f6d922f0e.rmeta: crates/bench/src/bin/fig02_roofline.rs Cargo.toml
+
+crates/bench/src/bin/fig02_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

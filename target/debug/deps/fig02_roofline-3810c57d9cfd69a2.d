@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_roofline-3810c57d9cfd69a2.d: crates/bench/src/bin/fig02_roofline.rs
+
+/root/repo/target/debug/deps/libfig02_roofline-3810c57d9cfd69a2.rmeta: crates/bench/src/bin/fig02_roofline.rs
+
+crates/bench/src/bin/fig02_roofline.rs:

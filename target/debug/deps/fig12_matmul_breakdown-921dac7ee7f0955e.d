@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_matmul_breakdown-921dac7ee7f0955e.d: crates/bench/src/bin/fig12_matmul_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_matmul_breakdown-921dac7ee7f0955e.rmeta: crates/bench/src/bin/fig12_matmul_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_matmul_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

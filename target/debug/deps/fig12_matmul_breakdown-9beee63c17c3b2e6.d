@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_matmul_breakdown-9beee63c17c3b2e6.d: crates/bench/src/bin/fig12_matmul_breakdown.rs
+
+/root/repo/target/debug/deps/libfig12_matmul_breakdown-9beee63c17c3b2e6.rmeta: crates/bench/src/bin/fig12_matmul_breakdown.rs
+
+crates/bench/src/bin/fig12_matmul_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_phoenix_latency-614debc0e0cce432.d: crates/bench/src/bin/fig13_phoenix_latency.rs
+
+/root/repo/target/debug/deps/libfig13_phoenix_latency-614debc0e0cce432.rmeta: crates/bench/src/bin/fig13_phoenix_latency.rs
+
+crates/bench/src/bin/fig13_phoenix_latency.rs:

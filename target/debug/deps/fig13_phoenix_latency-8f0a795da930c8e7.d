@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_phoenix_latency-8f0a795da930c8e7.d: crates/bench/src/bin/fig13_phoenix_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_phoenix_latency-8f0a795da930c8e7.rmeta: crates/bench/src/bin/fig13_phoenix_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig13_phoenix_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_rag_e2e-8c0228c0182d0277.d: crates/bench/src/bin/fig14_rag_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_rag_e2e-8c0228c0182d0277.rmeta: crates/bench/src/bin/fig14_rag_e2e.rs Cargo.toml
+
+crates/bench/src/bin/fig14_rag_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

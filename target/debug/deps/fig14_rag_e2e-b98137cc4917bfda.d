@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_rag_e2e-b98137cc4917bfda.d: crates/bench/src/bin/fig14_rag_e2e.rs
+
+/root/repo/target/debug/deps/libfig14_rag_e2e-b98137cc4917bfda.rmeta: crates/bench/src/bin/fig14_rag_e2e.rs
+
+crates/bench/src/bin/fig14_rag_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_energy-77bd1030b6b933d8.d: crates/bench/src/bin/fig15_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_energy-77bd1030b6b933d8.rmeta: crates/bench/src/bin/fig15_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig15_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

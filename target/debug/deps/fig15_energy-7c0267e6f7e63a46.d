@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_energy-7c0267e6f7e63a46.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/debug/deps/libfig15_energy-7c0267e6f7e63a46.rmeta: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

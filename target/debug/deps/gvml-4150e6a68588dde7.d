@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gvml-4150e6a68588dde7.d: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs
+
+/root/repo/target/debug/deps/libgvml-4150e6a68588dde7.rmeta: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs
+
+crates/gvml/src/lib.rs:
+crates/gvml/src/arith.rs:
+crates/gvml/src/bitserial.rs:
+crates/gvml/src/cmp.rs:
+crates/gvml/src/fixed.rs:
+crates/gvml/src/float.rs:
+crates/gvml/src/index.rs:
+crates/gvml/src/minmax.rs:
+crates/gvml/src/movement.rs:
+crates/gvml/src/reduce.rs:
+crates/gvml/src/shift.rs:
+crates/gvml/src/ops_util.rs:

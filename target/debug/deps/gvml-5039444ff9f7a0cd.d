@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gvml-5039444ff9f7a0cd.d: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvml-5039444ff9f7a0cd.rmeta: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs Cargo.toml
+
+crates/gvml/src/lib.rs:
+crates/gvml/src/arith.rs:
+crates/gvml/src/bitserial.rs:
+crates/gvml/src/cmp.rs:
+crates/gvml/src/fixed.rs:
+crates/gvml/src/float.rs:
+crates/gvml/src/index.rs:
+crates/gvml/src/minmax.rs:
+crates/gvml/src/movement.rs:
+crates/gvml/src/reduce.rs:
+crates/gvml/src/shift.rs:
+crates/gvml/src/ops_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

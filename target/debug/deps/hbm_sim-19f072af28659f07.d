@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbm_sim-19f072af28659f07.d: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbm_sim-19f072af28659f07.rmeta: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs Cargo.toml
+
+crates/hbm-sim/src/lib.rs:
+crates/hbm-sim/src/address.rs:
+crates/hbm-sim/src/energy.rs:
+crates/hbm-sim/src/spec.rs:
+crates/hbm-sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbm_sim-7f87188700eb0fdb.d: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+/root/repo/target/debug/deps/libhbm_sim-7f87188700eb0fdb.rmeta: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+crates/hbm-sim/src/lib.rs:
+crates/hbm-sim/src/address.rs:
+crates/hbm-sim/src/energy.rs:
+crates/hbm-sim/src/spec.rs:
+crates/hbm-sim/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbm_sim-968185a6e2181cdc.d: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+/root/repo/target/debug/deps/libhbm_sim-968185a6e2181cdc.rlib: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+/root/repo/target/debug/deps/libhbm_sim-968185a6e2181cdc.rmeta: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+crates/hbm-sim/src/lib.rs:
+crates/hbm-sim/src/address.rs:
+crates/hbm-sim/src/energy.rs:
+crates/hbm-sim/src/spec.rs:
+crates/hbm-sim/src/system.rs:

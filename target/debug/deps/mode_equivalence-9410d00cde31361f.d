@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-9410d00cde31361f.d: tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-9410d00cde31361f: tests/mode_equivalence.rs
+
+tests/mode_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-405ed7e9dc0ad63f.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-405ed7e9dc0ad63f.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-65ae8d2ed3df0c2f.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-65ae8d2ed3df0c2f.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-65ae8d2ed3df0c2f.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-9646861543f10c7a.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-9646861543f10c7a.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-9646861543f10c7a.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/phoenix-7d76c7608115e813.d: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs
+
+/root/repo/target/debug/deps/libphoenix-7d76c7608115e813.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/common.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/revindex.rs:
+crates/phoenix/src/strmatch.rs:
+crates/phoenix/src/textops.rs:
+crates/phoenix/src/wordcount.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/phoenix-858fc0cfed32c61f.d: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphoenix-858fc0cfed32c61f.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs Cargo.toml
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/common.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/revindex.rs:
+crates/phoenix/src/strmatch.rs:
+crates/phoenix/src/textops.rs:
+crates/phoenix/src/wordcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-616983afac6fa9db.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-616983afac6fa9db.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-eeec95503638f142.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eeec95503638f142.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eeec95503638f142.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

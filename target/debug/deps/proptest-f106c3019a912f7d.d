@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f106c3019a912f7d.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f106c3019a912f7d.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f106c3019a912f7d.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f87cf85357dea8e8.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f87cf85357dea8e8: tests/proptests.rs
+
+tests/proptests.rs:

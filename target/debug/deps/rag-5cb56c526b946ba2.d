@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rag-5cb56c526b946ba2.d: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/debug/deps/librag-5cb56c526b946ba2.rmeta: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+crates/rag/src/lib.rs:
+crates/rag/src/apu.rs:
+crates/rag/src/batch.rs:
+crates/rag/src/corpus.rs:
+crates/rag/src/cpu.rs:
+crates/rag/src/gpu.rs:
+crates/rag/src/pipeline.rs:
+crates/rag/src/serve.rs:

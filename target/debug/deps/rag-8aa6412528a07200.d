@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rag-8aa6412528a07200.d: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/librag-8aa6412528a07200.rmeta: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs Cargo.toml
+
+crates/rag/src/lib.rs:
+crates/rag/src/apu.rs:
+crates/rag/src/batch.rs:
+crates/rag/src/corpus.rs:
+crates/rag/src/cpu.rs:
+crates/rag/src/gpu.rs:
+crates/rag/src/pipeline.rs:
+crates/rag/src/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rag-ab224a4335c9f43b.d: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/debug/deps/librag-ab224a4335c9f43b.rlib: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/debug/deps/librag-ab224a4335c9f43b.rmeta: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+crates/rag/src/lib.rs:
+crates/rag/src/apu.rs:
+crates/rag/src/batch.rs:
+crates/rag/src/corpus.rs:
+crates/rag/src/cpu.rs:
+crates/rag/src/gpu.rs:
+crates/rag/src/pipeline.rs:
+crates/rag/src/serve.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rag-c21eda49bb85037e.d: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/debug/deps/rag-c21eda49bb85037e: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+crates/rag/src/lib.rs:
+crates/rag/src/apu.rs:
+crates/rag/src/batch.rs:
+crates/rag/src/corpus.rs:
+crates/rag/src/cpu.rs:
+crates/rag/src/gpu.rs:
+crates/rag/src/pipeline.rs:
+crates/rag/src/serve.rs:

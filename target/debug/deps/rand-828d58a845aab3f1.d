@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-828d58a845aab3f1.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-828d58a845aab3f1.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

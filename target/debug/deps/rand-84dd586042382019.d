@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-84dd586042382019.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-84dd586042382019.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-84dd586042382019.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

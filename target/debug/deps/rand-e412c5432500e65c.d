@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e412c5432500e65c.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e412c5432500e65c.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e412c5432500e65c.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

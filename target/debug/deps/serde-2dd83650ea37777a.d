@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2dd83650ea37777a.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2dd83650ea37777a.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2dd83650ea37777a.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

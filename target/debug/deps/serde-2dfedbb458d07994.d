@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2dfedbb458d07994.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2dfedbb458d07994.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

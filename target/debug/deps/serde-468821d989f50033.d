@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-468821d989f50033.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-468821d989f50033.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-468821d989f50033.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

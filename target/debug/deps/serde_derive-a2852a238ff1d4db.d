@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a2852a238ff1d4db.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a2852a238ff1d4db.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_qps-1d761a1c16fa3fb8.d: crates/bench/src/bin/serve_qps.rs
+
+/root/repo/target/debug/deps/libserve_qps-1d761a1c16fa3fb8.rmeta: crates/bench/src/bin/serve_qps.rs
+
+crates/bench/src/bin/serve_qps.rs:

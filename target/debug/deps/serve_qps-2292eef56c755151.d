@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_qps-2292eef56c755151.d: crates/bench/src/bin/serve_qps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_qps-2292eef56c755151.rmeta: crates/bench/src/bin/serve_qps.rs Cargo.toml
+
+crates/bench/src/bin/serve_qps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

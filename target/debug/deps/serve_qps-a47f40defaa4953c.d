@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_qps-a47f40defaa4953c.d: crates/bench/src/bin/serve_qps.rs
+
+/root/repo/target/debug/deps/serve_qps-a47f40defaa4953c: crates/bench/src/bin/serve_qps.rs
+
+crates/bench/src/bin/serve_qps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_queue-96bb2bd2ad4dbacd.d: tests/serving_queue.rs
+
+/root/repo/target/debug/deps/serving_queue-96bb2bd2ad4dbacd: tests/serving_queue.rs
+
+tests/serving_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_devices-4db6a6bf5d3dce8e.d: crates/bench/src/bin/tab01_devices.rs
+
+/root/repo/target/debug/deps/libtab01_devices-4db6a6bf5d3dce8e.rmeta: crates/bench/src/bin/tab01_devices.rs
+
+crates/bench/src/bin/tab01_devices.rs:

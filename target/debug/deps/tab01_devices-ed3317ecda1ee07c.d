@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_devices-ed3317ecda1ee07c.d: crates/bench/src/bin/tab01_devices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_devices-ed3317ecda1ee07c.rmeta: crates/bench/src/bin/tab01_devices.rs Cargo.toml
+
+crates/bench/src/bin/tab01_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_data_movement-5f7ea2755d098078.d: crates/bench/src/bin/tab04_data_movement.rs
+
+/root/repo/target/debug/deps/libtab04_data_movement-5f7ea2755d098078.rmeta: crates/bench/src/bin/tab04_data_movement.rs
+
+crates/bench/src/bin/tab04_data_movement.rs:

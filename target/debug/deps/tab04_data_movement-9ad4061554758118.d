@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab04_data_movement-9ad4061554758118.d: crates/bench/src/bin/tab04_data_movement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab04_data_movement-9ad4061554758118.rmeta: crates/bench/src/bin/tab04_data_movement.rs Cargo.toml
+
+crates/bench/src/bin/tab04_data_movement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

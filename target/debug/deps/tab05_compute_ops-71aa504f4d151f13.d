@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab05_compute_ops-71aa504f4d151f13.d: crates/bench/src/bin/tab05_compute_ops.rs
+
+/root/repo/target/debug/deps/libtab05_compute_ops-71aa504f4d151f13.rmeta: crates/bench/src/bin/tab05_compute_ops.rs
+
+crates/bench/src/bin/tab05_compute_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab05_compute_ops-e8e4fbe5d83b3098.d: crates/bench/src/bin/tab05_compute_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab05_compute_ops-e8e4fbe5d83b3098.rmeta: crates/bench/src/bin/tab05_compute_ops.rs Cargo.toml
+
+crates/bench/src/bin/tab05_compute_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab06_phoenix_stats-62e6c483d05470f3.d: crates/bench/src/bin/tab06_phoenix_stats.rs
+
+/root/repo/target/debug/deps/libtab06_phoenix_stats-62e6c483d05470f3.rmeta: crates/bench/src/bin/tab06_phoenix_stats.rs
+
+crates/bench/src/bin/tab06_phoenix_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab06_phoenix_stats-813664725ec21923.d: crates/bench/src/bin/tab06_phoenix_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab06_phoenix_stats-813664725ec21923.rmeta: crates/bench/src/bin/tab06_phoenix_stats.rs Cargo.toml
+
+crates/bench/src/bin/tab06_phoenix_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab07_model_validation-0c2aed6f8f999852.d: crates/bench/src/bin/tab07_model_validation.rs
+
+/root/repo/target/debug/deps/libtab07_model_validation-0c2aed6f8f999852.rmeta: crates/bench/src/bin/tab07_model_validation.rs
+
+crates/bench/src/bin/tab07_model_validation.rs:

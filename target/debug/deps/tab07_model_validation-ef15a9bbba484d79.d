@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab07_model_validation-ef15a9bbba484d79.d: crates/bench/src/bin/tab07_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab07_model_validation-ef15a9bbba484d79.rmeta: crates/bench/src/bin/tab07_model_validation.rs Cargo.toml
+
+crates/bench/src/bin/tab07_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

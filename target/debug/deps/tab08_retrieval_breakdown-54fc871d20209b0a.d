@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab08_retrieval_breakdown-54fc871d20209b0a.d: crates/bench/src/bin/tab08_retrieval_breakdown.rs
+
+/root/repo/target/debug/deps/libtab08_retrieval_breakdown-54fc871d20209b0a.rmeta: crates/bench/src/bin/tab08_retrieval_breakdown.rs
+
+crates/bench/src/bin/tab08_retrieval_breakdown.rs:

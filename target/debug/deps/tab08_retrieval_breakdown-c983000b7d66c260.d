@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab08_retrieval_breakdown-c983000b7d66c260.d: crates/bench/src/bin/tab08_retrieval_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab08_retrieval_breakdown-c983000b7d66c260.rmeta: crates/bench/src/bin/tab08_retrieval_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/tab08_retrieval_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytical_model-2d27587e6e716187.d: examples/analytical_model.rs
+
+/root/repo/target/debug/examples/analytical_model-2d27587e6e716187: examples/analytical_model.rs
+
+examples/analytical_model.rs:

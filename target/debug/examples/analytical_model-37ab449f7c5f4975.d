@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytical_model-37ab449f7c5f4975.d: examples/analytical_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytical_model-37ab449f7c5f4975.rmeta: examples/analytical_model.rs Cargo.toml
+
+examples/analytical_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

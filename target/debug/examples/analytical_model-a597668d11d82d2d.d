@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytical_model-a597668d11d82d2d.d: examples/analytical_model.rs
+
+/root/repo/target/debug/examples/libanalytical_model-a597668d11d82d2d.rmeta: examples/analytical_model.rs
+
+examples/analytical_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/binary_matmul-180578f13e720d1b.d: examples/binary_matmul.rs
+
+/root/repo/target/debug/examples/libbinary_matmul-180578f13e720d1b.rmeta: examples/binary_matmul.rs
+
+examples/binary_matmul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/binary_matmul-1e8861d4c3193925.d: examples/binary_matmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbinary_matmul-1e8861d4c3193925.rmeta: examples/binary_matmul.rs Cargo.toml
+
+examples/binary_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/binary_matmul-949c4e68b1c3ee8b.d: examples/binary_matmul.rs
+
+/root/repo/target/debug/examples/binary_matmul-949c4e68b1c3ee8b: examples/binary_matmul.rs
+
+examples/binary_matmul.rs:

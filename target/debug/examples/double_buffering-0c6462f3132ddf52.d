@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/double_buffering-0c6462f3132ddf52.d: examples/double_buffering.rs
+
+/root/repo/target/debug/examples/double_buffering-0c6462f3132ddf52: examples/double_buffering.rs
+
+examples/double_buffering.rs:

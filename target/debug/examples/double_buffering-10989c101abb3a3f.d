@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/double_buffering-10989c101abb3a3f.d: examples/double_buffering.rs
+
+/root/repo/target/debug/examples/libdouble_buffering-10989c101abb3a3f.rmeta: examples/double_buffering.rs
+
+examples/double_buffering.rs:

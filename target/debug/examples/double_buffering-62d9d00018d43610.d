@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/double_buffering-62d9d00018d43610.d: examples/double_buffering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdouble_buffering-62d9d00018d43610.rmeta: examples/double_buffering.rs Cargo.toml
+
+examples/double_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

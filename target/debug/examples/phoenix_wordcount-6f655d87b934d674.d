@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phoenix_wordcount-6f655d87b934d674.d: examples/phoenix_wordcount.rs
+
+/root/repo/target/debug/examples/phoenix_wordcount-6f655d87b934d674: examples/phoenix_wordcount.rs
+
+examples/phoenix_wordcount.rs:

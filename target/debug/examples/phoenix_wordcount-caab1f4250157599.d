@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phoenix_wordcount-caab1f4250157599.d: examples/phoenix_wordcount.rs
+
+/root/repo/target/debug/examples/libphoenix_wordcount-caab1f4250157599.rmeta: examples/phoenix_wordcount.rs
+
+examples/phoenix_wordcount.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phoenix_wordcount-fd7d5bfc8e8ce14d.d: examples/phoenix_wordcount.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphoenix_wordcount-fd7d5bfc8e8ce14d.rmeta: examples/phoenix_wordcount.rs Cargo.toml
+
+examples/phoenix_wordcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

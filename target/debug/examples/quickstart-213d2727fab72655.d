@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-213d2727fab72655.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-213d2727fab72655.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-888cf79dab2d0aca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-888cf79dab2d0aca: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rag_retrieval-364048a0b9bb31c5.d: examples/rag_retrieval.rs
+
+/root/repo/target/debug/examples/librag_retrieval-364048a0b9bb31c5.rmeta: examples/rag_retrieval.rs
+
+examples/rag_retrieval.rs:

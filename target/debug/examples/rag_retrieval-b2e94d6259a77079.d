@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rag_retrieval-b2e94d6259a77079.d: examples/rag_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/examples/librag_retrieval-b2e94d6259a77079.rmeta: examples/rag_retrieval.rs Cargo.toml
+
+examples/rag_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rag_retrieval-efba2e115ff4b6d4.d: examples/rag_retrieval.rs
+
+/root/repo/target/debug/examples/rag_retrieval-efba2e115ff4b6d4: examples/rag_retrieval.rs
+
+examples/rag_retrieval.rs:

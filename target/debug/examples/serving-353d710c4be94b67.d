@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-353d710c4be94b67.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-353d710c4be94b67: examples/serving.rs
+
+examples/serving.rs:

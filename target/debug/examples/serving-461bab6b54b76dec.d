@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-461bab6b54b76dec.d: examples/serving.rs
+
+/root/repo/target/debug/examples/libserving-461bab6b54b76dec.rmeta: examples/serving.rs
+
+examples/serving.rs:

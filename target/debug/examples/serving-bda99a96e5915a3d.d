@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-bda99a96e5915a3d.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-bda99a96e5915a3d: examples/serving.rs
+
+examples/serving.rs:

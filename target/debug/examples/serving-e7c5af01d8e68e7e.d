@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving-e7c5af01d8e68e7e.d: examples/serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving-e7c5af01d8e68e7e.rmeta: examples/serving.rs Cargo.toml
+
+examples/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/binmm-f6803b76216c7ae4.d: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/release/deps/libbinmm-f6803b76216c7ae4.rlib: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+/root/repo/target/release/deps/libbinmm-f6803b76216c7ae4.rmeta: crates/binmm/src/lib.rs crates/binmm/src/apu.rs crates/binmm/src/cpu.rs crates/binmm/src/pack.rs
+
+crates/binmm/src/lib.rs:
+crates/binmm/src/apu.rs:
+crates/binmm/src/cpu.rs:
+crates/binmm/src/pack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cis_bench-f8e92368e9113780.d: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcis_bench-f8e92368e9113780.rlib: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcis_bench-f8e92368e9113780.rmeta: crates/bench/src/lib.rs crates/bench/src/phoenix_suite.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phoenix_suite.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cis_core-75680f4ab44ace55.d: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/release/deps/libcis_core-75680f4ab44ace55.rlib: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+/root/repo/target/release/deps/libcis_core-75680f4ab44ace55.rmeta: crates/core/src/lib.rs crates/core/src/coalesce.rs crates/core/src/layout.rs crates/core/src/matmul_model.rs crates/core/src/reduction.rs crates/core/src/roofline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/layout.rs:
+crates/core/src/matmul_model.rs:
+crates/core/src/reduction.rs:
+crates/core/src/roofline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cis_energy-62331f44aeb0db19.d: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/release/deps/libcis_energy-62331f44aeb0db19.rlib: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+/root/repo/target/release/deps/libcis_energy-62331f44aeb0db19.rmeta: crates/energy/src/lib.rs crates/energy/src/apu.rs crates/energy/src/comparators.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/apu.rs:
+crates/energy/src/comparators.rs:

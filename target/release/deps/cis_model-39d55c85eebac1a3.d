@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cis_model-39d55c85eebac1a3.d: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/release/deps/libcis_model-39d55c85eebac1a3.rlib: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+/root/repo/target/release/deps/libcis_model-39d55c85eebac1a3.rmeta: crates/model/src/lib.rs crates/model/src/dse.rs crates/model/src/estimator.rs crates/model/src/params.rs crates/model/src/reduction.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dse.rs:
+crates/model/src/estimator.rs:
+crates/model/src/params.rs:
+crates/model/src/reduction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cis_repro-e340be733e4653d4.d: src/lib.rs
+
+/root/repo/target/release/deps/libcis_repro-e340be733e4653d4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcis_repro-e340be733e4653d4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f05e48bbf310b58a.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f05e48bbf310b58a.rlib: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f05e48bbf310b58a.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dse_nextgen-c78c59b8d8913bde.d: crates/bench/src/bin/dse_nextgen.rs
+
+/root/repo/target/release/deps/dse_nextgen-c78c59b8d8913bde: crates/bench/src/bin/dse_nextgen.rs
+
+crates/bench/src/bin/dse_nextgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq01_sg_reduction-6d5144b8f96a78d3.d: crates/bench/src/bin/eq01_sg_reduction.rs
+
+/root/repo/target/release/deps/eq01_sg_reduction-6d5144b8f96a78d3: crates/bench/src/bin/eq01_sg_reduction.rs
+
+crates/bench/src/bin/eq01_sg_reduction.rs:

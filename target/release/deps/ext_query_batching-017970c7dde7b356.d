@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_query_batching-017970c7dde7b356.d: crates/bench/src/bin/ext_query_batching.rs
+
+/root/repo/target/release/deps/ext_query_batching-017970c7dde7b356: crates/bench/src/bin/ext_query_batching.rs
+
+crates/bench/src/bin/ext_query_batching.rs:

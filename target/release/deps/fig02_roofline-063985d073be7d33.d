@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_roofline-063985d073be7d33.d: crates/bench/src/bin/fig02_roofline.rs
+
+/root/repo/target/release/deps/fig02_roofline-063985d073be7d33: crates/bench/src/bin/fig02_roofline.rs
+
+crates/bench/src/bin/fig02_roofline.rs:

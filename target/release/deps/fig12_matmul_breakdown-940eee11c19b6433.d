@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_matmul_breakdown-940eee11c19b6433.d: crates/bench/src/bin/fig12_matmul_breakdown.rs
+
+/root/repo/target/release/deps/fig12_matmul_breakdown-940eee11c19b6433: crates/bench/src/bin/fig12_matmul_breakdown.rs
+
+crates/bench/src/bin/fig12_matmul_breakdown.rs:

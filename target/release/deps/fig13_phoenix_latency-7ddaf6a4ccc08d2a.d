@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_phoenix_latency-7ddaf6a4ccc08d2a.d: crates/bench/src/bin/fig13_phoenix_latency.rs
+
+/root/repo/target/release/deps/fig13_phoenix_latency-7ddaf6a4ccc08d2a: crates/bench/src/bin/fig13_phoenix_latency.rs
+
+crates/bench/src/bin/fig13_phoenix_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_rag_e2e-bd7c10f8aaec2502.d: crates/bench/src/bin/fig14_rag_e2e.rs
+
+/root/repo/target/release/deps/fig14_rag_e2e-bd7c10f8aaec2502: crates/bench/src/bin/fig14_rag_e2e.rs
+
+crates/bench/src/bin/fig14_rag_e2e.rs:

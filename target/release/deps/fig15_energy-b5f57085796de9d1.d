@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_energy-b5f57085796de9d1.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/release/deps/fig15_energy-b5f57085796de9d1: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

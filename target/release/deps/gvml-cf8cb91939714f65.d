@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/gvml-cf8cb91939714f65.d: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs
+
+/root/repo/target/release/deps/libgvml-cf8cb91939714f65.rlib: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs
+
+/root/repo/target/release/deps/libgvml-cf8cb91939714f65.rmeta: crates/gvml/src/lib.rs crates/gvml/src/arith.rs crates/gvml/src/bitserial.rs crates/gvml/src/cmp.rs crates/gvml/src/fixed.rs crates/gvml/src/float.rs crates/gvml/src/index.rs crates/gvml/src/minmax.rs crates/gvml/src/movement.rs crates/gvml/src/reduce.rs crates/gvml/src/shift.rs crates/gvml/src/ops_util.rs
+
+crates/gvml/src/lib.rs:
+crates/gvml/src/arith.rs:
+crates/gvml/src/bitserial.rs:
+crates/gvml/src/cmp.rs:
+crates/gvml/src/fixed.rs:
+crates/gvml/src/float.rs:
+crates/gvml/src/index.rs:
+crates/gvml/src/minmax.rs:
+crates/gvml/src/movement.rs:
+crates/gvml/src/reduce.rs:
+crates/gvml/src/shift.rs:
+crates/gvml/src/ops_util.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbm_sim-944af4da0aa75aa7.d: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+/root/repo/target/release/deps/libhbm_sim-944af4da0aa75aa7.rlib: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+/root/repo/target/release/deps/libhbm_sim-944af4da0aa75aa7.rmeta: crates/hbm-sim/src/lib.rs crates/hbm-sim/src/address.rs crates/hbm-sim/src/energy.rs crates/hbm-sim/src/spec.rs crates/hbm-sim/src/system.rs
+
+crates/hbm-sim/src/lib.rs:
+crates/hbm-sim/src/address.rs:
+crates/hbm-sim/src/energy.rs:
+crates/hbm-sim/src/spec.rs:
+crates/hbm-sim/src/system.rs:

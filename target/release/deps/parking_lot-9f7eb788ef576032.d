@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-9f7eb788ef576032.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-9f7eb788ef576032.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-9f7eb788ef576032.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/phoenix-9a637e8f99896b9e.d: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs
+
+/root/repo/target/release/deps/libphoenix-9a637e8f99896b9e.rlib: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs
+
+/root/repo/target/release/deps/libphoenix-9a637e8f99896b9e.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/common.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/revindex.rs crates/phoenix/src/strmatch.rs crates/phoenix/src/textops.rs crates/phoenix/src/wordcount.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/common.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/revindex.rs:
+crates/phoenix/src/strmatch.rs:
+crates/phoenix/src/textops.rs:
+crates/phoenix/src/wordcount.rs:

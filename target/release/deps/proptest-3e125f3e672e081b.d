@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3e125f3e672e081b.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3e125f3e672e081b.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3e125f3e672e081b.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

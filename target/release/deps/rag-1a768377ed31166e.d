@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rag-1a768377ed31166e.d: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/release/deps/librag-1a768377ed31166e.rlib: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+/root/repo/target/release/deps/librag-1a768377ed31166e.rmeta: crates/rag/src/lib.rs crates/rag/src/apu.rs crates/rag/src/batch.rs crates/rag/src/corpus.rs crates/rag/src/cpu.rs crates/rag/src/gpu.rs crates/rag/src/pipeline.rs crates/rag/src/serve.rs
+
+crates/rag/src/lib.rs:
+crates/rag/src/apu.rs:
+crates/rag/src/batch.rs:
+crates/rag/src/corpus.rs:
+crates/rag/src/cpu.rs:
+crates/rag/src/gpu.rs:
+crates/rag/src/pipeline.rs:
+crates/rag/src/serve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f5bd9a01b135e76c.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f5bd9a01b135e76c.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f5bd9a01b135e76c.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-14cbf1102b605dc7.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-14cbf1102b605dc7.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-14cbf1102b605dc7.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_qps-ca81615346a9bbe8.d: crates/bench/src/bin/serve_qps.rs
+
+/root/repo/target/release/deps/serve_qps-ca81615346a9bbe8: crates/bench/src/bin/serve_qps.rs
+
+crates/bench/src/bin/serve_qps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_devices-4fc77cae84ca5060.d: crates/bench/src/bin/tab01_devices.rs
+
+/root/repo/target/release/deps/tab01_devices-4fc77cae84ca5060: crates/bench/src/bin/tab01_devices.rs
+
+crates/bench/src/bin/tab01_devices.rs:

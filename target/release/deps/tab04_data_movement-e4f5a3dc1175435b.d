@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab04_data_movement-e4f5a3dc1175435b.d: crates/bench/src/bin/tab04_data_movement.rs
+
+/root/repo/target/release/deps/tab04_data_movement-e4f5a3dc1175435b: crates/bench/src/bin/tab04_data_movement.rs
+
+crates/bench/src/bin/tab04_data_movement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab05_compute_ops-38ead5ca350dba33.d: crates/bench/src/bin/tab05_compute_ops.rs
+
+/root/repo/target/release/deps/tab05_compute_ops-38ead5ca350dba33: crates/bench/src/bin/tab05_compute_ops.rs
+
+crates/bench/src/bin/tab05_compute_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab06_phoenix_stats-aa1fe477e22779e6.d: crates/bench/src/bin/tab06_phoenix_stats.rs
+
+/root/repo/target/release/deps/tab06_phoenix_stats-aa1fe477e22779e6: crates/bench/src/bin/tab06_phoenix_stats.rs
+
+crates/bench/src/bin/tab06_phoenix_stats.rs:

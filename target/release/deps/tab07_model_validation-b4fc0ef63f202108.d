@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab07_model_validation-b4fc0ef63f202108.d: crates/bench/src/bin/tab07_model_validation.rs
+
+/root/repo/target/release/deps/tab07_model_validation-b4fc0ef63f202108: crates/bench/src/bin/tab07_model_validation.rs
+
+crates/bench/src/bin/tab07_model_validation.rs:

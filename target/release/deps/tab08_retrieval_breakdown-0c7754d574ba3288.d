@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab08_retrieval_breakdown-0c7754d574ba3288.d: crates/bench/src/bin/tab08_retrieval_breakdown.rs
+
+/root/repo/target/release/deps/tab08_retrieval_breakdown-0c7754d574ba3288: crates/bench/src/bin/tab08_retrieval_breakdown.rs
+
+crates/bench/src/bin/tab08_retrieval_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b93d8ce1ef9e2604.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b93d8ce1ef9e2604: examples/quickstart.rs
+
+examples/quickstart.rs:

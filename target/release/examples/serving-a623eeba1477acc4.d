@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving-a623eeba1477acc4.d: examples/serving.rs
+
+/root/repo/target/release/examples/serving-a623eeba1477acc4: examples/serving.rs
+
+examples/serving.rs:
