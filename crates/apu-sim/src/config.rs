@@ -163,16 +163,20 @@ mod tests {
 
     #[test]
     fn validation_catches_tiny_l2() {
-        let mut cfg = SimConfig::default();
-        cfg.l2_bytes = 1024;
+        let cfg = SimConfig {
+            l2_bytes: 1024,
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn validation_catches_bank_mismatch() {
-        let mut cfg = SimConfig::default();
-        cfg.vr_len = 1000; // not a multiple of 16
-        cfg.l2_bytes = 1_000_000;
+        let cfg = SimConfig {
+            vr_len: 1000, // not a multiple of 16
+            l2_bytes: 1_000_000,
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -472,9 +472,11 @@ mod tests {
     use crate::micro::{SliceMask, WriteSrc};
 
     fn small_core() -> ApuCore {
-        let mut cfg = SimConfig::default();
-        cfg.vr_len = 64;
-        cfg.l2_bytes = 128;
+        let cfg = SimConfig {
+            vr_len: 64,
+            l2_bytes: 128,
+            ..SimConfig::default()
+        };
         ApuCore::new(0, cfg)
     }
 
@@ -560,10 +562,12 @@ mod tests {
 
     #[test]
     fn timing_only_mode_skips_data_but_charges() {
-        let mut cfg = SimConfig::default();
-        cfg.vr_len = 64;
-        cfg.l2_bytes = 128;
-        cfg.exec_mode = crate::config::ExecMode::TimingOnly;
+        let cfg = SimConfig {
+            vr_len: 64,
+            l2_bytes: 128,
+            exec_mode: crate::config::ExecMode::TimingOnly,
+            ..SimConfig::default()
+        };
         let mut c = ApuCore::new(0, cfg);
         c.vr_mut(Vr::new(0)).unwrap().fill(0xFFFF);
         c.issue_micro(&MicroOp::ReadVr {

@@ -506,8 +506,10 @@ mod tests {
 
     #[test]
     fn try_new_reports_invalid_configs() {
-        let mut cfg = SimConfig::default();
-        cfg.cores = 0;
+        let cfg = SimConfig {
+            cores: 0,
+            ..SimConfig::default()
+        };
         assert!(matches!(ApuDevice::try_new(cfg), Err(Error::InvalidArg(_))));
         assert!(ApuDevice::try_new(SimConfig::default().with_l4_bytes(1 << 20)).is_ok());
     }
@@ -600,7 +602,7 @@ mod tests {
     #[test]
     fn parallel_rejects_too_many_tasks() {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
-        let tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()>>> = (0..5)
+        let tasks: Vec<CoreTask<'_>> = (0..5)
             .map(|_| Box::new(|_: &mut ApuContext<'_>| Ok(())) as _)
             .collect();
         assert!(dev.run_parallel(tasks).is_err());

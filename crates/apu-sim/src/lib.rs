@@ -90,7 +90,7 @@ pub use dma_async::DmaTicket;
 pub use error::Error;
 pub use mem::{MemHandle, Pod};
 pub use micro::{BitOp, LatchSrc, MicroOp, SliceMask, WriteSrc};
-pub use queue::{Completion, DeviceQueue, Priority, QueueConfig, QueueStats, TaskHandle};
+pub use queue::{BatchKey, Completion, DeviceQueue, Priority, QueueConfig, QueueStats, TaskHandle};
 pub use stats::VcuStats;
 pub use timing::{DeviceTiming, VecOp};
 

@@ -22,9 +22,26 @@
 //! * admission control bounds the backlog: submissions beyond
 //!   [`QueueConfig::max_pending`] are rejected with [`Error::QueueFull`].
 //!
+//! # Continuous batching
+//!
+//! Jobs submitted through [`DeviceQueue::submit_batchable`] declare a
+//! [`BatchKey`]: when such a job reaches the head of the line, the
+//! dispatcher coalesces it with every pending job of the *same priority
+//! and key* — in submission order, up to [`QueueConfig::max_batch`]
+//! members — whose arrival falls within [`QueueConfig::max_batch_wait`]
+//! of the dispatch opportunity. The members run as **one** device
+//! dispatch (the batch runner receives every member's payload), and the
+//! completions fan back out individually: each member keeps its own
+//! arrival, is charged the batch's start and finish (so early arrivals
+//! pay the wait for stragglers), and reports the batch-wide
+//! [`TaskReport`]. Batches never mix priority classes or keys, and
+//! admission control is unaffected: capacity is consumed per submission,
+//! not per dispatch.
+//!
 //! Per-queue counters ([`QueueStats`]) mirror the [`crate::VcuStats`]
-//! style: monotone counts plus accumulated wait/service/latency and a
-//! latency reservoir for percentile reporting.
+//! style: monotone counts plus accumulated wait/service/latency, a
+//! latency reservoir for percentile reporting, and batch-size /
+//! occupancy accounting for the continuous-batching dispatcher.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -33,6 +50,8 @@ use std::time::Duration;
 use crate::device::{ApuContext, ApuDevice, TaskReport};
 use crate::error::Error;
 use crate::Result;
+
+pub use crate::stats::{percentile, QueueStats};
 
 /// Dispatch priority of a queued task. Lower discriminant = served first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,17 +76,49 @@ impl TaskHandle {
     }
 }
 
+/// Batch-compatibility class of a [`DeviceQueue::submit_batchable`]
+/// submission: jobs may be coalesced into one device dispatch only when
+/// they share a key (and a [`Priority`]). Producers derive the key from
+/// whatever makes dispatches fungible — e.g. the RAG layer keys on the
+/// corpus and `k` so only same-corpus retrievals ever share a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey(u64);
+
+impl BatchKey {
+    /// Wraps a caller-chosen class discriminant.
+    pub const fn new(v: u64) -> Self {
+        BatchKey(v)
+    }
+
+    /// The raw class discriminant.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
 /// Configuration of a [`DeviceQueue`].
 #[derive(Debug, Clone)]
 pub struct QueueConfig {
     /// Maximum number of not-yet-dispatched tasks; submissions beyond
     /// this are rejected with [`Error::QueueFull`] (admission control).
     pub max_pending: usize,
+    /// Most batchable jobs coalesced into one device dispatch. The
+    /// default of 1 disables coalescing.
+    pub max_batch: usize,
+    /// How long past a dispatch opportunity the head-of-line batchable
+    /// job waits for same-class stragglers (bounds batching-induced
+    /// latency). Zero — the default — coalesces only jobs that already
+    /// arrived.
+    pub max_batch_wait: Duration,
 }
 
 impl Default for QueueConfig {
     fn default() -> Self {
-        QueueConfig { max_pending: 1024 }
+        QueueConfig {
+            max_pending: 1024,
+            max_batch: 1,
+            max_batch_wait: Duration::ZERO,
+        }
     }
 }
 
@@ -78,85 +129,20 @@ impl QueueConfig {
         self.max_pending = max_pending;
         self
     }
-}
 
-/// Monotone per-queue counters, in the style of [`crate::VcuStats`].
-#[derive(Debug, Clone, Default)]
-pub struct QueueStats {
-    /// Tasks accepted by `submit`.
-    pub submitted: u64,
-    /// Tasks rejected by admission control.
-    pub rejected: u64,
-    /// Tasks that ran to completion.
-    pub completed: u64,
-    /// Tasks whose job returned an error.
-    pub failed: u64,
-    /// Multi-query batch jobs dispatched (see `submit_weighted`).
-    pub batches: u64,
-    /// Logical tasks folded into those batch jobs.
-    pub batched_tasks: u64,
-    /// Accumulated queueing delay (start − arrival) over completions.
-    pub total_wait: Duration,
-    /// Accumulated service time (finish − start) over completions.
-    pub total_service: Duration,
-    /// Accumulated end-to-end latency (finish − arrival).
-    pub total_latency: Duration,
-    /// Per-completion end-to-end latencies, for percentile reporting.
-    pub latency_samples: Vec<Duration>,
-    /// Core-seconds of busy time (`cores_used × service`).
-    pub busy: Duration,
-    /// Virtual time of the latest finish.
-    pub makespan: Duration,
-    /// Number of device cores the queue schedules over.
-    pub cores: usize,
-}
-
-impl QueueStats {
-    /// Mean end-to-end latency over completions, or zero when idle.
-    pub fn mean_latency(&self) -> Duration {
-        if self.completed == 0 {
-            Duration::ZERO
-        } else {
-            self.total_latency / self.completed as u32
-        }
+    /// Sets the continuous-batching coalescing bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
     }
 
-    /// Latency percentile `q` in `[0, 1]` over completed tasks (nearest
-    /// rank), or zero when no task completed.
-    pub fn latency_percentile(&self, q: f64) -> Duration {
-        percentile(&self.latency_samples, q)
+    /// Sets how long a head-of-line batchable job waits for stragglers.
+    #[must_use]
+    pub fn with_max_batch_wait(mut self, max_batch_wait: Duration) -> Self {
+        self.max_batch_wait = max_batch_wait;
+        self
     }
-
-    /// Fraction of core-time spent busy over the queue's makespan.
-    pub fn occupancy(&self) -> f64 {
-        let wall = self.makespan.as_secs_f64() * self.cores as f64;
-        if wall <= 0.0 {
-            0.0
-        } else {
-            self.busy.as_secs_f64() / wall
-        }
-    }
-
-    /// Sustained completions per second over the makespan.
-    pub fn throughput(&self) -> f64 {
-        let wall = self.makespan.as_secs_f64();
-        if wall <= 0.0 {
-            0.0
-        } else {
-            self.completed as f64 / wall
-        }
-    }
-}
-
-/// Nearest-rank percentile of a (not necessarily sorted) sample set.
-pub fn percentile(samples: &[Duration], q: f64) -> Duration {
-    if samples.is_empty() {
-        return Duration::ZERO;
-    }
-    let mut sorted: Vec<Duration> = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
 }
 
 /// A retired task: scheduling timestamps, the device-side [`TaskReport`],
@@ -173,7 +159,18 @@ pub struct Completion {
     pub started_at: Duration,
     /// Retire time (`started_at` + service).
     pub finished_at: Duration,
-    /// Device-side execution report.
+    /// Logical tasks the carrying dispatch coalesced (1 when unbatched;
+    /// the declared weight for `submit_weighted` jobs).
+    pub batch_size: usize,
+    /// Sequence number of the device dispatch that carried this task —
+    /// batch members share it, so it identifies who rode together.
+    pub dispatch: u64,
+    /// Batch-compatibility key, for tasks submitted via
+    /// [`DeviceQueue::submit_batchable`].
+    pub batch_key: Option<BatchKey>,
+    /// Device-side execution report. For a coalesced batch this is the
+    /// **batch-wide** report, replicated to every member: device cycles
+    /// and stats cover the whole dispatch, not one member's share.
     pub report: TaskReport,
     /// Output produced by the job; downcast with [`Completion::output`].
     pub value: Box<dyn Any>,
@@ -212,12 +209,32 @@ impl Completion {
 /// task report plus an arbitrary output value.
 pub type Job<'t> = Box<dyn FnOnce(&mut ApuDevice) -> Result<(TaskReport, Box<dyn Any>)> + 't>;
 
+/// A batched device job: receives the payloads of every coalesced
+/// member (in submission order) and must return exactly one output per
+/// payload, in the same order, plus the batch-wide [`TaskReport`].
+pub type BatchRunner<'t> = Box<
+    dyn FnOnce(&mut ApuDevice, Vec<Box<dyn Any>>) -> Result<(TaskReport, Vec<Box<dyn Any>>)> + 't,
+>;
+
+enum Work<'t> {
+    /// Dispatches alone.
+    Single(Job<'t>),
+    /// May be coalesced with same-priority, same-key neighbours. Every
+    /// member carries an equivalent `run` closure; the dispatcher uses
+    /// the first member's and drops the rest.
+    Batchable {
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    },
+}
+
 struct Pending<'t> {
     handle: TaskHandle,
     priority: Priority,
     arrival: Duration,
     weight: u64,
-    job: Job<'t>,
+    work: Work<'t>,
 }
 
 /// A serving queue over a borrowed [`ApuDevice`].
@@ -248,6 +265,7 @@ pub struct DeviceQueue<'d, 't> {
     /// Virtual time each core becomes free.
     core_free_at: Vec<Duration>,
     next_id: u64,
+    next_dispatch: u64,
     stats: QueueStats,
 }
 
@@ -262,6 +280,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             completions: Vec::new(),
             core_free_at: vec![Duration::ZERO; cores],
             next_id: 0,
+            next_dispatch: 0,
             stats: QueueStats {
                 cores,
                 ..QueueStats::default()
@@ -328,6 +347,45 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         if weight == 0 {
             return Err(Error::InvalidArg("batch weight must be non-zero".into()));
         }
+        let handle = self.admit(priority, arrival, weight, Work::Single(job))?;
+        if weight > 1 {
+            self.stats.batches += 1;
+            self.stats.batched_tasks += weight;
+        }
+        Ok(handle)
+    }
+
+    /// Submits a job eligible for **continuous batching**: when it
+    /// reaches the head of the line, the dispatcher may coalesce it with
+    /// other pending submissions sharing its `priority` and `key` (see
+    /// the [module documentation](self)). The `payload` is the member's
+    /// contribution to the batch; `run` executes the whole batch and
+    /// returns one output per payload, in order. Every member submits an
+    /// equivalent runner — only the first member's is invoked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_batchable(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<TaskHandle> {
+        self.admit(priority, arrival, 1, Work::Batchable { key, payload, run })
+    }
+
+    /// Shared admission control: rejects past `max_pending`, assigns a
+    /// handle, and records backlog high-water marks.
+    fn admit(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        weight: u64,
+        work: Work<'t>,
+    ) -> Result<TaskHandle> {
         if self.pending.len() >= self.cfg.max_pending {
             self.stats.rejected += 1;
             return Err(Error::QueueFull {
@@ -338,17 +396,14 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let handle = TaskHandle(self.next_id);
         self.next_id += 1;
         self.stats.submitted += 1;
-        if weight > 1 {
-            self.stats.batches += 1;
-            self.stats.batched_tasks += weight;
-        }
         self.pending.push_back(Pending {
             handle,
             priority,
             arrival,
             weight,
-            job,
+            work,
         });
+        self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
         Ok(handle)
     }
 
@@ -428,19 +483,52 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         })
     }
 
-    /// Dispatches one task: runs its job on the device and places it on
-    /// the virtual timeline. Returns `Ok(None)` when the queue is empty.
+    /// Dispatches one device job — a single task, or a coalesced batch
+    /// of compatible batchable tasks — and places it on the virtual
+    /// timeline. A batch retires one [`Completion`] per member; the last
+    /// is returned. Returns `Ok(None)` when the queue is empty.
     ///
     /// # Errors
     ///
-    /// Propagates the job's error; the task is consumed and counted in
-    /// [`QueueStats::failed`].
+    /// Propagates the job's error; every task of the dispatch is
+    /// consumed and counted in [`QueueStats::failed`].
     pub fn step(&mut self) -> Result<Option<&Completion>> {
         let Some(idx) = self.select() else {
             return Ok(None);
         };
+        match self.pending[idx].work {
+            Work::Single(_) => self.dispatch_single(idx).map(Some),
+            Work::Batchable { .. } => self.dispatch_batch(idx).map(Some),
+        }
+    }
+
+    /// Occupies the `cores_used` earliest-available cores for
+    /// `duration`, starting no earlier than `not_before`. Returns the
+    /// dispatch's `(start, finish, cores_occupied)`.
+    fn occupy(
+        &mut self,
+        cores_used: usize,
+        not_before: Duration,
+        duration: Duration,
+    ) -> (Duration, Duration, usize) {
+        let c = cores_used.clamp(1, self.core_free_at.len());
+        let mut order: Vec<usize> = (0..self.core_free_at.len()).collect();
+        order.sort_by_key(|&i| self.core_free_at[i]);
+        let ready = self.core_free_at[order[c - 1]];
+        let start = not_before.max(ready);
+        let finish = start + duration;
+        for &i in &order[..c] {
+            self.core_free_at[i] = finish;
+        }
+        (start, finish, c)
+    }
+
+    fn dispatch_single(&mut self, idx: usize) -> Result<&Completion> {
         let task = self.pending.remove(idx).expect("selected index is valid");
-        let (report, value) = match (task.job)(self.dev) {
+        let Work::Single(job) = task.work else {
+            unreachable!("dispatch_single is only called on single work");
+        };
+        let (report, value) = match job(self.dev) {
             Ok(out) => out,
             Err(e) => {
                 self.stats.failed += 1;
@@ -448,17 +536,11 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             }
         };
 
-        // Occupy the `cores_used` earliest-available cores.
-        let c = report.cores_used.clamp(1, self.core_free_at.len());
-        let mut order: Vec<usize> = (0..self.core_free_at.len()).collect();
-        order.sort_by_key(|&i| self.core_free_at[i]);
-        let ready = self.core_free_at[order[c - 1]];
-        let start = task.arrival.max(ready);
-        let finish = start + report.duration;
-        for &i in &order[..c] {
-            self.core_free_at[i] = finish;
-        }
-
+        let (start, finish, c) = self.occupy(report.cores_used, task.arrival, report.duration);
+        let dispatch = self.next_dispatch;
+        self.next_dispatch += 1;
+        self.stats.dispatches += 1;
+        self.stats.dispatched_tasks += task.weight;
         self.stats.completed += task.weight;
         self.stats.total_wait += (start - task.arrival) * task.weight as u32;
         self.stats.total_service += report.duration * task.weight as u32;
@@ -476,10 +558,121 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             submitted_at: task.arrival,
             started_at: start,
             finished_at: finish,
+            batch_size: task.weight as usize,
+            dispatch,
+            batch_key: None,
             report,
             value,
         });
-        Ok(self.completions.last())
+        Ok(self.completions.last().expect("completion just pushed"))
+    }
+
+    fn dispatch_batch(&mut self, idx: usize) -> Result<&Completion> {
+        let (head_priority, head_key, head_arrival) = {
+            let head = &self.pending[idx];
+            let Work::Batchable { key, .. } = &head.work else {
+                unreachable!("dispatch_batch is only called on batchable work");
+            };
+            (head.priority, *key, head.arrival)
+        };
+        let horizon = self
+            .core_free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Duration::ZERO);
+        let window_close = head_arrival.max(horizon) + self.cfg.max_batch_wait;
+
+        // Batch membership is FIFO in submission order over the whole
+        // backlog: the first `max_batch` jobs of the head's (priority,
+        // key) class arriving inside the window ride together.
+        let mut member_idx: Vec<usize> = Vec::new();
+        for (i, p) in self.pending.iter().enumerate() {
+            if member_idx.len() >= self.cfg.max_batch.max(1) {
+                break;
+            }
+            let compatible = p.priority == head_priority
+                && matches!(&p.work, Work::Batchable { key, .. } if *key == head_key)
+                && p.arrival <= window_close;
+            if compatible {
+                member_idx.push(i);
+            }
+        }
+
+        // Remove back-to-front so earlier indices stay valid, then
+        // restore submission order.
+        let mut members: Vec<Pending<'t>> = Vec::with_capacity(member_idx.len());
+        for &i in member_idx.iter().rev() {
+            members.push(self.pending.remove(i).expect("member index is valid"));
+        }
+        members.reverse();
+
+        let mut payloads = Vec::with_capacity(members.len());
+        let mut runner: Option<BatchRunner<'t>> = None;
+        let mut meta: Vec<(TaskHandle, Priority, Duration)> = Vec::with_capacity(members.len());
+        let mut latest_arrival = Duration::ZERO;
+        for m in members {
+            let Work::Batchable { payload, run, .. } = m.work else {
+                unreachable!("members are filtered to batchable work");
+            };
+            payloads.push(payload);
+            if runner.is_none() {
+                runner = Some(run);
+            }
+            latest_arrival = latest_arrival.max(m.arrival);
+            meta.push((m.handle, m.priority, m.arrival));
+        }
+        let n = meta.len();
+        let run = runner.expect("batch has at least its head member");
+        let (report, outputs) = match run(self.dev, payloads) {
+            Ok(out) => out,
+            Err(e) => {
+                self.stats.failed += n as u64;
+                return Err(e);
+            }
+        };
+        if outputs.len() != n {
+            self.stats.failed += n as u64;
+            return Err(Error::TaskFailed(format!(
+                "batch runner returned {} outputs for {n} members",
+                outputs.len()
+            )));
+        }
+
+        // One device dispatch for the whole batch; it cannot start
+        // before its last member arrived.
+        let (start, finish, c) = self.occupy(report.cores_used, latest_arrival, report.duration);
+        let dispatch = self.next_dispatch;
+        self.next_dispatch += 1;
+        self.stats.dispatches += 1;
+        self.stats.dispatched_tasks += n as u64;
+        self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
+        self.stats.busy += report.duration * c as u32;
+        self.stats.makespan = self.stats.makespan.max(finish);
+
+        // Fan the completions back out: each member keeps its own
+        // arrival and is charged the shared start/finish.
+        for ((handle, priority, arrival), value) in meta.into_iter().zip(outputs) {
+            self.stats.completed += 1;
+            self.stats.total_wait += start - arrival;
+            self.stats.total_service += report.duration;
+            let latency = finish - arrival;
+            self.stats.total_latency += latency;
+            self.stats.latency_samples.push(latency);
+            self.completions.push(Completion {
+                handle,
+                priority,
+                submitted_at: arrival,
+                started_at: start,
+                finished_at: finish,
+                batch_size: n,
+                dispatch,
+                batch_key: Some(head_key),
+                report: report.clone(),
+                value,
+            });
+        }
+        Ok(self.completions.last().expect("batch pushed completions"))
     }
 
     /// Dispatches until the given task retires and returns its
@@ -673,7 +866,7 @@ mod tests {
         let cores = dev.config().cores;
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         q.submit_job(Priority::Normal, Duration::ZERO, move |dev| {
-            let tasks: Vec<Box<dyn FnOnce(&mut ApuContext<'_>) -> Result<()>>> = (0..cores)
+            let tasks: Vec<crate::CoreTask<'_>> = (0..cores)
                 .map(|_| {
                     Box::new(|ctx: &mut ApuContext<'_>| {
                         ctx.core_mut().charge(VecOp::AddU16);
@@ -747,6 +940,196 @@ mod tests {
         q.drain().unwrap();
         // Handle retired and drained away: no longer known.
         assert!(q.wait(h).is_err());
+    }
+
+    /// A batch runner that charges one op for the whole dispatch and
+    /// echoes every member's payload back as its output.
+    fn echo_runner<'t>(op: VecOp) -> BatchRunner<'t> {
+        Box::new(move |dev: &mut ApuDevice, payloads: Vec<Box<dyn Any>>| {
+            let report = dev.run_task(charge_kernel(op))?;
+            Ok((report, payloads))
+        })
+    }
+
+    fn submit_echo(
+        q: &mut DeviceQueue<'_, '_>,
+        priority: Priority,
+        arrival: Duration,
+        key: BatchKey,
+        tag: u32,
+    ) -> TaskHandle {
+        q.submit_batchable(
+            priority,
+            arrival,
+            key,
+            Box::new(tag),
+            echo_runner(VecOp::AddU16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batchable_jobs_coalesce_up_to_max_batch() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(3));
+        let key = BatchKey::new(7);
+        let handles: Vec<TaskHandle> = (0..5)
+            .map(|i| submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, i))
+            .collect();
+        let done = q.drain().unwrap();
+        assert_eq!(done.len(), 5);
+        // First dispatch carries three members, the second the rest.
+        let by_handle = |h: TaskHandle| done.iter().find(|c| c.handle == h).unwrap();
+        for (i, &h) in handles.iter().enumerate() {
+            let c = by_handle(h);
+            assert_eq!(c.batch_key, Some(key));
+            // Payloads fan back out to their own submitters.
+            assert_eq!(c.output::<u32>(), Some(&(i as u32)));
+            assert_eq!(c.batch_size, if i < 3 { 3 } else { 2 });
+            assert_eq!(c.dispatch, if i < 3 { 0 } else { 1 });
+        }
+        let s = q.stats();
+        assert_eq!(s.dispatches, 2);
+        assert_eq!(s.dispatched_tasks, 5);
+        assert_eq!(s.max_batch_size, 3);
+        assert_eq!(s.completed, 5);
+        assert_eq!(s.peak_pending, 5);
+        assert!((s.mean_batch_size() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batches_never_mix_keys_or_priorities() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(8));
+        let (ka, kb) = (BatchKey::new(1), BatchKey::new(2));
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, ka, 0);
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, kb, 1);
+        submit_echo(&mut q, Priority::High, Duration::ZERO, ka, 2);
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, ka, 3);
+        let done = q.drain().unwrap();
+        for c in &done {
+            let peers: Vec<_> = done.iter().filter(|o| o.dispatch == c.dispatch).collect();
+            assert!(peers.iter().all(|o| o.batch_key == c.batch_key));
+            assert!(peers.iter().all(|o| o.priority == c.priority));
+        }
+        // Only the two (Normal, ka) jobs could coalesce.
+        assert_eq!(q.stats().dispatches, 3);
+        assert_eq!(q.stats().max_batch_size, 2);
+    }
+
+    #[test]
+    fn max_batch_wait_pulls_in_stragglers() {
+        let late = Duration::from_millis(1);
+        let key = BatchKey::new(3);
+
+        // Without a wait window, the head dispatches alone.
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(4));
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, 0);
+        submit_echo(&mut q, Priority::Normal, late, key, 1);
+        let done = q.drain().unwrap();
+        assert!(done.iter().all(|c| c.batch_size == 1));
+
+        // With the window open past the straggler's arrival, one batch
+        // forms and the early member is charged the wait.
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default()
+                .with_max_batch(4)
+                .with_max_batch_wait(late),
+        );
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, 0);
+        submit_echo(&mut q, Priority::Normal, late, key, 1);
+        let done = q.drain().unwrap();
+        assert!(done.iter().all(|c| c.batch_size == 2));
+        let early = done
+            .iter()
+            .find(|c| c.submitted_at == Duration::ZERO)
+            .unwrap();
+        assert_eq!(early.started_at, late, "batch waits for its last member");
+        assert!(early.wait() >= late);
+    }
+
+    #[test]
+    fn fifo_within_class_is_preserved_under_batching() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(2));
+        let key = BatchKey::new(9);
+        let handles: Vec<TaskHandle> = (0..6)
+            .map(|i| submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, i))
+            .collect();
+        let done = q.drain().unwrap();
+        let starts: Vec<Duration> = handles
+            .iter()
+            .map(|&h| done.iter().find(|c| c.handle == h).unwrap().started_at)
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        // Members ride with their submission neighbours: {0,1} {2,3} {4,5}.
+        let dispatch_of = |h: TaskHandle| done.iter().find(|c| c.handle == h).unwrap().dispatch;
+        for pair in handles.chunks(2) {
+            assert_eq!(dispatch_of(pair[0]), dispatch_of(pair[1]));
+        }
+    }
+
+    #[test]
+    fn queue_full_fires_at_exactly_max_pending_with_batching() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default()
+                .with_max_pending(3)
+                .with_max_batch(12),
+        );
+        let key = BatchKey::new(4);
+        for i in 0..3 {
+            submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, i);
+        }
+        let r = q.submit_batchable(
+            Priority::Normal,
+            Duration::ZERO,
+            key,
+            Box::new(3u32),
+            echo_runner(VecOp::AddU16),
+        );
+        assert!(matches!(
+            r,
+            Err(Error::QueueFull {
+                pending: 3,
+                capacity: 3
+            })
+        ));
+        assert_eq!(q.stats().rejected, 1);
+        // Draining coalesces the backlog into one dispatch and frees
+        // all three admission slots at once.
+        q.drain().unwrap();
+        assert_eq!(q.stats().dispatches, 1);
+        assert_eq!(q.stats().max_batch_size, 3);
+        assert!(q
+            .submit_batchable(
+                Priority::Normal,
+                Duration::ZERO,
+                key,
+                Box::new(4u32),
+                echo_runner(VecOp::AddU16),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_runner_output_arity_is_validated() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(4));
+        let key = BatchKey::new(5);
+        let bad: BatchRunner<'_> = Box::new(|dev: &mut ApuDevice, _payloads| {
+            let report = dev.run_task(charge_kernel(VecOp::AddU16))?;
+            Ok((report, Vec::new())) // wrong: drops every output
+        });
+        q.submit_batchable(Priority::Normal, Duration::ZERO, key, Box::new(0u32), bad)
+            .unwrap();
+        submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, 1);
+        assert!(matches!(q.drain(), Err(Error::TaskFailed(_))));
+        assert_eq!(q.stats().failed, 2);
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Vector Command Unit statistics.
+//! Vector Command Unit and serving-queue statistics.
 //!
 //! The paper's Table 6 reports the number of APU µCode instructions per
-//! workload "as reported by the Vector Command Unit"; this module is the
+//! workload "as reported by the Vector Command Unit"; [`VcuStats`] is the
 //! simulator's equivalent counter, plus the per-class cycle attribution
-//! consumed by the energy model (`cis-energy`).
+//! consumed by the energy model (`cis-energy`). [`QueueStats`] carries
+//! the serving-side counters of the [`crate::DeviceQueue`] dispatcher —
+//! wait/service/latency accumulation, occupancy, and continuous-batching
+//! batch-size accounting.
 
 use std::collections::BTreeMap;
 use std::ops::Sub;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +145,109 @@ impl Sub for &VcuStats {
             per_op,
         }
     }
+}
+
+/// Monotone per-queue counters, in the style of [`VcuStats`].
+///
+/// Tracked by [`crate::DeviceQueue`]: admission and completion counts,
+/// accumulated wait/service/latency with a latency reservoir for
+/// percentile reporting, core occupancy, and — for the continuous
+/// batching dispatcher — per-dispatch batch-size and backlog counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Tasks accepted by `submit`.
+    pub submitted: u64,
+    /// Tasks rejected by admission control.
+    pub rejected: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Tasks whose job returned an error.
+    pub failed: u64,
+    /// Multi-query batch jobs dispatched (see `submit_weighted`).
+    pub batches: u64,
+    /// Logical tasks folded into those batch jobs.
+    pub batched_tasks: u64,
+    /// Device dispatches issued; a coalesced batch counts once.
+    pub dispatches: u64,
+    /// Logical tasks carried by those dispatches (batch members, plus
+    /// the declared weight of `submit_weighted` jobs).
+    pub dispatched_tasks: u64,
+    /// Largest batch the continuous-batching dispatcher coalesced.
+    pub max_batch_size: u64,
+    /// Largest backlog observed at submission time.
+    pub peak_pending: usize,
+    /// Accumulated queueing delay (start − arrival) over completions.
+    pub total_wait: Duration,
+    /// Accumulated service time (finish − start) over completions.
+    pub total_service: Duration,
+    /// Accumulated end-to-end latency (finish − arrival).
+    pub total_latency: Duration,
+    /// Per-completion end-to-end latencies, for percentile reporting.
+    pub latency_samples: Vec<Duration>,
+    /// Core-seconds of busy time (`cores_used × service`).
+    pub busy: Duration,
+    /// Virtual time of the latest finish.
+    pub makespan: Duration,
+    /// Number of device cores the queue schedules over.
+    pub cores: usize,
+}
+
+impl QueueStats {
+    /// Mean end-to-end latency over completions, or zero when idle.
+    pub fn mean_latency(&self) -> Duration {
+        if self.completed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.completed as u32
+        }
+    }
+
+    /// Latency percentile `q` in `[0, 1]` over completed tasks (nearest
+    /// rank), or zero when no task completed.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        percentile(&self.latency_samples, q)
+    }
+
+    /// Fraction of core-time spent busy over the queue's makespan.
+    pub fn occupancy(&self) -> f64 {
+        let wall = self.makespan.as_secs_f64() * self.cores as f64;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / wall
+        }
+    }
+
+    /// Sustained completions per second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        let wall = self.makespan.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / wall
+        }
+    }
+
+    /// Mean logical tasks per device dispatch (1.0 = no coalescing), or
+    /// zero before the first dispatch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.dispatched_tasks as f64 / self.dispatches as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of a (not necessarily sorted) sample set.
+pub fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! Golden calibration tests: the simulator's per-op cycle costs must
+//! keep matching the **measured** columns of the paper's Tables 4 and 5
+//! (GSI Leda-E control-processor cycle counters), and the serving queue
+//! must charge exactly those costs on its virtual timeline. This is the
+//! regression guard for `timing.rs` against scheduler-layer changes.
+
+use std::time::Duration;
+
+use apu_sim::{
+    ApuDevice, Cycles, DeviceQueue, DeviceTiming, Priority, QueueConfig, SimConfig, VecOp,
+};
+
+/// Table 5 measured column (cycles per 32K-element vector command).
+const TABLE5_GOLDEN: &[(VecOp, u64)] = &[
+    (VecOp::And16, 12),
+    (VecOp::Or16, 8),
+    (VecOp::Not16, 10),
+    (VecOp::Xor16, 12),
+    (VecOp::AShift, 15),
+    (VecOp::AddU16, 12),
+    (VecOp::AddS16, 13),
+    (VecOp::SubU16, 15),
+    (VecOp::SubS16, 16),
+    (VecOp::Popcnt16, 23),
+    (VecOp::MulU16, 115),
+    (VecOp::MulS16, 201),
+    (VecOp::MulF16, 77),
+    (VecOp::DivU16, 664),
+    (VecOp::DivS16, 739),
+    (VecOp::Eq16, 13),
+    (VecOp::GtU16, 13),
+    (VecOp::LtU16, 13),
+    (VecOp::LtGf16, 45),
+    (VecOp::GeU16, 13),
+    (VecOp::LeU16, 13),
+    (VecOp::RecipU16, 735),
+    (VecOp::ExpF16, 40295),
+    (VecOp::SinFx, 761),
+    (VecOp::CosFx, 761),
+    (VecOp::CountM, 239),
+];
+
+/// Table 4 constant rows (movement primitives with fixed cost).
+const TABLE4_GOLDEN: &[(VecOp, u64)] = &[
+    (VecOp::LdSt, 29),
+    (VecOp::Cpy, 29),
+    (VecOp::CpySubgrp, 82),
+    (VecOp::CpyImm, 13),
+];
+
+#[test]
+fn table5_measured_column_is_golden() {
+    let t = DeviceTiming::leda_e();
+    for &(op, cycles) in TABLE5_GOLDEN {
+        assert_eq!(
+            t.op_cycles(op),
+            cycles,
+            "{} drifted from the paper's measured column",
+            op.mnemonic()
+        );
+    }
+}
+
+#[test]
+fn table4_constant_rows_are_golden() {
+    let t = DeviceTiming::leda_e();
+    for &(op, cycles) in TABLE4_GOLDEN {
+        assert_eq!(
+            t.op_cycles(op),
+            cycles,
+            "{} drifted from the paper's measured column",
+            op.mnemonic()
+        );
+    }
+    assert_eq!(t.pio_ld(1), Cycles::new(57));
+    assert_eq!(t.pio_st(1), Cycles::new(61));
+    assert_eq!(t.dma_l2_l1, 386);
+    assert_eq!(t.dma_l4_l1, 22272);
+    assert_eq!(t.dma_l1_l4, 22186);
+}
+
+#[test]
+fn table4_formula_rows_are_golden() {
+    let t = DeviceTiming::leda_e();
+    // DMA: `0.19 d + 41164` (L4→L3) and `0.63 d + 548` (L4→L2).
+    assert_eq!(t.dma_l4_l3(0), Cycles::from_f64(41164.0));
+    assert_eq!(
+        t.dma_l4_l3(1 << 20),
+        Cycles::from_f64(0.19 * (1 << 20) as f64 + 41164.0)
+    );
+    assert_eq!(t.dma_l4_l2(0), Cycles::from_f64(548.0));
+    assert_eq!(t.dma_l4_l2(65536), Cycles::from_f64(0.63 * 65536.0 + 548.0));
+    // Indexed lookup: `7.15 σ + 629`.
+    assert_eq!(t.lookup(1024), Cycles::from_f64(7.15 * 1024.0 + 629.0));
+    // Element shift: `373 k`; intra-bank shift: `8 + k`.
+    assert_eq!(t.shift_e(9), Cycles::new(373 * 9));
+    assert_eq!(t.shift_bank(6), Cycles::new(8 + 6));
+}
+
+/// The queue's virtual timeline must charge the calibrated cost plus
+/// the per-command issue overhead — no more, no less — for every op,
+/// whether the job is dispatched alone or coalesced into a batch.
+#[test]
+fn queue_dispatch_charges_calibrated_op_costs() {
+    let golden: Vec<(VecOp, u64)> = TABLE5_GOLDEN.iter().chain(TABLE4_GOLDEN).copied().collect();
+    let t = DeviceTiming::leda_e();
+    for (op, cycles) in golden {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit_kernel(Priority::Normal, move |ctx| {
+                ctx.core_mut().charge(op);
+                Ok(())
+            })
+            .expect("submission");
+        let done = q.wait(h).expect("dispatch");
+        assert_eq!(
+            done.report.cycles,
+            Cycles::new(cycles + t.cmd_issue),
+            "queued {} must cost its Table 4/5 cycles plus cmd_issue",
+            op.mnemonic()
+        );
+        assert_eq!(done.report.stats.commands, 1);
+    }
+}
+
+/// Batch coalescing must not distort per-op accounting: a batched
+/// dispatch charging one op reports the same cycles as the same job
+/// dispatched alone.
+#[test]
+fn batched_dispatch_charges_the_same_cycles_as_single() {
+    let run = |max_batch: usize| -> (Cycles, Duration) {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(max_batch));
+        for _ in 0..3 {
+            q.submit_batchable(
+                Priority::Normal,
+                Duration::ZERO,
+                apu_sim::BatchKey::new(1),
+                Box::new(()),
+                Box::new(|dev: &mut ApuDevice, payloads| {
+                    let report = dev.run_task(|ctx| {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                        Ok(())
+                    })?;
+                    Ok((report, payloads))
+                }),
+            )
+            .expect("submission");
+        }
+        let done = q.drain().expect("drain");
+        (done[0].report.cycles, done[0].report.duration)
+    };
+    let (single_cycles, _) = run(1);
+    let (batched_cycles, _) = run(3);
+    assert_eq!(single_cycles, batched_cycles);
+    let t = DeviceTiming::leda_e();
+    assert_eq!(single_cycles, Cycles::new(t.mul_s16 + t.cmd_issue));
+}

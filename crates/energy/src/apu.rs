@@ -123,9 +123,11 @@ mod tests {
     fn fake_report(total_ms: f64, compute_frac: f64, dma_frac: f64) -> TaskReport {
         let clock = Frequency::LEDA_E;
         let total_cycles = (total_ms / 1e3 * clock.hz()) as u64;
-        let mut stats = VcuStats::default();
-        stats.compute_cycles = (total_cycles as f64 * compute_frac) as u64;
-        stats.dma_cycles = (total_cycles as f64 * dma_frac) as u64;
+        let stats = VcuStats {
+            compute_cycles: (total_cycles as f64 * compute_frac) as u64,
+            dma_cycles: (total_cycles as f64 * dma_frac) as u64,
+            ..VcuStats::default()
+        };
         TaskReport {
             cycles: Cycles::new(total_cycles),
             duration: Duration::from_secs_f64(total_ms / 1e3),

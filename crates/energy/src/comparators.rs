@@ -100,8 +100,10 @@ mod tests {
         // case: equal latency, full-window accounting on both sides.
         let apu_model = ApuPowerModel::leda_e();
         let secs = 0.0842;
-        let mut stats = VcuStats::default();
-        stats.compute_cycles = (secs * Frequency::LEDA_E.hz() * 0.88) as u64;
+        let stats = VcuStats {
+            compute_cycles: (secs * Frequency::LEDA_E.hz() * 0.88) as u64,
+            ..VcuStats::default()
+        };
         let report = TaskReport {
             cycles: Cycles::new((secs * Frequency::LEDA_E.hz()) as u64),
             duration: Duration::from_secs_f64(secs),

@@ -198,8 +198,8 @@ mod tests {
             );
             core.cpy_subgrp_16(Vr::new(1), Vr::new(0), 256, n)?;
             let d = core.vr(Vr::new(1))?;
-            for i in 0..n {
-                assert_eq!(d[i], 1000 + (i % 256) as u16);
+            for (i, &v) in d.iter().enumerate().take(n) {
+                assert_eq!(v, 1000 + (i % 256) as u16);
             }
             Ok(())
         });

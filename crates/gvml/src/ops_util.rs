@@ -76,8 +76,10 @@ pub(crate) mod test_util {
     /// Builds a small device and runs `f` against core 0, panicking on
     /// error (tests only).
     pub(crate) fn with_core<R>(f: impl FnOnce(&mut ApuCore) -> crate::Result<R>) -> R {
-        let mut cfg = SimConfig::default();
-        cfg.l4_bytes = 1 << 20;
+        let cfg = SimConfig {
+            l4_bytes: 1 << 20,
+            ..SimConfig::default()
+        };
         let mut dev = ApuDevice::new(cfg);
         let mut out = None;
         dev.run_task(|ctx| {

@@ -594,7 +594,10 @@ mod tests {
 
     #[test]
     fn cpu_converges_to_centers() {
-        let input = generate(32 * 1024, 4, 2, 4, 3);
+        // Enough Lloyd iterations to converge: the stability check below
+        // compares against one *additional* iteration, which is only
+        // meaningful once the assignment has settled.
+        let input = generate(32 * 1024, 4, 2, 16, 3);
         let out = cpu(&input);
         // every centroid should sit inside the coordinate range
         for c in &out.centroids {

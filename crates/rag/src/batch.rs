@@ -11,7 +11,9 @@
 //! immediate query broadcasts) and produces exactly the same top-k per
 //! query as the single-query path.
 
-use apu_sim::{ApuDevice, Cycles, Error, TaskReport, Vmr, Vr};
+use std::any::Any;
+
+use apu_sim::{ApuDevice, BatchKey, Cycles, Error, TaskReport, Vmr, Vr};
 use gvml::prelude::*;
 use hbm_sim::MemorySystem;
 
@@ -53,6 +55,62 @@ impl BatchResult {
     pub fn per_query_ms(&self) -> f64 {
         self.breakdown.total_ms() / self.hits.len().max(1) as f64
     }
+}
+
+/// Batch-compatibility key for continuous batching on an
+/// [`apu_sim::DeviceQueue`]: two retrievals may share a device dispatch
+/// only when they search the same store with the same `k`. The key
+/// hashes the store's identity (its address — fungibility is per
+/// instance) together with `k`, so retrievals against different corpora
+/// never coalesce.
+pub fn retrieval_batch_key(store: &EmbeddingStore, k: usize) -> BatchKey {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [store as *const EmbeddingStore as u64, k as u64] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    BatchKey::new(h)
+}
+
+/// Type-erased adapter for [`apu_sim::DeviceQueue::submit_batchable`]:
+/// downcasts each member payload to its query vector (`Vec<i16>`), runs
+/// [`retrieve_batch`] once for the whole dispatch, and re-boxes the
+/// per-query hits (`Vec<Hit>`) in member order.
+///
+/// The returned report's service time is the device execution time
+/// *plus* the off-chip embedding stream — the kernel cannot run ahead
+/// of the stream, and that stream is exactly the cost one batched
+/// dispatch amortizes over its members (an unbatched path re-pays it
+/// per query).
+///
+/// # Errors
+///
+/// Fails when a payload is not a query vector, plus every
+/// [`retrieve_batch`] failure mode.
+pub fn run_boxed_batch(
+    dev: &mut ApuDevice,
+    hbm: &mut MemorySystem,
+    store: &EmbeddingStore,
+    payloads: Vec<Box<dyn Any>>,
+    k: usize,
+) -> Result<(TaskReport, Vec<Box<dyn Any>>)> {
+    let queries: Vec<Vec<i16>> = payloads
+        .into_iter()
+        .map(|p| {
+            p.downcast::<Vec<i16>>()
+                .map(|b| *b)
+                .map_err(|_| Error::InvalidArg("batch payload is not a query vector".into()))
+        })
+        .collect::<Result<_>>()?;
+    let result = retrieve_batch(dev, hbm, store, &queries, k)?;
+    let mut report = result.report;
+    report.duration += std::time::Duration::from_secs_f64(result.breakdown.load_embedding_ms / 1e3);
+    let outputs = result
+        .hits
+        .into_iter()
+        .map(|h| Box::new(h) as Box<dyn Any>)
+        .collect();
+    Ok((report, outputs))
 }
 
 /// Runs one batched top-k retrieval with the all-opts kernel.
@@ -273,7 +331,8 @@ mod tests {
     fn batch_of_one_matches_single_query_path() {
         let (mut dev, mut hbm, store) = setup(20_000);
         let q = store.query(3);
-        let batch = retrieve_batch(&mut dev, &mut hbm, &store, &[q.clone()], 5).unwrap();
+        let batch =
+            retrieve_batch(&mut dev, &mut hbm, &store, std::slice::from_ref(&q), 5).unwrap();
         let mut hbm2 = MemorySystem::new(DramSpec::hbm2e_16gb());
         let (hits, _, _) = ApuRetriever::new(RagVariant::AllOpts)
             .retrieve(&mut dev, &mut hbm2, &store, &q, 5)

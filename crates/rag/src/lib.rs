@@ -30,7 +30,7 @@ pub mod pipeline;
 pub mod serve;
 
 pub use apu::{ApuRetriever, RagVariant, RetrievalBreakdown};
-pub use batch::{retrieve_batch, BatchResult, MAX_BATCH};
+pub use batch::{retrieval_batch_key, retrieve_batch, run_boxed_batch, BatchResult, MAX_BATCH};
 pub use corpus::{CorpusSpec, EmbeddingStore};
 pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};

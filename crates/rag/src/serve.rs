@@ -1,23 +1,28 @@
 //! RAG serving: an online query front-end over the device command queue.
 //!
 //! [`RagServer`] accepts retrieval queries with arrival timestamps (an
-//! open-loop stream), groups compatible queries into VR-limited batches
-//! (at most [`MAX_BATCH`], closing a batch after
-//! [`ServeConfig::batch_window`]), and submits each batch through an
-//! [`apu_sim::DeviceQueue`] as one weighted task. The batch kernel is
-//! [`retrieve_batch`] — the queue path therefore returns *exactly* the
-//! hits the synchronous path returns; what the queue adds is realistic
-//! dispatch: queueing delay, priority, admission control, and per-query
-//! latency accounting on the virtual timeline.
+//! open-loop stream) and submits each one **individually** through an
+//! [`apu_sim::DeviceQueue`] as a batchable task keyed by
+//! [`crate::batch::retrieval_batch_key`]. Batch formation happens in the
+//! queue's continuous-batching dispatcher: at every dispatch opportunity
+//! the scheduler coalesces up to [`ServeConfig::max_batch`] compatible
+//! queries (VR-limited to [`MAX_BATCH`]) whose arrivals fall within
+//! [`ServeConfig::batch_window`] of the head of the line, and runs them
+//! as one [`crate::batch::retrieve_batch`] kernel. The queue path returns
+//! *exactly* the hits the synchronous path returns; what the queue adds
+//! is realistic dispatch: queueing delay, priority, admission control,
+//! batch coalescing, and per-query latency accounting on the virtual
+//! timeline.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::time::Duration;
 
 use apu_sim::queue::percentile;
-use apu_sim::{ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats};
+use apu_sim::{ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, TaskHandle};
 use hbm_sim::MemorySystem;
 
-use crate::batch::{retrieve_batch, MAX_BATCH};
+use crate::batch::{retrieval_batch_key, run_boxed_batch, MAX_BATCH};
 use crate::corpus::EmbeddingStore;
 use crate::{Hit, Result};
 
@@ -73,7 +78,8 @@ pub struct QueryCompletion {
     pub finished_at: Duration,
     /// How many queries shared the batch.
     pub batch_size: usize,
-    /// Top-k hits, identical to the synchronous [`retrieve_batch`] path.
+    /// Top-k hits, identical to the synchronous
+    /// [`crate::batch::retrieve_batch`] path.
     pub hits: Vec<Hit>,
 }
 
@@ -126,12 +132,6 @@ struct PendingQuery {
     ticket: QueryTicket,
     arrival: Duration,
     query: Vec<i16>,
-}
-
-/// Output of one batch job, mapped back to per-query completions.
-struct BatchOutput {
-    queries: Vec<(QueryTicket, Duration)>,
-    hits: Vec<Vec<Hit>>,
 }
 
 /// An online RAG retrieval server over one device.
@@ -196,8 +196,10 @@ impl<'a> RagServer<'a> {
         Ok(ticket)
     }
 
-    /// Groups the pending queries into batches, runs every batch through
-    /// the device command queue, and returns per-query completions.
+    /// Runs every pending query through the device command queue — one
+    /// batchable submission per query, coalesced by the queue's
+    /// continuous-batching dispatcher — and returns per-query
+    /// completions.
     ///
     /// # Errors
     ///
@@ -207,65 +209,46 @@ impl<'a> RagServer<'a> {
         let mut queries = std::mem::take(&mut self.pending);
         queries.sort_by_key(|p| (p.arrival, p.ticket.0));
 
-        // Greedy batching in arrival order: a batch closes at the VR
-        // limit or when the next arrival falls outside the window.
-        let max_batch = self.cfg.max_batch.clamp(1, MAX_BATCH);
-        let mut batches: Vec<Vec<PendingQuery>> = Vec::new();
-        for q in queries {
-            match batches.last_mut() {
-                Some(batch)
-                    if batch.len() < max_batch
-                        && q.arrival <= batch[0].arrival + self.cfg.batch_window =>
-                {
-                    batch.push(q);
-                }
-                _ => batches.push(vec![q]),
-            }
-        }
-
         let store = self.store;
         let k = self.cfg.k;
+        let key = retrieval_batch_key(store, k);
         let hbm = RefCell::new(&mut *self.hbm);
-        let mut queue = DeviceQueue::new(&mut *self.dev, self.cfg.queue.clone());
-        for batch in batches {
-            // The batch can only dispatch once its last query arrived.
-            let dispatchable = batch.last().expect("batches are non-empty").arrival;
-            let tickets: Vec<(QueryTicket, Duration)> =
-                batch.iter().map(|p| (p.ticket, p.arrival)).collect();
-            let texts: Vec<Vec<i16>> = batch.into_iter().map(|p| p.query).collect();
+        let queue_cfg = self
+            .cfg
+            .queue
+            .clone()
+            .with_max_batch(self.cfg.max_batch.clamp(1, MAX_BATCH))
+            .with_max_batch_wait(self.cfg.batch_window);
+        let mut queue = DeviceQueue::new(&mut *self.dev, queue_cfg);
+        let mut tickets: HashMap<TaskHandle, (QueryTicket, Duration)> = HashMap::new();
+        for p in queries {
             let hbm = &hbm;
-            queue.submit_weighted(
+            let handle = queue.submit_batchable(
                 self.cfg.priority,
-                dispatchable,
-                tickets.len() as u64,
-                Box::new(move |dev: &mut ApuDevice| {
+                p.arrival,
+                key,
+                Box::new(p.query),
+                Box::new(move |dev: &mut ApuDevice, payloads| {
                     let mut hbm = hbm.borrow_mut();
-                    let result = retrieve_batch(dev, &mut hbm, store, &texts, k)?;
-                    let out = BatchOutput {
-                        queries: tickets,
-                        hits: result.hits,
-                    };
-                    Ok((result.report, Box::new(out) as Box<dyn std::any::Any>))
+                    run_boxed_batch(dev, &mut hbm, store, payloads, k)
                 }),
             )?;
+            tickets.insert(handle, (p.ticket, p.arrival));
         }
 
         let mut completions = Vec::new();
         for done in queue.drain()? {
-            let started_at = done.started_at;
-            let finished_at = done.finished_at;
-            let out: BatchOutput = done.into_output()?;
-            let batch_size = out.queries.len();
-            for ((ticket, arrival), hits) in out.queries.into_iter().zip(out.hits) {
-                completions.push(QueryCompletion {
-                    ticket,
-                    arrival,
-                    started_at,
-                    finished_at,
-                    batch_size,
-                    hits,
-                });
-            }
+            let (ticket, arrival) = tickets
+                .remove(&done.handle)
+                .expect("every completion maps to a submitted query");
+            completions.push(QueryCompletion {
+                ticket,
+                arrival,
+                started_at: done.started_at,
+                finished_at: done.finished_at,
+                batch_size: done.batch_size,
+                hits: done.into_output()?,
+            });
         }
         let stats = queue.stats().clone();
         Ok(ServeReport {
@@ -278,6 +261,7 @@ impl<'a> RagServer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::retrieve_batch;
     use crate::corpus::CorpusSpec;
     use apu_sim::SimConfig;
     use hbm_sim::DramSpec;
@@ -322,8 +306,9 @@ mod tests {
             );
             assert_eq!(done.batch_size, 4);
         }
-        assert_eq!(report.queue.batches, 1);
-        assert_eq!(report.queue.batched_tasks, 4);
+        assert_eq!(report.queue.dispatches, 1);
+        assert_eq!(report.queue.dispatched_tasks, 4);
+        assert_eq!(report.queue.max_batch_size, 4);
         assert!(report.throughput_qps() > 0.0);
     }
 
@@ -374,7 +359,7 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(max_seen, MAX_BATCH);
-        assert_eq!(report.queue.batches, 2);
+        assert_eq!(report.queue.dispatches, 2);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Serving: mixed-priority workloads through the device command queue.
 //!
-//! A latency-sensitive RAG retrieval batch and a background Phoenix
+//! A latency-sensitive RAG retrieval stream and a background Phoenix
 //! histogram share one device. The queue dispatches the high-priority
-//! retrieval first, batches the queries VR-limited, and reports
-//! per-task queueing delay, service time, and queue-level throughput.
+//! retrieval first; the continuous-batching dispatcher coalesces
+//! same-key queries arriving within the batch window into one
+//! VR-limited device dispatch, and the example compares the batched
+//! drain against the same stream served one query per dispatch.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -40,15 +42,18 @@ fn main() -> Result<(), apu_sim::Error> {
     }
 
     // ---- 2. an open-loop query stream through the RAG server ----
-    let queries: Vec<Vec<i16>> = (0..8).map(|i| store.query(i)).collect();
-    let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
-    for (i, q) in queries.iter().enumerate() {
-        // Queries arrive 200 µs apart; the batch window folds them into
-        // one VR-limited retrieval batch.
-        server.submit(Duration::from_micros(200 * i as u64), q.clone())?;
-    }
-    let report = server.drain()?;
-    for done in &report.completions {
+    let queries: Vec<Vec<i16>> = (0..48).map(|i| store.query(i)).collect();
+    let report = {
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+        for (i, q) in queries.iter().enumerate() {
+            // Queries arrive 50 µs apart — faster than the device can
+            // serve them one at a time, so the continuous-batching
+            // dispatcher folds the backlog into VR-limited dispatches.
+            server.submit(Duration::from_micros(50 * i as u64), q.clone())?;
+        }
+        server.drain()?
+    };
+    for done in report.completions.iter().take(4) {
         println!(
             "query {}: {} hits, batch of {}, latency {:.2} ms",
             done.ticket.id(),
@@ -58,10 +63,30 @@ fn main() -> Result<(), apu_sim::Error> {
         );
     }
     println!(
-        "served {:.0} QPS sustained, p99 {:.2} ms, mean batch {:.1}",
+        "batched: {:.0} QPS sustained, p99 {:.2} ms, {} dispatches, mean batch {:.1}",
         report.throughput_qps(),
         report.latency_percentile(0.99).as_secs_f64() * 1e3,
-        report.mean_batch_size(),
+        report.queue.dispatches,
+        report.queue.mean_batch_size(),
+    );
+
+    // ---- 3. the same stream with coalescing disabled ----
+    let unbatched = {
+        let cfg = ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, cfg);
+        for (i, q) in queries.iter().enumerate() {
+            server.submit(Duration::from_micros(50 * i as u64), q.clone())?;
+        }
+        server.drain()?
+    };
+    println!(
+        "unbatched: {:.0} QPS sustained, p99 {:.2} ms, {} dispatches",
+        unbatched.throughput_qps(),
+        unbatched.latency_percentile(0.99).as_secs_f64() * 1e3,
+        unbatched.queue.dispatches,
     );
     Ok(())
 }
