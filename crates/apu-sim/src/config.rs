@@ -25,6 +25,18 @@ impl ExecMode {
     pub fn is_functional(self) -> bool {
         matches!(self, ExecMode::Functional)
     }
+
+    /// Resolves the mode from the `APU_SIM_TEST_MODE` environment
+    /// variable (`functional` or `timing`/`timing-only`), falling back to
+    /// `default` when unset or unrecognized. The CI matrix uses this to
+    /// run the same test suites in both simulator modes.
+    pub fn from_env(default: ExecMode) -> ExecMode {
+        match std::env::var("APU_SIM_TEST_MODE").as_deref() {
+            Ok("functional") => ExecMode::Functional,
+            Ok("timing") | Ok("timing-only") | Ok("timing_only") => ExecMode::TimingOnly,
+            _ => default,
+        }
+    }
 }
 
 /// Static configuration of a simulated APU platform.

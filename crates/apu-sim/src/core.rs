@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::Cycles;
 use crate::config::SimConfig;
+use crate::dma_async::PendingDma;
 use crate::error::Error;
 use crate::micro::{MicroOp, MicroState};
 use crate::stats::VcuStats;
@@ -124,6 +125,10 @@ pub struct ApuCore {
     /// Busy-until timestamps of the two parallel DMA engines (for the
     /// asynchronous transfer API).
     dma_engines: [Cycles; 2],
+    /// Functional copies deferred until the in-flight transfer on each
+    /// engine is waited on (see [`crate::dma_async`]); always `None` in
+    /// timing-only mode.
+    pending_dma: [Option<PendingDma>; 2],
     /// Multiplier on L4-touching DMA latency while other cores contend
     /// for the shared device DRAM (set by the device for parallel runs).
     l4_contention: f64,
@@ -143,6 +148,7 @@ impl ApuCore {
             cycles: Cycles::ZERO,
             stats: VcuStats::default(),
             dma_engines: [Cycles::ZERO; 2],
+            pending_dma: [None, None],
             l4_contention: 1.0,
             cfg,
         }
@@ -427,6 +433,35 @@ impl ApuCore {
     /// Busy-until timestamps of both DMA engines.
     pub fn dma_engines_busy_until(&self) -> [Cycles; 2] {
         self.dma_engines
+    }
+
+    /// Stashes the deferred functional copy of an engine's in-flight
+    /// transfer, returning the copy previously pending there (the engine
+    /// serializes its transfers, so a displaced copy completed earlier
+    /// and must be applied before the new transfer's data could land).
+    pub(crate) fn stash_pending_dma(
+        &mut self,
+        engine: usize,
+        pending: PendingDma,
+    ) -> Option<PendingDma> {
+        self.pending_dma[engine.min(1)].replace(pending)
+    }
+
+    /// Takes the pending copy on `engine` if it completes at or before
+    /// `by` (a wait on a ticket must not apply a *newer* transfer's data).
+    pub(crate) fn take_pending_dma(&mut self, engine: usize, by: Cycles) -> Option<PendingDma> {
+        let slot = &mut self.pending_dma[engine.min(1)];
+        if slot.as_ref().is_some_and(|p| p.completes_at <= by) {
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    /// Takes whatever copy is pending on `engine`, regardless of time
+    /// (full-barrier waits and task-end flushes).
+    pub(crate) fn take_pending_dma_any(&mut self, engine: usize) -> Option<PendingDma> {
+        self.pending_dma[engine.min(1)].take()
     }
 
     /// Issues one micro-operation: executes it (in functional mode) and

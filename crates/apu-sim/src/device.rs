@@ -13,7 +13,9 @@ use crate::clock::Cycles;
 use crate::config::SimConfig;
 use crate::core::ApuCore;
 use crate::error::Error;
+use crate::fault::{FaultCounts, FaultPlan, FaultState};
 use crate::mem::{bytes_to_pods, pods_to_bytes, u16s_to_bytes, Dram, MemHandle, Pod};
+use crate::queue::BatchKey;
 use crate::stats::VcuStats;
 use crate::timing::DeviceTiming;
 use crate::Result;
@@ -78,6 +80,7 @@ pub struct ApuDevice {
     l4: Dram,
     l3: Vec<u8>,
     cores: Vec<ApuCore>,
+    faults: Option<FaultState>,
 }
 
 impl ApuDevice {
@@ -117,7 +120,36 @@ impl ApuDevice {
             l3: vec![0; cfg.l3_bytes],
             cores,
             cfg,
+            faults: None,
         })
+    }
+
+    // ---------------- fault injection ----------------
+
+    /// Arms deterministic fault injection (see [`FaultPlan`]), replacing
+    /// any previously armed plan and resetting its counters. Armed faults
+    /// surface as [`Error::FaultInjected`] from the [`crate::DeviceQueue`]
+    /// dispatch gate and from DMA transfer issue.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Fault-injection activity so far; all zeroes when disarmed.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .as_ref()
+            .map(FaultState::counts)
+            .unwrap_or_default()
+    }
+
+    /// One task-level fault check, consumed by the queue at dispatch time.
+    pub(crate) fn fault_check_task(&mut self, key: Option<BatchKey>) -> Option<Error> {
+        self.faults.as_mut().and_then(|f| f.check_task(key))
     }
 
     /// The device configuration.
@@ -289,8 +321,14 @@ impl ApuDevice {
             l4: &mut self.l4,
             l3: &mut self.l3,
             core,
+            faults: self.faults.as_mut(),
         };
         task(&mut ctx)?;
+        // A task boundary is a full barrier: any async DMA the kernel
+        // never waited on completes (data-wise) before the host observes
+        // the result. Data only — the un-waited transfer's cycles overlap
+        // the task end, so no latency is charged here.
+        crate::dma_async::flush_pending(&mut self.cores[core_id], &mut self.l4);
         let core = &self.cores[core_id];
         let cycles = core.cycles() - start_cycles;
         Ok(TaskReport {
@@ -339,8 +377,10 @@ impl ApuDevice {
                 l4: &mut self.l4,
                 l3: &mut self.l3,
                 core,
+                faults: self.faults.as_mut(),
             };
             task(&mut ctx)?;
+            crate::dma_async::flush_pending(&mut self.cores[core_id], &mut self.l4);
             let core = &mut self.cores[core_id];
             core.set_l4_contention(1.0);
             let delta = core.cycles() - start_cycles;
@@ -379,6 +419,7 @@ pub struct ApuContext<'a> {
     pub(crate) l4: &'a mut Dram,
     pub(crate) l3: &'a mut Vec<u8>,
     pub(crate) core: &'a mut ApuCore,
+    pub(crate) faults: Option<&'a mut FaultState>,
 }
 
 impl ApuContext<'_> {
@@ -427,6 +468,16 @@ impl ApuContext<'_> {
         self.check_l3(l3_off, values.len() * 2)?;
         let bytes = u16s_to_bytes(values);
         self.l3[l3_off..l3_off + bytes.len()].copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// One DMA-level fault check, consumed at transfer issue.
+    pub(crate) fn dma_fault_check(&mut self) -> Result<()> {
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(e) = f.check_dma() {
+                return Err(e);
+            }
+        }
         Ok(())
     }
 

@@ -11,19 +11,73 @@
 //! control processor and books the transfer on the earliest-free engine;
 //! [`ApuContext::dma_wait`] advances the CP clock to the transfer's
 //! completion (a no-op if compute already covered it). In functional
-//! mode the data is moved at issue time, so a kernel that reads the
-//! destination *before* waiting would see data early — the simulator
-//! cannot catch that race, which is why every issue returns a
-//! [`DmaTicket`] the caller must consume.
+//! mode the source data is *captured* at issue but the destination is
+//! only written when the transfer is waited on (or displaced by a later
+//! transfer on the same engine, or at the task-end barrier) — so a
+//! kernel that reads the destination before waiting sees **stale data**,
+//! matching the read-before-wait hazard of the real device. Every issue
+//! returns a [`DmaTicket`] the caller must consume.
 
 use serde::{Deserialize, Serialize};
 
 use crate::clock::Cycles;
 use crate::core::CycleClass;
-use crate::core::Vmr;
+use crate::core::{ApuCore, Vmr};
 use crate::device::ApuContext;
-use crate::mem::MemHandle;
+use crate::mem::{Dram, MemHandle};
 use crate::Result;
+
+/// A functional-mode copy whose destination write is deferred until the
+/// transfer is waited on.
+#[derive(Debug)]
+pub(crate) enum PendingDmaCopy {
+    /// L4 → L1: bytes captured from L4 at issue, landing in a VMR.
+    L4ToL1 {
+        /// Destination vector-memory register (validated at issue).
+        dst: Vmr,
+        /// Element values captured from the source at issue time.
+        data: Vec<u16>,
+    },
+    /// L1 → L4: bytes captured from the VMR at issue, landing in L4.
+    L1ToL4 {
+        /// Destination handle, already truncated to the transfer size and
+        /// validated at issue.
+        dst: MemHandle,
+        /// Byte image captured from the source at issue time.
+        data: Vec<u8>,
+    },
+}
+
+/// A deferred copy plus the cycle its transfer completes, stashed on the
+/// engine slot that carries it.
+#[derive(Debug)]
+pub(crate) struct PendingDma {
+    pub(crate) completes_at: Cycles,
+    pub(crate) copy: PendingDmaCopy,
+}
+
+fn apply_copy(core: &mut ApuCore, l4: &mut Dram, copy: PendingDmaCopy) {
+    match copy {
+        PendingDmaCopy::L4ToL1 { dst, data } => core
+            .vmr_mut(dst)
+            .expect("destination VMR validated at issue")
+            .copy_from_slice(&data),
+        PendingDmaCopy::L1ToL4 { dst, data } => l4
+            .write(dst, &data)
+            .expect("destination handle validated at issue"),
+    }
+}
+
+/// Applies any still-pending functional copies on both engines. The task
+/// boundary is a full barrier, so [`crate::ApuDevice`] calls this when a
+/// kernel returns. Data only — no cycles are charged.
+pub(crate) fn flush_pending(core: &mut ApuCore, l4: &mut Dram) {
+    for engine in 0..2 {
+        if let Some(p) = core.take_pending_dma_any(engine) {
+            apply_copy(core, l4, p.copy);
+        }
+    }
+}
 
 /// Handle to an in-flight asynchronous DMA transfer.
 ///
@@ -66,14 +120,17 @@ impl ApuContext<'_> {
     pub fn dma_l4_to_l1_async(&mut self, dst: Vmr, src: MemHandle) -> Result<DmaTicket> {
         let bytes = self.core().config().vr_bytes();
         let cost = Cycles::from_f64(self.timing().dma_l4_l1 as f64 * self.core().l4_contention());
-        // Functional data movement at issue time.
-        if self.core().is_functional() {
+        self.dma_fault_check()?;
+        // Capture the source now; the destination write is deferred to the
+        // wait so read-before-wait races surface as stale data.
+        let copy = if self.core().is_functional() {
             let data = self.l4().slice(src, bytes)?.to_vec();
             let vals: Vec<u16> = data
                 .chunks_exact(2)
                 .map(|c| u16::from_le_bytes([c[0], c[1]]))
                 .collect();
-            self.core_mut().vmr_mut(dst)?.copy_from_slice(&vals);
+            self.core().vmr(dst)?;
+            Some(PendingDmaCopy::L4ToL1 { dst, data: vals })
         } else {
             self.core().vmr(dst)?;
             if src.len() < bytes {
@@ -82,9 +139,14 @@ impl ApuContext<'_> {
                     expected: bytes,
                 });
             }
-        }
+            None
+        };
         self.stats_dma_transaction(bytes as u64);
-        Ok(self.schedule_dma(cost))
+        let ticket = self.schedule_dma(cost);
+        if let Some(copy) = copy {
+            self.stash_pending(ticket, copy);
+        }
+        Ok(ticket)
     }
 
     /// Asynchronous full-vector L1→L4 DMA.
@@ -95,14 +157,19 @@ impl ApuContext<'_> {
     pub fn dma_l1_to_l4_async(&mut self, dst: MemHandle, src: Vmr) -> Result<DmaTicket> {
         let bytes = self.core().config().vr_bytes();
         let cost = Cycles::from_f64(self.timing().dma_l1_l4 as f64 * self.core().l4_contention());
-        if self.core().is_functional() {
+        self.dma_fault_check()?;
+        let copy = if self.core().is_functional() {
             let data: Vec<u8> = self
                 .core()
                 .vmr(src)?
                 .iter()
                 .flat_map(|v| v.to_le_bytes())
                 .collect();
-            self.l4_mut().write(dst.truncated(bytes)?, &data)?;
+            let dst = dst.truncated(bytes)?;
+            // Validate the destination range now; the write happens at
+            // wait time.
+            self.l4().slice(dst, bytes)?;
+            Some(PendingDmaCopy::L1ToL4 { dst, data })
         } else {
             self.core().vmr(src)?;
             if dst.len() < bytes {
@@ -111,15 +178,47 @@ impl ApuContext<'_> {
                     expected: bytes,
                 });
             }
-        }
+            None
+        };
         self.stats_dma_transaction(bytes as u64);
-        Ok(self.schedule_dma(cost))
+        let ticket = self.schedule_dma(cost);
+        if let Some(copy) = copy {
+            self.stash_pending(ticket, copy);
+        }
+        Ok(ticket)
+    }
+
+    /// Stashes a deferred copy on its engine slot. A displaced copy
+    /// belongs to an earlier transfer on the same (serializing) engine,
+    /// so its data has already landed by the time the new transfer runs —
+    /// apply it immediately.
+    fn stash_pending(&mut self, ticket: DmaTicket, copy: PendingDmaCopy) {
+        let pending = PendingDma {
+            completes_at: ticket.completes_at,
+            copy,
+        };
+        if let Some(prev) = self.core_mut().stash_pending_dma(ticket.engine, pending) {
+            self.apply_pending(prev);
+        }
+    }
+
+    fn apply_pending(&mut self, pending: PendingDma) {
+        apply_copy(self.core, self.l4, pending.copy);
     }
 
     /// Blocks the control processor until the transfer completes.
     /// Returns the stall cycles actually spent waiting (zero when the
     /// compute stream already covered the transfer).
     pub fn dma_wait(&mut self, ticket: DmaTicket) -> Cycles {
+        // The engine serializes, so waiting on this ticket also completes
+        // any copy still pending from it or an earlier transfer on the
+        // same engine (a *newer* transfer's copy stays pending).
+        if let Some(p) = self
+            .core_mut()
+            .take_pending_dma(ticket.engine, ticket.completes_at)
+        {
+            self.apply_pending(p);
+        }
         let now = self.core().cycles();
         let stall = ticket.completes_at.saturating_sub(now);
         if stall > Cycles::ZERO {
@@ -130,6 +229,11 @@ impl ApuContext<'_> {
 
     /// Blocks until both DMA engines are idle.
     pub fn dma_wait_all(&mut self) -> Cycles {
+        for engine in 0..2 {
+            if let Some(p) = self.core_mut().take_pending_dma_any(engine) {
+                self.apply_pending(p);
+            }
+        }
         let busy = self.core().dma_engines_busy_until();
         let latest = busy[0].max(busy[1]);
         let now = self.core().cycles();
@@ -237,6 +341,74 @@ mod tests {
             assert_eq!(c.engine, a.engine);
             assert!(c.completes_at > b.completes_at);
             ctx.dma_wait_all();
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn read_before_wait_sees_stale_data() {
+        let mut dev = device();
+        let n = dev.config().vr_len;
+        let h = dev.alloc_u16(n).unwrap();
+        dev.copy_to_device(h, &vec![0x1234u16; n]).unwrap();
+        dev.run_task(|ctx| {
+            let t = ctx.dma_l4_to_l1_async(Vmr::new(3), h)?;
+            // Reading the destination before the wait is a hazard on the
+            // real device; the simulator surfaces it as stale data.
+            assert_eq!(ctx.core().vmr(Vmr::new(3))?[0], 0);
+            ctx.dma_wait(t);
+            assert_eq!(ctx.core().vmr(Vmr::new(3))?[0], 0x1234);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unwaited_transfer_lands_at_task_end() {
+        let mut dev = device();
+        let n = dev.config().vr_len;
+        let h = dev.alloc_u16(n).unwrap();
+        dev.run_task(|ctx| {
+            ctx.core_mut().vmr_mut(Vmr::new(0))?.fill(7);
+            let _unwaited = ctx.dma_l1_to_l4_async(h, Vmr::new(0))?;
+            Ok(())
+        })
+        .unwrap();
+        // The kernel never waited, but the task boundary is a barrier:
+        // the host still observes the transferred data.
+        let mut out = vec![0u16; n];
+        dev.copy_from_device(h, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn displaced_engine_slot_applies_the_older_copy() {
+        let mut dev = device();
+        let n = dev.config().vr_len;
+        let h = dev.alloc_u16(3 * n).unwrap();
+        let mut img = vec![1u16; n];
+        img.extend(vec![2u16; n]);
+        img.extend(vec![3u16; n]);
+        dev.copy_to_device(h, &img).unwrap();
+        dev.run_task(|ctx| {
+            let a = ctx.dma_l4_to_l1_async(Vmr::new(0), h)?;
+            let b = ctx.dma_l4_to_l1_async(Vmr::new(1), h.offset_by(n * 2)?)?;
+            // Third transfer reuses engine 0: transfer `a`'s copy is
+            // displaced from the slot and must land despite never being
+            // waited on directly.
+            let c = ctx.dma_l4_to_l1_async(Vmr::new(2), h.offset_by(2 * n * 2)?)?;
+            assert_eq!(c.engine, a.engine);
+            assert_eq!(ctx.core().vmr(Vmr::new(0))?[0], 1);
+            // `b` and `c` are still in flight.
+            assert_eq!(ctx.core().vmr(Vmr::new(1))?[0], 0);
+            assert_eq!(ctx.core().vmr(Vmr::new(2))?[0], 0);
+            // Waiting on `b` must not apply `c`'s (newer) copy on engine 0.
+            ctx.dma_wait(b);
+            assert_eq!(ctx.core().vmr(Vmr::new(1))?[0], 2);
+            assert_eq!(ctx.core().vmr(Vmr::new(2))?[0], 0);
+            ctx.dma_wait_all();
+            assert_eq!(ctx.core().vmr(Vmr::new(2))?[0], 3);
             Ok(())
         })
         .unwrap();

@@ -66,6 +66,26 @@ pub enum Error {
         /// The queue's admission bound.
         capacity: usize,
     },
+    /// A queued task's deadline passed before it could dispatch; the
+    /// scheduler shed it without running it (load shedding).
+    DeadlineExceeded {
+        /// The task's absolute deadline on the virtual timeline.
+        deadline: std::time::Duration,
+    },
+    /// The fault-injection harness killed this operation (see
+    /// [`crate::FaultPlan`]). Only produced when faults are armed.
+    FaultInjected(String),
+}
+
+impl Error {
+    /// Whether a retry could plausibly succeed. Injected faults and
+    /// kernel-reported failures are transient (the bounded retry policy
+    /// of [`crate::DeviceQueue`] re-attempts them); programming errors
+    /// (bad arguments, out-of-bounds accesses, stale handles) and
+    /// admission/deadline outcomes are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::FaultInjected(_) | Error::TaskFailed(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -108,6 +128,11 @@ impl fmt::Display for Error {
                 f,
                 "device queue full: {pending} tasks pending (admission bound {capacity})"
             ),
+            Error::DeadlineExceeded { deadline } => write!(
+                f,
+                "task deadline exceeded: shed before dispatch (deadline {deadline:?})"
+            ),
+            Error::FaultInjected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }
@@ -144,6 +169,19 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("queue full"));
         assert!(msg.contains("128"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(Error::FaultInjected("kth task".into()).is_transient());
+        assert!(Error::TaskFailed("kernel".into()).is_transient());
+        assert!(!Error::InvalidArg("bad".into()).is_transient());
+        assert!(!Error::InvalidHandle.is_transient());
+        let e = Error::DeadlineExceeded {
+            deadline: std::time::Duration::from_millis(3),
+        };
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

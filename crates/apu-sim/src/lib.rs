@@ -76,6 +76,7 @@ pub mod device;
 pub mod dma;
 pub mod dma_async;
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod micro;
 pub mod queue;
@@ -88,10 +89,14 @@ pub use core::{ApuCore, Marker, Vmr, Vr};
 pub use device::{ApuContext, ApuDevice, CoreTask, TaskReport};
 pub use dma_async::DmaTicket;
 pub use error::Error;
+pub use fault::{FaultCounts, FaultPlan};
 pub use mem::{MemHandle, Pod};
 pub use micro::{BitOp, LatchSrc, MicroOp, SliceMask, WriteSrc};
-pub use queue::{BatchKey, Completion, DeviceQueue, Priority, QueueConfig, QueueStats, TaskHandle};
-pub use stats::VcuStats;
+pub use queue::{
+    BatchKey, BatchOutput, Completion, DeviceQueue, Priority, QueueConfig, QueueStats, RetryPolicy,
+    TaskHandle, TaskOutcome,
+};
+pub use stats::{LatencyReservoir, VcuStats};
 pub use timing::{DeviceTiming, VecOp};
 
 /// Crate-wide result type.

@@ -38,17 +38,40 @@
 //! admission control is unaffected: capacity is consumed per submission,
 //! not per dispatch.
 //!
+//! # Failure containment
+//!
+//! A failing job must not poison the queue. Every submission retires
+//! with a [`Completion`] whose [`TaskOutcome`] is either `Ok(value)` or
+//! `Failed(error)`: job errors, poisoned batch members, injected faults
+//! (see [`crate::FaultPlan`]), and deadline-shed tasks all surface as
+//! error completions instead of aborting [`DeviceQueue::step`] /
+//! [`DeviceQueue::wait`] / [`DeviceQueue::drain`]. A failed job still
+//! consumed simulated device time, so its dispatch is booked on the
+//! virtual timeline like any other. Tasks submitted with a TTL
+//! ([`DeviceQueue::submit_with_ttl`]) are shed *without dispatching*
+//! once their deadline passes (`Failed(DeadlineExceeded)`, load
+//! shedding), and an optional [`RetryPolicy`] re-queues transient
+//! **pre-dispatch** failures (the fault-injection gate) with bounded
+//! exponential backoff. Post-dispatch failures are never retried — the
+//! job closure is consumed by execution.
+//!
 //! Per-queue counters ([`QueueStats`]) mirror the [`crate::VcuStats`]
 //! style: monotone counts plus accumulated wait/service/latency, a
-//! latency reservoir for percentile reporting, and batch-size /
-//! occupancy accounting for the continuous-batching dispatcher.
+//! bounded latency reservoir for percentile reporting, and batch-size /
+//! occupancy accounting for the continuous-batching dispatcher. Wait,
+//! service, and latency accumulators cover successful completions only;
+//! failed work is visible through [`QueueStats::failed`],
+//! [`QueueStats::expired`], and [`QueueStats::retries`], and its device
+//! time through `busy` / `makespan`.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use crate::clock::Cycles;
 use crate::device::{ApuContext, ApuDevice, TaskReport};
 use crate::error::Error;
+use crate::stats::{LatencyReservoir, VcuStats, DEFAULT_RESERVOIR_CAP};
 use crate::Result;
 
 pub use crate::stats::{percentile, QueueStats};
@@ -96,6 +119,37 @@ impl BatchKey {
     }
 }
 
+/// Bounded retry-with-backoff for transient **pre-dispatch** failures
+/// (the fault-injection gate). Post-dispatch failures are never retried:
+/// the job closure is consumed by execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-dispatch attempts after the first (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff: Duration,
+    /// Multiplier applied to the backoff for each further retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_micros(100),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before re-dispatching after failed attempt
+    /// `attempt` (0-based): `backoff · multiplierᵃᵗᵗᵉᵐᵖᵗ`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        self.backoff.mul_f64(self.multiplier.powi(attempt as i32))
+    }
+}
+
 /// Configuration of a [`DeviceQueue`].
 #[derive(Debug, Clone)]
 pub struct QueueConfig {
@@ -110,6 +164,12 @@ pub struct QueueConfig {
     /// latency). Zero — the default — coalesces only jobs that already
     /// arrived.
     pub max_batch_wait: Duration,
+    /// Retry policy for transient pre-dispatch failures; `None` — the
+    /// default — retires them immediately as error completions.
+    pub retry: Option<RetryPolicy>,
+    /// Capacity of the latency reservoir backing percentile reporting
+    /// (exact below the cap, deterministic subsample above it).
+    pub latency_reservoir: usize,
 }
 
 impl Default for QueueConfig {
@@ -118,6 +178,8 @@ impl Default for QueueConfig {
             max_pending: 1024,
             max_batch: 1,
             max_batch_wait: Duration::ZERO,
+            retry: None,
+            latency_reservoir: DEFAULT_RESERVOIR_CAP,
         }
     }
 }
@@ -143,10 +205,35 @@ impl QueueConfig {
         self.max_batch_wait = max_batch_wait;
         self
     }
+
+    /// Enables bounded retry for transient pre-dispatch failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Sets the latency-reservoir capacity (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_latency_reservoir(mut self, cap: usize) -> Self {
+        self.latency_reservoir = cap.max(1);
+        self
+    }
+}
+
+/// Per-task outcome carried by a [`Completion`].
+#[derive(Debug)]
+pub enum TaskOutcome {
+    /// The task ran; the boxed value is the job's output.
+    Ok(Box<dyn Any>),
+    /// The task retired with an error: its job failed, its batch member
+    /// was poisoned, the fault gate killed it, or its deadline passed
+    /// before dispatch.
+    Failed(Error),
 }
 
 /// A retired task: scheduling timestamps, the device-side [`TaskReport`],
-/// and the job's output value.
+/// and the task's [`TaskOutcome`].
 #[derive(Debug)]
 pub struct Completion {
     /// Handle returned at submission.
@@ -155,7 +242,8 @@ pub struct Completion {
     pub priority: Priority,
     /// Arrival time on the virtual timeline.
     pub submitted_at: Duration,
-    /// Dispatch time (arrival + queueing delay).
+    /// Dispatch time (arrival + queueing delay). For work that never
+    /// reached the device (shed / fault-gated) this is the retire time.
     pub started_at: Duration,
     /// Retire time (`started_at` + service).
     pub finished_at: Duration,
@@ -164,16 +252,24 @@ pub struct Completion {
     pub batch_size: usize,
     /// Sequence number of the device dispatch that carried this task —
     /// batch members share it, so it identifies who rode together.
-    pub dispatch: u64,
+    /// `None` when the task never reached a device dispatch (deadline
+    /// shed, or failed at the dispatch gate).
+    pub dispatch: Option<u64>,
     /// Batch-compatibility key, for tasks submitted via
     /// [`DeviceQueue::submit_batchable`].
     pub batch_key: Option<BatchKey>,
+    /// Dispatch attempts this task consumed (> 1 after retries; a shed
+    /// task reports the attempts made before its deadline passed).
+    pub attempts: u32,
     /// Device-side execution report. For a coalesced batch this is the
     /// **batch-wide** report, replicated to every member: device cycles
-    /// and stats cover the whole dispatch, not one member's share.
+    /// and stats cover the whole dispatch, not one member's share. For a
+    /// failed job it covers the device time consumed before the error;
+    /// all-zero for work that never dispatched.
     pub report: TaskReport,
-    /// Output produced by the job; downcast with [`Completion::output`].
-    pub value: Box<dyn Any>,
+    /// The task's outcome; access through [`Completion::output`],
+    /// [`Completion::into_output`], or [`Completion::error`].
+    pub outcome: TaskOutcome,
 }
 
 impl Completion {
@@ -187,21 +283,47 @@ impl Completion {
         self.finished_at - self.submitted_at
     }
 
-    /// Downcasts the job output to `T`, or `None` on type mismatch.
+    /// Whether the task retired successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, TaskOutcome::Ok(_))
+    }
+
+    /// Whether the task retired with an error completion.
+    pub fn is_failed(&self) -> bool {
+        !self.is_ok()
+    }
+
+    /// The error that failed the task, if any.
+    pub fn error(&self) -> Option<&Error> {
+        match &self.outcome {
+            TaskOutcome::Failed(e) => Some(e),
+            TaskOutcome::Ok(_) => None,
+        }
+    }
+
+    /// Downcasts the job output to `T`; `None` on type mismatch or when
+    /// the task failed.
     pub fn output<T: Any>(&self) -> Option<&T> {
-        self.value.downcast_ref::<T>()
+        match &self.outcome {
+            TaskOutcome::Ok(v) => v.downcast_ref::<T>(),
+            TaskOutcome::Failed(_) => None,
+        }
     }
 
     /// Consumes the completion, returning the job output as `T`.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidArg`] when the output has a different type.
+    /// Returns the task's own error for a failed completion, or
+    /// [`Error::InvalidArg`] when the output has a different type.
     pub fn into_output<T: Any>(self) -> Result<T> {
-        self.value
-            .downcast::<T>()
-            .map(|b| *b)
-            .map_err(|_| Error::InvalidArg("completion output has a different type".into()))
+        match self.outcome {
+            TaskOutcome::Ok(v) => v
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| Error::InvalidArg("completion output has a different type".into())),
+            TaskOutcome::Failed(e) => Err(e),
+        }
     }
 }
 
@@ -209,11 +331,17 @@ impl Completion {
 /// task report plus an arbitrary output value.
 pub type Job<'t> = Box<dyn FnOnce(&mut ApuDevice) -> Result<(TaskReport, Box<dyn Any>)> + 't>;
 
+/// One batch member's result: its output value, or the error that failed
+/// it *individually* (siblings in the same dispatch are unaffected).
+pub type BatchOutput = std::result::Result<Box<dyn Any>, Error>;
+
 /// A batched device job: receives the payloads of every coalesced
-/// member (in submission order) and must return exactly one output per
-/// payload, in the same order, plus the batch-wide [`TaskReport`].
+/// member (in submission order) and must return exactly one
+/// [`BatchOutput`] per payload, in the same order, plus the batch-wide
+/// [`TaskReport`]. A top-level `Err` fails every member of the dispatch;
+/// a per-member `Err` fails only that member.
 pub type BatchRunner<'t> = Box<
-    dyn FnOnce(&mut ApuDevice, Vec<Box<dyn Any>>) -> Result<(TaskReport, Vec<Box<dyn Any>>)> + 't,
+    dyn FnOnce(&mut ApuDevice, Vec<Box<dyn Any>>) -> Result<(TaskReport, Vec<BatchOutput>)> + 't,
 >;
 
 enum Work<'t> {
@@ -233,6 +361,14 @@ struct Pending<'t> {
     handle: TaskHandle,
     priority: Priority,
     arrival: Duration,
+    /// When the task becomes dispatchable — equals `arrival` until a
+    /// retry backoff pushes it later.
+    eligible: Duration,
+    /// Absolute start deadline on the virtual timeline; the scheduler
+    /// sheds the task if it cannot dispatch by this time.
+    deadline: Option<Duration>,
+    /// Dispatch attempts already consumed by fault-gate retries.
+    attempt: u32,
     weight: u64,
     work: Work<'t>,
 }
@@ -273,6 +409,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// Opens a queue over a device.
     pub fn new(dev: &'d mut ApuDevice, cfg: QueueConfig) -> Self {
         let cores = dev.config().cores;
+        let reservoir = cfg.latency_reservoir;
         DeviceQueue {
             dev,
             cfg,
@@ -283,6 +420,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             next_dispatch: 0,
             stats: QueueStats {
                 cores,
+                latency_samples: LatencyReservoir::with_capacity(reservoir),
                 ..QueueStats::default()
             },
         }
@@ -347,12 +485,31 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         if weight == 0 {
             return Err(Error::InvalidArg("batch weight must be non-zero".into()));
         }
-        let handle = self.admit(priority, arrival, weight, Work::Single(job))?;
+        let handle = self.admit(priority, arrival, None, weight, Work::Single(job))?;
         if weight > 1 {
             self.stats.batches += 1;
             self.stats.batched_tasks += weight;
         }
         Ok(handle)
+    }
+
+    /// Submits a job with a time-to-live: if the task cannot *start* by
+    /// `arrival + ttl` it is shed without dispatching, retiring as
+    /// `Failed(`[`Error::DeadlineExceeded`]`)` (load shedding under
+    /// overload). A task that starts before its deadline runs to
+    /// completion even if it finishes past the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_with_ttl(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        self.admit(priority, arrival, Some(arrival + ttl), 1, Work::Single(job))
     }
 
     /// Submits a job eligible for **continuous batching**: when it
@@ -374,7 +531,37 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         payload: Box<dyn Any>,
         run: BatchRunner<'t>,
     ) -> Result<TaskHandle> {
-        self.admit(priority, arrival, 1, Work::Batchable { key, payload, run })
+        self.admit(
+            priority,
+            arrival,
+            None,
+            1,
+            Work::Batchable { key, payload, run },
+        )
+    }
+
+    /// [`DeviceQueue::submit_batchable`] with a time-to-live (see
+    /// [`DeviceQueue::submit_with_ttl`] for the shedding semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    pub fn submit_batchable_with_ttl(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<TaskHandle> {
+        self.admit(
+            priority,
+            arrival,
+            Some(arrival + ttl),
+            1,
+            Work::Batchable { key, payload, run },
+        )
     }
 
     /// Shared admission control: rejects past `max_pending`, assigns a
@@ -383,6 +570,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         &mut self,
         priority: Priority,
         arrival: Duration,
+        deadline: Option<Duration>,
         weight: u64,
         work: Work<'t>,
     ) -> Result<TaskHandle> {
@@ -400,6 +588,9 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             handle,
             priority,
             arrival,
+            eligible: arrival,
+            deadline,
+            attempt: 0,
             weight,
             work,
         });
@@ -461,44 +652,140 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         if self.pending.is_empty() {
             return None;
         }
-        let horizon = self
-            .core_free_at
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(Duration::ZERO);
+        let horizon = self.horizon();
         let arrived = self
             .pending
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.arrival <= horizon)
+            .filter(|(_, p)| p.eligible <= horizon)
             .min_by_key(|(i, p)| (p.priority, *i))
             .map(|(i, _)| i);
         arrived.or_else(|| {
             self.pending
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, p)| (p.arrival, p.priority, *i))
+                .min_by_key(|(i, p)| (p.eligible, p.priority, *i))
                 .map(|(i, _)| i)
         })
     }
 
+    /// The virtual time the next core frees up — the earliest moment any
+    /// pending task could start.
+    fn horizon(&self) -> Duration {
+        self.core_free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// An all-zero report for work that never reached the device.
+    fn empty_report() -> TaskReport {
+        TaskReport {
+            cycles: Cycles::ZERO,
+            duration: Duration::ZERO,
+            stats: VcuStats::default(),
+            cores_used: 0,
+        }
+    }
+
+    /// Per-core cycle counters plus merged device stats, captured before
+    /// running a job so a *failed* job's consumed device time can still
+    /// be booked on the virtual timeline.
+    fn device_snapshot(&self) -> (Vec<Cycles>, VcuStats) {
+        let cores = (0..self.core_free_at.len())
+            .map(|i| self.dev.core(i).expect("core index in range").cycles())
+            .collect();
+        (cores, self.dev.stats_total())
+    }
+
+    /// Synthesizes the report of a failed job from the device time it
+    /// consumed before erroring.
+    fn failed_report(&self, snap: (Vec<Cycles>, VcuStats)) -> TaskReport {
+        let (start_cycles, start_stats) = snap;
+        let mut max_delta = Cycles::ZERO;
+        let mut cores_used = 0usize;
+        for (i, s) in start_cycles.iter().enumerate() {
+            let delta = self.dev.core(i).expect("core index in range").cycles() - *s;
+            if delta > Cycles::ZERO {
+                cores_used += 1;
+                max_delta = max_delta.max(delta);
+            }
+        }
+        TaskReport {
+            cycles: max_delta,
+            duration: self.dev.config().clock.cycles_to_duration(max_delta),
+            stats: &self.dev.stats_total() - &start_stats,
+            cores_used,
+        }
+    }
+
+    /// Sheds every pending task whose deadline passes before it could
+    /// possibly start, retiring each as `Failed(DeadlineExceeded)`
+    /// without dispatching. Returns whether anything was shed.
+    fn shed_expired(&mut self) -> bool {
+        let horizon = self.horizon();
+        let mut shed_any = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let expired = {
+                let p = &self.pending[i];
+                p.deadline.is_some_and(|d| d < p.eligible.max(horizon))
+            };
+            if !expired {
+                i += 1;
+                continue;
+            }
+            let task = self.pending.remove(i).expect("index is valid");
+            let deadline = task.deadline.expect("task was expired by deadline");
+            let batch_key = match &task.work {
+                Work::Batchable { key, .. } => Some(*key),
+                Work::Single(_) => None,
+            };
+            self.stats.expired += task.weight;
+            self.completions.push(Completion {
+                handle: task.handle,
+                priority: task.priority,
+                submitted_at: task.arrival,
+                started_at: deadline,
+                finished_at: deadline,
+                batch_size: task.weight as usize,
+                dispatch: None,
+                batch_key,
+                attempts: task.attempt,
+                report: Self::empty_report(),
+                outcome: TaskOutcome::Failed(Error::DeadlineExceeded { deadline }),
+            });
+            shed_any = true;
+        }
+        shed_any
+    }
+
     /// Dispatches one device job — a single task, or a coalesced batch
     /// of compatible batchable tasks — and places it on the virtual
-    /// timeline. A batch retires one [`Completion`] per member; the last
-    /// is returned. Returns `Ok(None)` when the queue is empty.
+    /// timeline, after shedding any deadline-expired backlog. A batch
+    /// retires one [`Completion`] per member; the last completion
+    /// retired by this step is returned. Returns `Ok(None)` when the
+    /// queue is empty or the only action was re-queueing work for retry.
     ///
     /// # Errors
     ///
-    /// Propagates the job's error; every task of the dispatch is
-    /// consumed and counted in [`QueueStats::failed`].
+    /// Job failures do **not** error: they retire as `Failed` completions
+    /// (counted in [`QueueStats::failed`]). The `Result` is reserved for
+    /// queue-level invariant violations.
     pub fn step(&mut self) -> Result<Option<&Completion>> {
-        let Some(idx) = self.select() else {
-            return Ok(None);
+        let shed = self.shed_expired();
+        let retired = match self.select() {
+            Some(idx) => match self.pending[idx].work {
+                Work::Single(_) => self.dispatch_single(idx)?,
+                Work::Batchable { .. } => self.dispatch_batch(idx)?,
+            },
+            None => false,
         };
-        match self.pending[idx].work {
-            Work::Single(_) => self.dispatch_single(idx).map(Some),
-            Work::Batchable { .. } => self.dispatch_batch(idx).map(Some),
+        if retired || shed {
+            Ok(self.completions.last())
+        } else {
+            Ok(None)
         }
     }
 
@@ -523,51 +810,123 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         (start, finish, c)
     }
 
-    fn dispatch_single(&mut self, idx: usize) -> Result<&Completion> {
-        let task = self.pending.remove(idx).expect("selected index is valid");
-        let Work::Single(job) = task.work else {
-            unreachable!("dispatch_single is only called on single work");
-        };
-        let (report, value) = match job(self.dev) {
-            Ok(out) => out,
-            Err(e) => {
-                self.stats.failed += 1;
-                return Err(e);
-            }
-        };
-
-        let (start, finish, c) = self.occupy(report.cores_used, task.arrival, report.duration);
-        let dispatch = self.next_dispatch;
-        self.next_dispatch += 1;
-        self.stats.dispatches += 1;
-        self.stats.dispatched_tasks += task.weight;
-        self.stats.completed += task.weight;
-        self.stats.total_wait += (start - task.arrival) * task.weight as u32;
-        self.stats.total_service += report.duration * task.weight as u32;
-        let latency = finish - task.arrival;
-        self.stats.total_latency += latency * task.weight as u32;
-        for _ in 0..task.weight {
-            self.stats.latency_samples.push(latency);
+    /// Contains a pre-dispatch failure (the fault gate fired before the
+    /// job ran): re-queues the task with backoff when the configured
+    /// retry policy still has budget, otherwise retires it as a `Failed`
+    /// completion that never reached the device. Returns whether a
+    /// completion was retired.
+    fn contain_predispatch_failure(&mut self, idx: usize, e: Error) -> Result<bool> {
+        let horizon = self.horizon();
+        let retryable = self.cfg.retry.is_some_and(|policy| {
+            e.is_transient() && self.pending[idx].attempt < policy.max_retries
+        });
+        if retryable {
+            let policy = self.cfg.retry.expect("checked above");
+            let p = &mut self.pending[idx];
+            p.eligible = p.eligible.max(horizon) + policy.delay(p.attempt);
+            p.attempt += 1;
+            self.stats.retries += 1;
+            return Ok(false);
         }
-        self.stats.busy += report.duration * c as u32;
-        self.stats.makespan = self.stats.makespan.max(finish);
-
+        let task = self.pending.remove(idx).expect("index is valid");
+        let at = task.eligible.max(horizon);
+        let batch_key = match &task.work {
+            Work::Batchable { key, .. } => Some(*key),
+            Work::Single(_) => None,
+        };
+        self.stats.failed += task.weight;
         self.completions.push(Completion {
             handle: task.handle,
             priority: task.priority,
             submitted_at: task.arrival,
-            started_at: start,
-            finished_at: finish,
+            started_at: at,
+            finished_at: at,
             batch_size: task.weight as usize,
-            dispatch,
-            batch_key: None,
-            report,
-            value,
+            dispatch: None,
+            batch_key,
+            attempts: task.attempt + 1,
+            report: Self::empty_report(),
+            outcome: TaskOutcome::Failed(e),
         });
-        Ok(self.completions.last().expect("completion just pushed"))
+        Ok(true)
     }
 
-    fn dispatch_batch(&mut self, idx: usize) -> Result<&Completion> {
+    fn dispatch_single(&mut self, idx: usize) -> Result<bool> {
+        if let Some(e) = self.dev.fault_check_task(None) {
+            return self.contain_predispatch_failure(idx, e);
+        }
+        let task = self.pending.remove(idx).expect("selected index is valid");
+        let Work::Single(job) = task.work else {
+            unreachable!("dispatch_single is only called on single work");
+        };
+        let snap = self.device_snapshot();
+        match job(self.dev) {
+            Ok((report, value)) => {
+                let (start, finish, c) =
+                    self.occupy(report.cores_used, task.eligible, report.duration);
+                let dispatch = self.next_dispatch;
+                self.next_dispatch += 1;
+                self.stats.dispatches += 1;
+                self.stats.dispatched_tasks += task.weight;
+                self.stats.max_batch_size = self.stats.max_batch_size.max(task.weight);
+                self.stats.completed += task.weight;
+                self.stats.total_wait += (start - task.arrival) * task.weight as u32;
+                self.stats.total_service += report.duration * task.weight as u32;
+                let latency = finish - task.arrival;
+                self.stats.total_latency += latency * task.weight as u32;
+                for _ in 0..task.weight {
+                    self.stats.latency_samples.push(latency);
+                }
+                self.stats.busy += report.duration * c as u32;
+                self.stats.makespan = self.stats.makespan.max(finish);
+
+                self.completions.push(Completion {
+                    handle: task.handle,
+                    priority: task.priority,
+                    submitted_at: task.arrival,
+                    started_at: start,
+                    finished_at: finish,
+                    batch_size: task.weight as usize,
+                    dispatch: Some(dispatch),
+                    batch_key: None,
+                    attempts: task.attempt + 1,
+                    report,
+                    outcome: TaskOutcome::Ok(value),
+                });
+            }
+            Err(e) => {
+                // The job consumed device time before failing; book that
+                // time on the timeline so failures still cost throughput.
+                let report = self.failed_report(snap);
+                let (start, finish, c) =
+                    self.occupy(report.cores_used, task.eligible, report.duration);
+                let dispatch = self.next_dispatch;
+                self.next_dispatch += 1;
+                self.stats.dispatches += 1;
+                self.stats.dispatched_tasks += task.weight;
+                self.stats.failed += task.weight;
+                self.stats.busy += report.duration * c as u32;
+                self.stats.makespan = self.stats.makespan.max(finish);
+
+                self.completions.push(Completion {
+                    handle: task.handle,
+                    priority: task.priority,
+                    submitted_at: task.arrival,
+                    started_at: start,
+                    finished_at: finish,
+                    batch_size: task.weight as usize,
+                    dispatch: Some(dispatch),
+                    batch_key: None,
+                    attempts: task.attempt + 1,
+                    report,
+                    outcome: TaskOutcome::Failed(e),
+                });
+            }
+        }
+        Ok(true)
+    }
+
+    fn dispatch_batch(&mut self, idx: usize) -> Result<bool> {
         let (head_priority, head_key, head_arrival) = {
             let head = &self.pending[idx];
             let Work::Batchable { key, .. } = &head.work else {
@@ -575,12 +934,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             };
             (head.priority, *key, head.arrival)
         };
-        let horizon = self
-            .core_free_at
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(Duration::ZERO);
+        let horizon = self.horizon();
         let window_close = head_arrival.max(horizon) + self.cfg.max_batch_wait;
 
         // Batch membership is FIFO in submission order over the whole
@@ -607,11 +961,48 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         }
         members.reverse();
 
+        // Fault-gate each member individually: a poisoned member fails
+        // (or retries) alone while its healthy siblings still ride
+        // together. A retried member rejoins at the back of the backlog,
+        // giving up its FIFO spot for this batch.
+        let mut retired_any = false;
         let mut payloads = Vec::with_capacity(members.len());
         let mut runner: Option<BatchRunner<'t>> = None;
-        let mut meta: Vec<(TaskHandle, Priority, Duration)> = Vec::with_capacity(members.len());
-        let mut latest_arrival = Duration::ZERO;
-        for m in members {
+        let mut meta: Vec<(TaskHandle, Priority, Duration, Duration, u32)> =
+            Vec::with_capacity(members.len());
+        let mut latest_eligible = Duration::ZERO;
+        for mut m in members {
+            if let Some(e) = self.dev.fault_check_task(Some(head_key)) {
+                let retryable = self
+                    .cfg
+                    .retry
+                    .is_some_and(|policy| e.is_transient() && m.attempt < policy.max_retries);
+                if retryable {
+                    let policy = self.cfg.retry.expect("checked above");
+                    m.eligible = m.eligible.max(horizon) + policy.delay(m.attempt);
+                    m.attempt += 1;
+                    self.stats.retries += 1;
+                    self.pending.push_back(m);
+                } else {
+                    let at = m.eligible.max(horizon);
+                    self.stats.failed += m.weight;
+                    self.completions.push(Completion {
+                        handle: m.handle,
+                        priority: m.priority,
+                        submitted_at: m.arrival,
+                        started_at: at,
+                        finished_at: at,
+                        batch_size: m.weight as usize,
+                        dispatch: None,
+                        batch_key: Some(head_key),
+                        attempts: m.attempt + 1,
+                        report: Self::empty_report(),
+                        outcome: TaskOutcome::Failed(e),
+                    });
+                    retired_any = true;
+                }
+                continue;
+            }
             let Work::Batchable { payload, run, .. } = m.work else {
                 unreachable!("members are filtered to batchable work");
             };
@@ -619,29 +1010,76 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             if runner.is_none() {
                 runner = Some(run);
             }
-            latest_arrival = latest_arrival.max(m.arrival);
-            meta.push((m.handle, m.priority, m.arrival));
+            latest_eligible = latest_eligible.max(m.eligible);
+            meta.push((m.handle, m.priority, m.arrival, m.eligible, m.attempt));
         }
         let n = meta.len();
-        let run = runner.expect("batch has at least its head member");
-        let (report, outputs) = match run(self.dev, payloads) {
-            Ok(out) => out,
-            Err(e) => {
-                self.stats.failed += n as u64;
-                return Err(e);
-            }
+        let Some(run) = runner else {
+            // Every member was poisoned or re-queued for retry.
+            return Ok(retired_any);
         };
-        if outputs.len() != n {
-            self.stats.failed += n as u64;
-            return Err(Error::TaskFailed(format!(
+
+        let snap = self.device_snapshot();
+        let run_result = run(self.dev, payloads);
+
+        // Runner-level failure (or a malformed output arity) fails every
+        // member of this dispatch together, booking the device time the
+        // batch actually consumed.
+        let e = match run_result {
+            Ok((report, outputs)) if outputs.len() == n => {
+                self.book_batch(&meta, head_key, latest_eligible, report, outputs);
+                return Ok(true);
+            }
+            Ok((_, outputs)) => Error::TaskFailed(format!(
                 "batch runner returned {} outputs for {n} members",
                 outputs.len()
-            )));
+            )),
+            Err(e) => e,
+        };
+        let report = self.failed_report(snap);
+        let (start, finish, c) = self.occupy(report.cores_used, latest_eligible, report.duration);
+        let dispatch = self.next_dispatch;
+        self.next_dispatch += 1;
+        self.stats.dispatches += 1;
+        self.stats.dispatched_tasks += n as u64;
+        self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
+        self.stats.busy += report.duration * c as u32;
+        self.stats.makespan = self.stats.makespan.max(finish);
+        for (handle, priority, arrival, _eligible, attempt) in meta {
+            self.stats.failed += 1;
+            self.completions.push(Completion {
+                handle,
+                priority,
+                submitted_at: arrival,
+                started_at: start,
+                finished_at: finish,
+                batch_size: n,
+                dispatch: Some(dispatch),
+                batch_key: Some(head_key),
+                attempts: attempt + 1,
+                report: report.clone(),
+                outcome: TaskOutcome::Failed(e.clone()),
+            });
         }
+        Ok(true)
+    }
 
+    /// Books a successful batch dispatch on the timeline and fans its
+    /// per-member outputs back out as completions. A member whose
+    /// [`BatchOutput`] is `Err` retires as a `Failed` completion while
+    /// its siblings succeed.
+    fn book_batch(
+        &mut self,
+        meta: &[(TaskHandle, Priority, Duration, Duration, u32)],
+        head_key: BatchKey,
+        latest_eligible: Duration,
+        report: TaskReport,
+        outputs: Vec<BatchOutput>,
+    ) {
+        let n = meta.len();
         // One device dispatch for the whole batch; it cannot start
-        // before its last member arrived.
-        let (start, finish, c) = self.occupy(report.cores_used, latest_arrival, report.duration);
+        // before its last member became eligible.
+        let (start, finish, c) = self.occupy(report.cores_used, latest_eligible, report.duration);
         let dispatch = self.next_dispatch;
         self.next_dispatch += 1;
         self.stats.dispatches += 1;
@@ -652,13 +1090,22 @@ impl<'d, 't> DeviceQueue<'d, 't> {
 
         // Fan the completions back out: each member keeps its own
         // arrival and is charged the shared start/finish.
-        for ((handle, priority, arrival), value) in meta.into_iter().zip(outputs) {
-            self.stats.completed += 1;
-            self.stats.total_wait += start - arrival;
-            self.stats.total_service += report.duration;
-            let latency = finish - arrival;
-            self.stats.total_latency += latency;
-            self.stats.latency_samples.push(latency);
+        for (&(handle, priority, arrival, _eligible, attempt), output) in meta.iter().zip(outputs) {
+            let outcome = match output {
+                Ok(value) => {
+                    self.stats.completed += 1;
+                    self.stats.total_wait += start - arrival;
+                    self.stats.total_service += report.duration;
+                    let latency = finish - arrival;
+                    self.stats.total_latency += latency;
+                    self.stats.latency_samples.push(latency);
+                    TaskOutcome::Ok(value)
+                }
+                Err(e) => {
+                    self.stats.failed += 1;
+                    TaskOutcome::Failed(e)
+                }
+            };
             self.completions.push(Completion {
                 handle,
                 priority,
@@ -666,21 +1113,24 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 started_at: start,
                 finished_at: finish,
                 batch_size: n,
-                dispatch,
+                dispatch: Some(dispatch),
                 batch_key: Some(head_key),
+                attempts: attempt + 1,
                 report: report.clone(),
-                value,
+                outcome,
             });
         }
-        Ok(self.completions.last().expect("batch pushed completions"))
     }
 
     /// Dispatches until the given task retires and returns its
-    /// completion. Returns immediately if it already retired.
+    /// completion — which may be a `Failed` one; failed work retires
+    /// with an error completion rather than vanishing from the queue.
+    /// Returns immediately if it already retired.
     ///
     /// # Errors
     ///
-    /// Fails if the handle is unknown or a dispatched job fails first.
+    /// Fails with [`Error::InvalidArg`] only when the handle was never
+    /// submitted to this queue.
     pub fn wait(&mut self, handle: TaskHandle) -> Result<&Completion> {
         // Completions are append-only, so scan by position to keep the
         // borrow checker happy across `step` calls.
@@ -701,12 +1151,14 @@ impl<'d, 't> DeviceQueue<'d, 't> {
 
     /// Dispatches every pending task and returns all completions so far,
     /// ordered by finish time (FIFO for ties), consuming them from the
-    /// queue.
+    /// queue. Job failures do **not** abort the drain: each failed task
+    /// retires as a `Failed` completion and the drain continues.
+    /// Termination is guaranteed — retries are bounded by the policy's
+    /// `max_retries`, after which a task retires as failed.
     ///
     /// # Errors
     ///
-    /// Propagates the first job error; earlier completions stay queued
-    /// for a later `drain`.
+    /// Reserved for queue-level invariant violations.
     pub fn drain(&mut self) -> Result<Vec<Completion>> {
         while !self.pending.is_empty() {
             self.step()?;
@@ -847,17 +1299,173 @@ mod tests {
     }
 
     #[test]
-    fn failed_jobs_propagate_and_count() {
+    fn failed_jobs_retire_error_completions() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit(
+                Priority::Normal,
+                Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
+            )
+            .unwrap();
+        // The failure is contained: waiting on the handle yields an
+        // error completion instead of erroring the queue.
+        let done = q.wait(h).expect("failed work still retires");
+        assert!(done.is_failed());
+        assert!(matches!(done.error(), Some(Error::TaskFailed(_))));
+        assert!(done.output::<()>().is_none());
+        assert_eq!(done.attempts, 1);
+        assert_eq!(q.stats().failed, 1);
+        assert_eq!(q.stats().completed, 0);
+    }
+
+    #[test]
+    fn wait_on_failed_handle_is_not_unknown() {
+        // Regression: `wait` on a handle whose job failed used to abort
+        // with the job error (or later report "unknown task handle").
+        let mut dev = device();
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        let h = q
+            .submit(
+                Priority::Normal,
+                Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
+            )
+            .unwrap();
+        q.step().unwrap();
+        // Already retired: a second wait still finds the completion.
+        assert!(q.wait(h).unwrap().is_failed());
+        // A genuinely unknown handle is still rejected.
+        let bogus = TaskHandle(u64::MAX);
+        assert!(matches!(q.wait(bogus), Err(Error::InvalidArg(_))));
+    }
+
+    #[test]
+    fn failed_jobs_still_consume_device_time() {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         q.submit(
             Priority::Normal,
-            Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
+            Box::new(|dev: &mut ApuDevice| {
+                // Burn real device cycles, then fail.
+                dev.run_task(charge_kernel(VecOp::AddU16))?;
+                Err(Error::TaskFailed("late failure".into()))
+            }),
         )
         .unwrap();
-        assert!(q.step().is_err());
-        assert_eq!(q.stats().failed, 1);
-        assert_eq!(q.stats().completed, 0);
+        let done = q.drain().unwrap();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_failed());
+        assert_eq!(done[0].dispatch, Some(0), "the job reached the device");
+        assert!(
+            done[0].report.cycles.get() > 0,
+            "consumed cycles are booked on the failed completion"
+        );
+        assert!(done[0].finished_at > done[0].started_at);
+        assert!(
+            q.stats().busy > Duration::ZERO,
+            "failed work still occupies the timeline"
+        );
+    }
+
+    #[test]
+    fn deadline_expired_tasks_shed_without_dispatching() {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        // A long head job pushes the horizon past the second task's TTL.
+        q.submit_weighted(
+            Priority::Normal,
+            Duration::ZERO,
+            1,
+            Box::new(|dev: &mut ApuDevice| {
+                let mut r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                r.duration = Duration::from_millis(50);
+                Ok((r, Box::new(()) as Box<dyn Any>))
+            }),
+        )
+        .unwrap();
+        let ttl = Duration::from_millis(1);
+        let h = q
+            .submit_with_ttl(
+                Priority::Normal,
+                Duration::ZERO,
+                ttl,
+                Box::new(|_dev: &mut ApuDevice| {
+                    panic!("an expired task must never dispatch");
+                }),
+            )
+            .unwrap();
+        let done = q.drain().unwrap();
+        let shed = done.iter().find(|c| c.handle == h).unwrap();
+        assert!(shed.is_failed());
+        assert!(matches!(
+            shed.error(),
+            Some(Error::DeadlineExceeded { deadline }) if *deadline == ttl
+        ));
+        assert_eq!(shed.dispatch, None, "never reached the device");
+        assert_eq!(q.stats().expired, 1);
+        assert_eq!(q.stats().completed, 1);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_deterministic() {
+        use crate::fault::FaultPlan;
+        let policy = RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_micros(100),
+            multiplier: 2.0,
+        };
+        let run = || {
+            let mut dev = device();
+            dev.inject_faults(FaultPlan::new(7).fail_every_kth_task(1));
+            let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_retry(policy));
+            let h = q
+                .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+                .unwrap();
+            let done = q.wait(h).unwrap();
+            (
+                done.attempts,
+                done.finished_at,
+                q.stats().retries,
+                q.stats().failed,
+            )
+        };
+        let (attempts, finished, retries, failed) = run();
+        assert_eq!(attempts, 3, "initial attempt plus two retries");
+        assert_eq!(retries, 2);
+        assert_eq!(failed, 1);
+        // Backoff: 100µs then 200µs of delay before the final failure.
+        assert_eq!(finished, Duration::from_micros(300));
+        assert_eq!(
+            run(),
+            (attempts, finished, retries, failed),
+            "deterministic"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_fault() {
+        use crate::fault::FaultPlan;
+        let mut dev = device();
+        dev.inject_faults(FaultPlan::new(3).fail_task_rate(0.9));
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default().with_retry(RetryPolicy {
+                max_retries: 32,
+                ..RetryPolicy::default()
+            }),
+        );
+        let h = q
+            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .unwrap();
+        let done = q.wait(h).unwrap();
+        // With 32 retries against a 0.9 fault rate, the task eventually
+        // lands (the plan is deterministic, so this cannot flake).
+        assert!(done.is_ok(), "outcome: {:?}", done.error());
+        assert!(done.attempts > 1, "at least one retry happened");
+        let attempts = done.attempts;
+        assert_eq!(q.stats().completed, 1);
+        assert_eq!(q.stats().failed, 0);
+        assert_eq!(q.stats().retries, u64::from(attempts) - 1);
     }
 
     #[test]
@@ -903,6 +1511,10 @@ mod tests {
         assert_eq!(s.batches, 1);
         assert_eq!(s.batched_tasks, 8);
         assert_eq!(s.completed, 8);
+        assert_eq!(
+            s.max_batch_size, 8,
+            "weighted submissions count toward the largest batch"
+        );
         assert_eq!(s.latency_samples.len(), 8);
         assert!(q
             .submit_weighted(
@@ -947,7 +1559,7 @@ mod tests {
     fn echo_runner<'t>(op: VecOp) -> BatchRunner<'t> {
         Box::new(move |dev: &mut ApuDevice, payloads: Vec<Box<dyn Any>>| {
             let report = dev.run_task(charge_kernel(op))?;
-            Ok((report, payloads))
+            Ok((report, payloads.into_iter().map(Ok).collect()))
         })
     }
 
@@ -986,7 +1598,7 @@ mod tests {
             // Payloads fan back out to their own submitters.
             assert_eq!(c.output::<u32>(), Some(&(i as u32)));
             assert_eq!(c.batch_size, if i < 3 { 3 } else { 2 });
-            assert_eq!(c.dispatch, if i < 3 { 0 } else { 1 });
+            assert_eq!(c.dispatch, Some(if i < 3 { 0 } else { 1 }));
         }
         let s = q.stats();
         assert_eq!(s.dispatches, 2);
@@ -1128,7 +1740,13 @@ mod tests {
         q.submit_batchable(Priority::Normal, Duration::ZERO, key, Box::new(0u32), bad)
             .unwrap();
         submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, 1);
-        assert!(matches!(q.drain(), Err(Error::TaskFailed(_))));
+        // The malformed dispatch is contained: both members retire as
+        // failed completions instead of aborting the drain.
+        let done = q.drain().unwrap();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!(matches!(c.error(), Some(Error::TaskFailed(_))));
+        }
         assert_eq!(q.stats().failed, 2);
     }
 
@@ -1137,10 +1755,16 @@ mod tests {
         let ms = |n: u64| Duration::from_millis(n);
         let samples: Vec<Duration> = (1..=100).map(ms).collect();
         assert_eq!(percentile(&samples, 0.0), ms(1));
-        assert_eq!(percentile(&samples, 0.5), ms(51));
+        // Nearest-rank: the p50 of 1..=100 is the ceil(0.5·100) = 50th
+        // order statistic, not the 51st.
+        assert_eq!(percentile(&samples, 0.5), ms(50));
+        assert_eq!(percentile(&samples, 0.501), ms(51));
         assert_eq!(percentile(&samples, 0.99), ms(99));
         assert_eq!(percentile(&samples, 1.0), ms(100));
         assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        // Single sample: every quantile is that sample.
+        assert_eq!(percentile(&[ms(42)], 0.0), ms(42));
+        assert_eq!(percentile(&[ms(42)], 1.0), ms(42));
     }
 
     #[test]

@@ -147,12 +147,104 @@ impl Sub for &VcuStats {
     }
 }
 
+/// Default sample bound of a [`LatencyReservoir`].
+pub const DEFAULT_RESERVOIR_CAP: usize = 4096;
+
+/// Bounded, deterministic reservoir of latency samples (Algorithm R).
+///
+/// The first `cap` samples are kept verbatim, so [`percentile`] over the
+/// reservoir is *exact* below the cap; past it, each new sample replaces
+/// a uniformly chosen slot with probability `cap / seen`, driven by a
+/// fixed-seed SplitMix64 stream so runs are reproducible. Memory stays
+/// `O(cap)` no matter how many completions a serving run retires.
+#[derive(Debug, Clone)]
+pub struct LatencyReservoir {
+    cap: usize,
+    seen: u64,
+    rng: u64,
+    samples: Vec<Duration>,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::with_capacity(DEFAULT_RESERVOIR_CAP)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl LatencyReservoir {
+    /// Creates a reservoir bounded to `cap` samples (clamped to ≥ 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        LatencyReservoir {
+            cap,
+            seen: 0,
+            rng: 0x005e_ed1a_7e9c_0ffe,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one sample to the reservoir.
+    pub fn push(&mut self, sample: Duration) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(sample);
+        } else {
+            // Algorithm R: replace a uniform slot in [0, seen) — the
+            // sample survives with probability cap / seen.
+            let j = (splitmix64(&mut self.rng) % self.seen) as usize;
+            if j < self.cap {
+                self.samples[j] = sample;
+            }
+        }
+    }
+
+    /// Samples currently held (≤ the cap).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample was ever offered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples offered, including evicted ones.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The reservoir bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained samples, unordered.
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.samples
+    }
+}
+
 /// Monotone per-queue counters, in the style of [`VcuStats`].
 ///
 /// Tracked by [`crate::DeviceQueue`]: admission and completion counts,
 /// accumulated wait/service/latency with a latency reservoir for
-/// percentile reporting, core occupancy, and — for the continuous
-/// batching dispatcher — per-dispatch batch-size and backlog counters.
+/// percentile reporting, core occupancy, failure-containment counters
+/// (failed / expired / retried work), and — for the continuous batching
+/// dispatcher — per-dispatch batch-size and backlog counters.
+///
+/// Wait/service/latency accumulators and the latency reservoir cover
+/// **successful** completions only; failed and shed tasks are counted in
+/// [`QueueStats::failed`] / [`QueueStats::expired`], and the device time
+/// a failed job consumed is still booked on the virtual timeline (it
+/// shows up in [`QueueStats::busy`], `makespan`, and later tasks' waits).
 #[derive(Debug, Clone, Default)]
 pub struct QueueStats {
     /// Tasks accepted by `submit`.
@@ -161,8 +253,13 @@ pub struct QueueStats {
     pub rejected: u64,
     /// Tasks that ran to completion.
     pub completed: u64,
-    /// Tasks whose job returned an error.
+    /// Tasks retired with an error completion (failed jobs, failed batch
+    /// members, exhausted retries). Excludes deadline-shed tasks.
     pub failed: u64,
+    /// Tasks shed because their deadline passed before dispatch.
+    pub expired: u64,
+    /// Re-dispatch attempts made by the bounded retry policy.
+    pub retries: u64,
     /// Multi-query batch jobs dispatched (see `submit_weighted`).
     pub batches: u64,
     /// Logical tasks folded into those batch jobs.
@@ -182,8 +279,9 @@ pub struct QueueStats {
     pub total_service: Duration,
     /// Accumulated end-to-end latency (finish − arrival).
     pub total_latency: Duration,
-    /// Per-completion end-to-end latencies, for percentile reporting.
-    pub latency_samples: Vec<Duration>,
+    /// Bounded reservoir of per-completion end-to-end latencies, for
+    /// percentile reporting (exact below the cap).
+    pub latency_samples: LatencyReservoir,
     /// Core-seconds of busy time (`cores_used × service`).
     pub busy: Duration,
     /// Virtual time of the latest finish.
@@ -203,9 +301,10 @@ impl QueueStats {
     }
 
     /// Latency percentile `q` in `[0, 1]` over completed tasks (nearest
-    /// rank), or zero when no task completed.
+    /// rank), or zero when no task completed. Exact while completions
+    /// fit the reservoir cap, a uniform-sample estimate past it.
     pub fn latency_percentile(&self, q: f64) -> Duration {
-        percentile(&self.latency_samples, q)
+        percentile(self.latency_samples.as_slice(), q)
     }
 
     /// Fraction of core-time spent busy over the queue's makespan.
@@ -239,15 +338,18 @@ impl QueueStats {
     }
 }
 
-/// Nearest-rank percentile of a (not necessarily sorted) sample set.
+/// Nearest-rank percentile of a (not necessarily sorted) sample set:
+/// the `ceil(q·n)`-th smallest sample (1-indexed), with `q = 0` mapping
+/// to the minimum. Always returns an actual sample.
 pub fn percentile(samples: &[Duration], q: f64) -> Duration {
     if samples.is_empty() {
         return Duration::ZERO;
     }
     let mut sorted: Vec<Duration> = samples.to_vec();
     sorted.sort_unstable();
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 #[cfg(test)]
@@ -300,5 +402,51 @@ mod tests {
         s.record_pio_elems(10, 2);
         assert_eq!(s.pio_elems, 10);
         assert_eq!(s.l4_bytes, 20);
+    }
+
+    #[test]
+    fn reservoir_is_exact_below_cap_and_bounded_above() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let mut r = LatencyReservoir::with_capacity(64);
+        for i in 1..=64 {
+            r.push(ms(i));
+        }
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.seen(), 64);
+        // Exact below the cap: every sample retained in order.
+        assert_eq!(percentile(r.as_slice(), 1.0), ms(64));
+        assert_eq!(percentile(r.as_slice(), 0.0), ms(1));
+        for i in 65..=100_000 {
+            r.push(ms(i));
+        }
+        assert_eq!(r.len(), 64, "reservoir must stay bounded");
+        assert_eq!(r.seen(), 100_000);
+        // Retained samples all come from the offered stream.
+        assert!(r.as_slice().iter().all(|&d| d >= ms(1) && d <= ms(100_000)));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let mut a = LatencyReservoir::with_capacity(8);
+        let mut b = LatencyReservoir::with_capacity(8);
+        for i in 0..1000u64 {
+            a.push(Duration::from_micros(i * 7 % 311));
+            b.push(Duration::from_micros(i * 7 % 311));
+        }
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        // Nearest rank: ceil(q·n)-th smallest, 1-indexed.
+        assert_eq!(percentile(&samples, 0.5), ms(50));
+        assert_eq!(percentile(&samples, 0.501), ms(51));
+        assert_eq!(percentile(&samples, 0.99), ms(99));
+        let five: Vec<Duration> = (1..=5).map(ms).collect();
+        assert_eq!(percentile(&five, 0.5), ms(3));
+        assert_eq!(percentile(&five, 0.25), ms(2));
+        assert_eq!(percentile(&five, 0.75), ms(4));
     }
 }

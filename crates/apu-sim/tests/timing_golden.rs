@@ -138,13 +138,15 @@ fn batched_dispatch_charges_the_same_cycles_as_single() {
                 Duration::ZERO,
                 apu_sim::BatchKey::new(1),
                 Box::new(()),
-                Box::new(|dev: &mut ApuDevice, payloads| {
-                    let report = dev.run_task(|ctx| {
-                        ctx.core_mut().charge(VecOp::MulS16);
-                        Ok(())
-                    })?;
-                    Ok((report, payloads))
-                }),
+                Box::new(
+                    |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                        let report = dev.run_task(|ctx| {
+                            ctx.core_mut().charge(VecOp::MulS16);
+                            Ok(())
+                        })?;
+                        Ok((report, payloads.into_iter().map(Ok).collect()))
+                    },
+                ),
             )
             .expect("submission");
         }

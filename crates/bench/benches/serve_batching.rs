@@ -6,6 +6,11 @@
 //! simulated timeline. Batched hits are asserted identical to the
 //! unbatched hits before any number is printed.
 //!
+//! A second sweep re-serves the same stream with a deterministic
+//! injected task-fault rate and retries enabled: every query that
+//! still serves is asserted bitwise-identical to the fault-free run,
+//! and failures surface as error completions rather than lost work.
+//!
 //! Plain `main` (no harness): simulated time is deterministic, so a
 //! single replay per configuration is exact.
 //!
@@ -14,22 +19,28 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use apu_sim::{ApuDevice, SimConfig};
+use apu_sim::{ApuDevice, FaultPlan, RetryPolicy, SimConfig};
 use hbm_sim::{DramSpec, MemorySystem};
 use rag::{CorpusSpec, EmbeddingStore, Hit, ServeConfig, ServeReport};
 
 /// One serving scenario: `queries` arrive `gap` apart on the virtual
-/// timeline and drain through a fresh device.
+/// timeline and drain through a fresh device. A non-zero `fault_rate`
+/// arms a deterministic task-fault plan and bounded retries.
 fn serve(
     store: &EmbeddingStore,
     queries: &[Vec<i16>],
     gap: Duration,
     max_batch: usize,
+    fault_rate: f64,
 ) -> ServeReport {
     let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(16 << 20));
+    if fault_rate > 0.0 {
+        dev.inject_faults(FaultPlan::new(42).fail_task_rate(fault_rate));
+    }
     let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
     let cfg = ServeConfig {
         max_batch,
+        retry: (fault_rate > 0.0).then(RetryPolicy::default),
         ..ServeConfig::default()
     };
     let mut server = rag::RagServer::new(&mut dev, &mut hbm, store, cfg);
@@ -44,7 +55,7 @@ fn serve(
 fn hits_by_ticket(r: &ServeReport) -> HashMap<u64, Vec<Hit>> {
     r.completions
         .iter()
-        .map(|c| (c.ticket.id(), c.hits.clone()))
+        .filter_map(|c| c.hits().map(|h| (c.ticket.id(), h.to_vec())))
         .collect()
 }
 
@@ -71,8 +82,8 @@ fn main() {
         let queries: Vec<Vec<i16>> = (0..n as u64).map(|i| store.query(i)).collect();
         let gap = Duration::from_micros(gap_us);
 
-        let batched = serve(&store, &queries, gap, rag::MAX_BATCH);
-        let unbatched = serve(&store, &queries, gap, 1);
+        let batched = serve(&store, &queries, gap, rag::MAX_BATCH, 0.0);
+        let unbatched = serve(&store, &queries, gap, 1, 0.0);
         assert_eq!(
             hits_by_ticket(&batched),
             hits_by_ticket(&unbatched),
@@ -98,6 +109,43 @@ fn main() {
             "",
             batched.throughput_qps() / unbatched.throughput_qps(),
             batched.queue.mean_batch_size(),
+        );
+    }
+
+    // ---- fault-rate sweep: failure containment under injection ----
+    println!();
+    println!("fault sweep: 48 queries, 50 µs gap, batched, bounded retries");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}  {:>10}  {:>10}",
+        "fault_rate", "served", "failed", "retries", "QPS", "p99_ms"
+    );
+    let queries: Vec<Vec<i16>> = (0..48u64).map(|i| store.query(i)).collect();
+    let gap = Duration::from_micros(50);
+    let clean = serve(&store, &queries, gap, rag::MAX_BATCH, 0.0);
+    let clean_hits = hits_by_ticket(&clean);
+    for &rate in &[0.0, 0.1, 0.3] {
+        let faulted = serve(&store, &queries, gap, rag::MAX_BATCH, rate);
+        assert_eq!(
+            faulted.completions.len(),
+            queries.len(),
+            "every query must retire — served or failed, never dropped"
+        );
+        // Every query that survives the fault plan serves hits bitwise
+        // identical to the fault-free run.
+        for (ticket, hits) in hits_by_ticket(&faulted) {
+            assert_eq!(
+                &hits, &clean_hits[&ticket],
+                "query {ticket} diverged from the fault-free run"
+            );
+        }
+        println!(
+            "{:>10.2}  {:>8}  {:>8}  {:>8}  {:>10.0}  {:>10.2}",
+            rate,
+            faulted.served(),
+            faulted.failed(),
+            faulted.queue.retries,
+            faulted.throughput_qps(),
+            faulted.latency_percentile(0.99).as_secs_f64() * 1e3,
         );
     }
 }

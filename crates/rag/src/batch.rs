@@ -77,6 +77,12 @@ pub fn retrieval_batch_key(store: &EmbeddingStore, k: usize) -> BatchKey {
 /// [`retrieve_batch`] once for the whole dispatch, and re-boxes the
 /// per-query hits (`Vec<Hit>`) in member order.
 ///
+/// A payload that is not a query vector poisons only its own slot: it
+/// comes back as a per-member `Err` while the valid members still run
+/// (and batch) normally. A dispatch with no valid member at all returns
+/// a zero-cost report and all-`Err` outputs rather than a top-level
+/// failure, so malformed submissions never take down their batch mates.
+///
 /// The returned report's service time is the device execution time
 /// *plus* the off-chip embedding stream — the kernel cannot run ahead
 /// of the stream, and that stream is exactly the cost one batched
@@ -85,30 +91,61 @@ pub fn retrieval_batch_key(store: &EmbeddingStore, k: usize) -> BatchKey {
 ///
 /// # Errors
 ///
-/// Fails when a payload is not a query vector, plus every
-/// [`retrieve_batch`] failure mode.
+/// Propagates [`retrieve_batch`] failure modes (which fail the whole
+/// dispatch); per-member payload errors are contained as described.
 pub fn run_boxed_batch(
     dev: &mut ApuDevice,
     hbm: &mut MemorySystem,
     store: &EmbeddingStore,
     payloads: Vec<Box<dyn Any>>,
     k: usize,
-) -> Result<(TaskReport, Vec<Box<dyn Any>>)> {
-    let queries: Vec<Vec<i16>> = payloads
-        .into_iter()
-        .map(|p| {
-            p.downcast::<Vec<i16>>()
-                .map(|b| *b)
-                .map_err(|_| Error::InvalidArg("batch payload is not a query vector".into()))
-        })
-        .collect::<Result<_>>()?;
+) -> Result<(TaskReport, Vec<apu_sim::BatchOutput>)> {
+    let n = payloads.len();
+    let mut queries: Vec<Vec<i16>> = Vec::with_capacity(n);
+    // Slot of each valid member in `queries`, or None for poisoned ones.
+    let mut slots: Vec<Option<usize>> = Vec::with_capacity(n);
+    for p in payloads {
+        match p.downcast::<Vec<i16>>() {
+            Ok(q) => {
+                slots.push(Some(queries.len()));
+                queries.push(*q);
+            }
+            Err(_) => slots.push(None),
+        }
+    }
+
+    if queries.is_empty() {
+        let report = TaskReport {
+            cycles: Cycles::ZERO,
+            duration: std::time::Duration::ZERO,
+            stats: Default::default(),
+            cores_used: 0,
+        };
+        let outputs = slots
+            .iter()
+            .map(|_| {
+                Err(Error::InvalidArg(
+                    "batch payload is not a query vector".into(),
+                ))
+            })
+            .collect();
+        return Ok((report, outputs));
+    }
+
     let result = retrieve_batch(dev, hbm, store, &queries, k)?;
     let mut report = result.report;
     report.duration += std::time::Duration::from_secs_f64(result.breakdown.load_embedding_ms / 1e3);
-    let outputs = result
-        .hits
+    let mut hits: Vec<Option<Vec<Hit>>> = result.hits.into_iter().map(Some).collect();
+    let outputs = slots
         .into_iter()
-        .map(|h| Box::new(h) as Box<dyn Any>)
+        .map(|slot| match slot {
+            Some(i) => {
+                Ok(Box::new(hits[i].take().expect("each slot is taken once")) as Box<dyn Any>)
+            }
+            None => Err(Error::InvalidArg(
+                "batch payload is not a query vector".into(),
+            )),
+        })
         .collect();
     Ok((report, outputs))
 }

@@ -19,7 +19,9 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use apu_sim::queue::percentile;
-use apu_sim::{ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, TaskHandle};
+use apu_sim::{
+    ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, RetryPolicy, TaskHandle,
+};
 use hbm_sim::MemorySystem;
 
 use crate::batch::{retrieval_batch_key, run_boxed_batch, MAX_BATCH};
@@ -40,6 +42,13 @@ pub struct ServeConfig {
     pub queue: QueueConfig,
     /// Priority retrieval batches are submitted at.
     pub priority: Priority,
+    /// Per-query time-to-live: a query that cannot start within `ttl`
+    /// of its arrival is shed as `DeadlineExceeded` without dispatching
+    /// (graceful degradation under overload). `None` disables shedding.
+    pub ttl: Option<Duration>,
+    /// Bounded retry-with-backoff for transiently faulted queries.
+    /// `None` disables retries.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +59,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             queue: QueueConfig::default(),
             priority: Priority::Normal,
+            ttl: None,
+            retry: None,
         }
     }
 }
@@ -65,22 +76,28 @@ impl QueryTicket {
     }
 }
 
-/// One served query: scheduling timestamps and its top-k hits.
+/// One served query: scheduling timestamps and its outcome — either the
+/// top-k hits or the error it retired with (shed deadline, injected
+/// fault, kernel failure). Failed queries are first-class completions;
+/// they are never silently dropped from a [`ServeReport`].
 #[derive(Debug, Clone)]
 pub struct QueryCompletion {
     /// Ticket returned at submission.
     pub ticket: QueryTicket,
     /// The query's own arrival time.
     pub arrival: Duration,
-    /// Dispatch time of the batch that carried it.
+    /// Dispatch time of the batch that carried it (shed queries reuse
+    /// their deadline).
     pub started_at: Duration,
     /// Retire time of that batch.
     pub finished_at: Duration,
     /// How many queries shared the batch.
     pub batch_size: usize,
-    /// Top-k hits, identical to the synchronous
-    /// [`crate::batch::retrieve_batch`] path.
-    pub hits: Vec<Hit>,
+    /// Dispatch attempts consumed (1 without retries).
+    pub attempts: u32,
+    /// Top-k hits — identical to the synchronous
+    /// [`crate::batch::retrieve_batch`] path — or the retirement error.
+    pub outcome: std::result::Result<Vec<Hit>, Error>,
 }
 
 impl QueryCompletion {
@@ -88,6 +105,30 @@ impl QueryCompletion {
     /// waiting for the batch window is charged to the early arrivals).
     pub fn latency(&self) -> Duration {
         self.finished_at - self.arrival
+    }
+
+    /// Whether the query was served successfully.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The served hits, or `None` for a failed query.
+    pub fn hits(&self) -> Option<&[Hit]> {
+        self.outcome.as_deref().ok()
+    }
+
+    /// The retirement error, or `None` for a served query.
+    pub fn error(&self) -> Option<&Error> {
+        self.outcome.as_ref().err()
+    }
+
+    /// Consumes the completion into its hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the retirement error of a failed query.
+    pub fn into_hits(self) -> Result<Vec<Hit>> {
+        self.outcome
     }
 }
 
@@ -101,19 +142,36 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Per-query end-to-end latency percentile (nearest rank).
+    /// Per-query end-to-end latency percentile (nearest rank), over
+    /// successfully served queries.
     pub fn latency_percentile(&self, q: f64) -> Duration {
-        let samples: Vec<Duration> = self.completions.iter().map(|c| c.latency()).collect();
+        let samples: Vec<Duration> = self
+            .completions
+            .iter()
+            .filter(|c| c.is_ok())
+            .map(|c| c.latency())
+            .collect();
         percentile(&samples, q)
     }
 
-    /// Sustained queries per second over the queue makespan.
+    /// Queries served successfully.
+    pub fn served(&self) -> usize {
+        self.completions.iter().filter(|c| c.is_ok()).count()
+    }
+
+    /// Queries that retired with an error (shed, faulted, or failed).
+    pub fn failed(&self) -> usize {
+        self.completions.len() - self.served()
+    }
+
+    /// Sustained successfully-served queries per second over the queue
+    /// makespan.
     pub fn throughput_qps(&self) -> f64 {
         let wall = self.queue.makespan.as_secs_f64();
         if wall <= 0.0 {
             0.0
         } else {
-            self.completions.len() as f64 / wall
+            self.served() as f64 / wall
         }
     }
 
@@ -199,12 +257,14 @@ impl<'a> RagServer<'a> {
     /// Runs every pending query through the device command queue — one
     /// batchable submission per query, coalesced by the queue's
     /// continuous-batching dispatcher — and returns per-query
-    /// completions.
+    /// completions. Failures are contained: a shed, faulted, or failed
+    /// query retires with an `Err` outcome in its [`QueryCompletion`]
+    /// while the rest of the stream keeps serving.
     ///
     /// # Errors
     ///
-    /// Propagates device and kernel errors; pending queries are consumed
-    /// either way.
+    /// Reserved for queue-level invariant violations; pending queries
+    /// are consumed either way.
     pub fn drain(&mut self) -> Result<ServeReport> {
         let mut queries = std::mem::take(&mut self.pending);
         queries.sort_by_key(|p| (p.arrival, p.ticket.0));
@@ -213,26 +273,36 @@ impl<'a> RagServer<'a> {
         let k = self.cfg.k;
         let key = retrieval_batch_key(store, k);
         let hbm = RefCell::new(&mut *self.hbm);
-        let queue_cfg = self
+        let mut queue_cfg = self
             .cfg
             .queue
             .clone()
             .with_max_batch(self.cfg.max_batch.clamp(1, MAX_BATCH))
             .with_max_batch_wait(self.cfg.batch_window);
+        if let Some(policy) = self.cfg.retry {
+            queue_cfg = queue_cfg.with_retry(policy);
+        }
+        let ttl = self.cfg.ttl;
         let mut queue = DeviceQueue::new(&mut *self.dev, queue_cfg);
         let mut tickets: HashMap<TaskHandle, (QueryTicket, Duration)> = HashMap::new();
         for p in queries {
             let hbm = &hbm;
-            let handle = queue.submit_batchable(
-                self.cfg.priority,
-                p.arrival,
-                key,
-                Box::new(p.query),
-                Box::new(move |dev: &mut ApuDevice, payloads| {
-                    let mut hbm = hbm.borrow_mut();
-                    run_boxed_batch(dev, &mut hbm, store, payloads, k)
-                }),
-            )?;
+            let run = Box::new(move |dev: &mut ApuDevice, payloads| {
+                let mut hbm = hbm.borrow_mut();
+                run_boxed_batch(dev, &mut hbm, store, payloads, k)
+            });
+            let payload = Box::new(p.query);
+            let handle = match ttl {
+                Some(ttl) => queue.submit_batchable_with_ttl(
+                    self.cfg.priority,
+                    p.arrival,
+                    ttl,
+                    key,
+                    payload,
+                    run,
+                ),
+                None => queue.submit_batchable(self.cfg.priority, p.arrival, key, payload, run),
+            }?;
             tickets.insert(handle, (p.ticket, p.arrival));
         }
 
@@ -247,7 +317,8 @@ impl<'a> RagServer<'a> {
                 started_at: done.started_at,
                 finished_at: done.finished_at,
                 batch_size: done.batch_size,
-                hits: done.into_output()?,
+                attempts: done.attempts,
+                outcome: done.into_output(),
             });
         }
         let stats = queue.stats().clone();
@@ -299,7 +370,7 @@ mod tests {
         assert_eq!(report.completions.len(), 4);
         for done in &report.completions {
             assert_eq!(
-                done.hits,
+                done.hits().expect("served"),
                 sync.hits[done.ticket.id() as usize],
                 "query {}",
                 done.ticket.id()

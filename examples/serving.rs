@@ -6,12 +6,16 @@
 //! same-key queries arriving within the batch window into one
 //! VR-limited device dispatch, and the example compares the batched
 //! drain against the same stream served one query per dispatch.
+//! The final section overloads the server with injected faults and a
+//! per-query deadline to show graceful degradation: expired queries are
+//! shed, transient faults retry with backoff, and every failure retires
+//! as an error completion instead of taking the stream down.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use std::time::Duration;
 
-use apu_sim::{ApuDevice, DeviceQueue, Priority, QueueConfig, SimConfig};
+use apu_sim::{ApuDevice, DeviceQueue, FaultPlan, Priority, QueueConfig, RetryPolicy, SimConfig};
 use hbm_sim::{DramSpec, MemorySystem};
 use phoenix::{histogram, OptConfig};
 use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig};
@@ -57,7 +61,7 @@ fn main() -> Result<(), apu_sim::Error> {
         println!(
             "query {}: {} hits, batch of {}, latency {:.2} ms",
             done.ticket.id(),
-            done.hits.len(),
+            done.hits().map_or(0, <[_]>::len),
             done.batch_size,
             done.latency().as_secs_f64() * 1e3,
         );
@@ -88,5 +92,45 @@ fn main() -> Result<(), apu_sim::Error> {
         unbatched.latency_percentile(0.99).as_secs_f64() * 1e3,
         unbatched.queue.dispatches,
     );
+
+    // ---- 4. graceful degradation: overload + injected faults ----
+    // A burst of 96 back-to-back queries overruns the device, a 10%
+    // deterministic task-fault rate is armed, each query carries a 2 ms
+    // TTL, and transient faults get one retry with backoff. Shed and
+    // faulted queries retire as error completions; the rest keep serving.
+    dev.inject_faults(FaultPlan::new(42).fail_task_rate(0.10));
+    let burst: Vec<Vec<i16>> = (0..96).map(|i| store.query(1000 + i)).collect();
+    let degraded = {
+        let cfg = ServeConfig {
+            ttl: Some(Duration::from_millis(2)),
+            retry: Some(RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, cfg);
+        for (i, q) in burst.iter().enumerate() {
+            server.submit(Duration::from_micros(5 * i as u64), q.clone())?;
+        }
+        server.drain()?
+    };
+    dev.clear_faults();
+    println!(
+        "degraded: {} served / {} failed ({} shed past deadline, {} retries), p99 {:.2} ms",
+        degraded.served(),
+        degraded.failed(),
+        degraded.queue.expired,
+        degraded.queue.retries,
+        degraded.latency_percentile(0.99).as_secs_f64() * 1e3,
+    );
+    for done in degraded.completions.iter().filter(|c| !c.is_ok()).take(2) {
+        println!(
+            "  query {} failed after {} attempt(s): {}",
+            done.ticket.id(),
+            done.attempts,
+            done.error().expect("failed completion carries its error"),
+        );
+    }
     Ok(())
 }

@@ -145,6 +145,27 @@ proptest! {
     }
 
     #[test]
+    fn percentile_is_nearest_rank(
+        ms in proptest::collection::vec(0u64..10_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        use std::time::Duration;
+        let samples: Vec<Duration> = ms.iter().map(|&m| Duration::from_millis(m)).collect();
+        let got = apu_sim::queue::percentile(&samples, q);
+        // Nearest-rank definition: the smallest sample s such that at
+        // least ceil(q·n) samples are ≤ s.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(got, sorted[rank - 1]);
+        // Structural properties: bounded by the extremes, monotone in q.
+        prop_assert!(got >= sorted[0] && got <= sorted[n - 1]);
+        let higher = apu_sim::queue::percentile(&samples, (q + 0.1).min(1.0));
+        prop_assert!(higher >= got);
+    }
+
+    #[test]
     fn coalesce_plan_never_loses_bytes(
         rows in proptest::collection::vec((0usize..64, 1usize..8), 1..20),
     ) {

@@ -40,13 +40,15 @@ fn submit_echo(
         arrival,
         BatchKey::new(key),
         Box::new(tag),
-        Box::new(|dev: &mut ApuDevice, payloads| {
-            let report = dev.run_task(|ctx| {
-                ctx.core_mut().charge(VecOp::MulS16);
-                Ok(())
-            })?;
-            Ok((report, payloads))
-        }),
+        Box::new(
+            |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                let report = dev.run_task(|ctx| {
+                    ctx.core_mut().charge(VecOp::MulS16);
+                    Ok(())
+                })?;
+                Ok((report, payloads.into_iter().map(Ok).collect()))
+            },
+        ),
     )
     .expect("submission under capacity")
 }
@@ -95,7 +97,10 @@ fn fifo_within_class_survives_batching() {
     let mut by_dispatch: HashMap<u64, Vec<usize>> = HashMap::new();
     for c in &done {
         let idx = handles.iter().position(|&h| h == c.handle).unwrap();
-        by_dispatch.entry(c.dispatch).or_default().push(idx);
+        by_dispatch
+            .entry(c.dispatch.expect("dispatched"))
+            .or_default()
+            .push(idx);
     }
     for (dispatch, mut members) in by_dispatch {
         members.sort_unstable();
@@ -142,7 +147,10 @@ fn batches_never_mix_priorities_or_keys() {
 
     let mut groups: HashMap<u64, Vec<&Completion>> = HashMap::new();
     for c in &done {
-        groups.entry(c.dispatch).or_default().push(c);
+        groups
+            .entry(c.dispatch.expect("dispatched"))
+            .or_default()
+            .push(c);
     }
     assert!(
         groups.len() > 3,
@@ -206,7 +214,7 @@ fn batched_hits_are_bitwise_identical_to_per_query_retrieval() {
             )
             .unwrap();
         assert_eq!(
-            done.hits,
+            done.hits().expect("served"),
             hits,
             "query {} diverged from the synchronous path",
             done.ticket.id()
@@ -238,10 +246,12 @@ fn queue_full_fires_at_exactly_max_pending() {
             Duration::ZERO,
             BatchKey::new(1),
             Box::new(4u32),
-            Box::new(|dev: &mut ApuDevice, payloads| {
-                let report = dev.run_task(|_| Ok(()))?;
-                Ok((report, payloads))
-            }),
+            Box::new(
+                |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                    let report = dev.run_task(|_| Ok(()))?;
+                    Ok((report, payloads.into_iter().map(Ok).collect()))
+                },
+            ),
         )
         .expect_err("fifth submission must be rejected");
     match err {
@@ -299,7 +309,7 @@ fn batched_drain_beats_unbatched_at_equal_offered_load() {
     let by_ticket = |r: &rag::ServeReport| -> HashMap<u64, Vec<rag::Hit>> {
         r.completions
             .iter()
-            .map(|c| (c.ticket.id(), c.hits.clone()))
+            .map(|c| (c.ticket.id(), c.hits().expect("served").to_vec()))
             .collect()
     };
     assert_eq!(by_ticket(&batched), by_ticket(&unbatched));

@@ -139,6 +139,9 @@ fn served_queries_match_synchronous_batches_bytewise() {
 
     assert_eq!(report.completions.len(), queries.len());
     for done in &report.completions {
-        assert_eq!(done.hits, sync.hits[done.ticket.id() as usize]);
+        assert_eq!(
+            done.hits().expect("served"),
+            sync.hits[done.ticket.id() as usize]
+        );
     }
 }
