@@ -18,6 +18,7 @@ use crate::mem::{bytes_to_pods, pods_to_bytes, u16s_to_bytes, Dram, MemHandle, P
 use crate::queue::BatchKey;
 use crate::stats::VcuStats;
 use crate::timing::DeviceTiming;
+use crate::trace::SharedSink;
 use crate::Result;
 
 /// Outcome of one device task (kernel invocation).
@@ -81,6 +82,7 @@ pub struct ApuDevice {
     l3: Vec<u8>,
     cores: Vec<ApuCore>,
     faults: Option<FaultState>,
+    trace: Option<SharedSink>,
 }
 
 impl ApuDevice {
@@ -121,7 +123,29 @@ impl ApuDevice {
             cores,
             cfg,
             faults: None,
+            trace: None,
         })
+    }
+
+    // ---------------- tracing ----------------
+
+    /// Installs a trace sink (see [`crate::trace`]): subsequent queue
+    /// dispatches and DMA transfers emit [`crate::TraceEvent`]s into it,
+    /// replacing any previously installed sink. Tracing is an observer —
+    /// it never changes simulated time.
+    pub fn install_trace_sink(&mut self, sink: SharedSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes the installed trace sink; instrumentation reverts to a
+    /// no-op.
+    pub fn clear_trace_sink(&mut self) {
+        self.trace = None;
+    }
+
+    /// The installed sink, for instrumentation sites.
+    pub(crate) fn trace(&self) -> Option<&SharedSink> {
+        self.trace.as_ref()
     }
 
     // ---------------- fault injection ----------------
@@ -322,6 +346,7 @@ impl ApuDevice {
             l3: &mut self.l3,
             core,
             faults: self.faults.as_mut(),
+            trace: self.trace.clone(),
         };
         task(&mut ctx)?;
         // A task boundary is a full barrier: any async DMA the kernel
@@ -378,6 +403,7 @@ impl ApuDevice {
                 l3: &mut self.l3,
                 core,
                 faults: self.faults.as_mut(),
+                trace: self.trace.clone(),
             };
             task(&mut ctx)?;
             crate::dma_async::flush_pending(&mut self.cores[core_id], &mut self.l4);
@@ -420,6 +446,7 @@ pub struct ApuContext<'a> {
     pub(crate) l3: &'a mut Vec<u8>,
     pub(crate) core: &'a mut ApuCore,
     pub(crate) faults: Option<&'a mut FaultState>,
+    pub(crate) trace: Option<SharedSink>,
 }
 
 impl ApuContext<'_> {
@@ -473,10 +500,21 @@ impl ApuContext<'_> {
 
     /// One DMA-level fault check, consumed at transfer issue.
     pub(crate) fn dma_fault_check(&mut self) -> Result<()> {
-        if let Some(f) = self.faults.as_mut() {
-            if let Some(e) = f.check_dma() {
-                return Err(e);
+        let hit = match self.faults.as_mut() {
+            Some(f) => f.check_dma().map(|e| (e, f.counts().dmas_injected)),
+            None => None,
+        };
+        if let Some((e, seq)) = hit {
+            if let Some(t) = self.trace.as_ref() {
+                t.record(crate::trace::TraceEvent {
+                    ts: self.core.cycles(),
+                    kind: crate::trace::TraceEventKind::FaultInjected {
+                        scope: crate::trace::FaultScope::Dma,
+                        seq,
+                    },
+                });
             }
+            return Err(e);
         }
         Ok(())
     }

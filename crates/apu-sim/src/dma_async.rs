@@ -25,6 +25,7 @@ use crate::core::CycleClass;
 use crate::core::{ApuCore, Vmr};
 use crate::device::ApuContext;
 use crate::mem::{Dram, MemHandle};
+use crate::trace::{TraceEvent, TraceEventKind};
 use crate::Result;
 
 /// A functional-mode copy whose destination write is deferred until the
@@ -95,7 +96,7 @@ pub struct DmaTicket {
 impl ApuContext<'_> {
     /// Books `cost` cycles of transfer time on the earliest-free DMA
     /// engine, charging only the setup overhead on the CP.
-    fn schedule_dma(&mut self, cost: Cycles) -> DmaTicket {
+    fn schedule_dma(&mut self, cost: Cycles, bytes: u64) -> DmaTicket {
         let setup = Cycles::new(self.timing().dma_setup_extra);
         self.core_mut().charge_cycles(CycleClass::Issue, setup);
         let now = self.core().cycles();
@@ -105,9 +106,36 @@ impl ApuContext<'_> {
         self.core_mut().book_dma_engine(engine, completes_at);
         // Engine busy time is DMA time even though the CP keeps running.
         self.core_mut().note_dma_busy(cost);
+        if let Some(t) = self.trace.as_ref() {
+            t.record(TraceEvent {
+                ts: now,
+                kind: TraceEventKind::DmaIssued {
+                    core: self.core.id(),
+                    engine,
+                    start,
+                    completes_at,
+                    bytes,
+                },
+            });
+        }
         DmaTicket {
             engine,
             completes_at,
+        }
+    }
+
+    /// Emits a [`TraceEventKind::DmaWaited`] marker for a wait that
+    /// stalled the CP by `stall` cycles (after the stall was charged).
+    fn trace_dma_wait(&self, engine: usize, stall: Cycles) {
+        if let Some(t) = self.trace.as_ref() {
+            t.record(TraceEvent {
+                ts: self.core.cycles(),
+                kind: TraceEventKind::DmaWaited {
+                    core: self.core.id(),
+                    engine,
+                    stall,
+                },
+            });
         }
     }
 
@@ -142,7 +170,7 @@ impl ApuContext<'_> {
             None
         };
         self.stats_dma_transaction(bytes as u64);
-        let ticket = self.schedule_dma(cost);
+        let ticket = self.schedule_dma(cost, bytes as u64);
         if let Some(copy) = copy {
             self.stash_pending(ticket, copy);
         }
@@ -181,7 +209,7 @@ impl ApuContext<'_> {
             None
         };
         self.stats_dma_transaction(bytes as u64);
-        let ticket = self.schedule_dma(cost);
+        let ticket = self.schedule_dma(cost, bytes as u64);
         if let Some(copy) = copy {
             self.stash_pending(ticket, copy);
         }
@@ -224,6 +252,7 @@ impl ApuContext<'_> {
         if stall > Cycles::ZERO {
             self.core_mut().charge_cycles(CycleClass::Dma, stall);
         }
+        self.trace_dma_wait(ticket.engine, stall);
         stall
     }
 
@@ -240,6 +269,9 @@ impl ApuContext<'_> {
         let stall = latest.saturating_sub(now);
         if stall > Cycles::ZERO {
             self.core_mut().charge_cycles(CycleClass::Dma, stall);
+        }
+        for (engine, &engine_busy) in busy.iter().enumerate() {
+            self.trace_dma_wait(engine, engine_busy.saturating_sub(now));
         }
         stall
     }

@@ -87,6 +87,15 @@ pub struct FaultCounts {
     pub dmas_injected: u64,
 }
 
+impl FaultCounts {
+    /// Total faults injected across both scopes — the number of
+    /// [`crate::trace::TraceEventKind::FaultInjected`] events a traced
+    /// run emits.
+    pub fn injected_total(&self) -> u64 {
+        self.tasks_injected + self.dmas_injected
+    }
+}
+
 /// The armed plan plus its monotone check counters.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {

@@ -82,6 +82,7 @@ pub mod micro;
 pub mod queue;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 
 pub use clock::{Cycles, Frequency};
 pub use config::{ExecMode, SimConfig};
@@ -96,8 +97,11 @@ pub use queue::{
     BatchKey, BatchOutput, Completion, DeviceQueue, Priority, QueueConfig, QueueStats, RetryPolicy,
     TaskHandle, TaskOutcome,
 };
-pub use stats::{LatencyReservoir, VcuStats};
+pub use stats::{LatencyReservoir, StageBreakdown, VcuStats};
 pub use timing::{DeviceTiming, VecOp};
+pub use trace::{
+    ChromeTraceSink, FaultScope, SharedSink, TraceEvent, TraceEventKind, TraceRecorder, TraceSink,
+};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -71,7 +71,8 @@ use std::time::Duration;
 use crate::clock::Cycles;
 use crate::device::{ApuContext, ApuDevice, TaskReport};
 use crate::error::Error;
-use crate::stats::{LatencyReservoir, VcuStats, DEFAULT_RESERVOIR_CAP};
+use crate::stats::{LatencyReservoir, StageBreakdown, VcuStats, DEFAULT_RESERVOIR_CAP};
+use crate::trace::{FaultScope, TraceEvent, TraceEventKind};
 use crate::Result;
 
 pub use crate::stats::{percentile, QueueStats};
@@ -310,6 +311,18 @@ impl Completion {
         }
     }
 
+    /// Per-stage breakdown of this completion's end-to-end latency (see
+    /// [`StageBreakdown`]): the four components sum *exactly* to
+    /// [`Completion::latency`]. Work that never reached the device (shed
+    /// or gate-failed) has an all-zero service split.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        StageBreakdown::from_parts(
+            self.wait(),
+            self.finished_at - self.started_at,
+            &self.report.stats,
+        )
+    }
+
     /// Consumes the completion, returning the job output as `T`.
     ///
     /// # Errors
@@ -430,6 +443,25 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// dispatches).
     pub fn device_mut(&mut self) -> &mut ApuDevice {
         self.dev
+    }
+
+    /// Converts a virtual-timeline instant to device cycles, the trace
+    /// clock domain.
+    fn trace_ts(&self, at: Duration) -> Cycles {
+        self.dev.config().clock.secs_to_cycles(at.as_secs_f64())
+    }
+
+    /// Emits one queue-domain trace event stamped at virtual time `at`.
+    /// The payload is built lazily so an untraced queue never even
+    /// constructs it — with no sink installed this is a branch and
+    /// nothing else, and in all cases no virtual time is charged.
+    fn emit_with(&self, at: Duration, kind: impl FnOnce() -> TraceEventKind) {
+        if let Some(t) = self.dev.trace() {
+            t.record(TraceEvent {
+                ts: self.trace_ts(at),
+                kind: kind(),
+            });
+        }
     }
 
     /// Tasks submitted but not yet dispatched.
@@ -584,6 +616,10 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let handle = TaskHandle(self.next_id);
         self.next_id += 1;
         self.stats.submitted += 1;
+        let batch_key = match &work {
+            Work::Batchable { key, .. } => Some(key.get()),
+            Work::Single(_) => None,
+        };
         self.pending.push_back(Pending {
             handle,
             priority,
@@ -595,6 +631,14 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             work,
         });
         self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+        let deadline_cycles = deadline.map(|d| self.trace_ts(d));
+        self.emit_with(arrival, || TraceEventKind::TaskSubmitted {
+            handle: handle.0,
+            priority,
+            batch_key,
+            weight,
+            deadline: deadline_cycles,
+        });
         Ok(handle)
     }
 
@@ -756,6 +800,11 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 report: Self::empty_report(),
                 outcome: TaskOutcome::Failed(Error::DeadlineExceeded { deadline }),
             });
+            let deadline_cycles = self.trace_ts(deadline);
+            self.emit_with(deadline, || TraceEventKind::TaskExpired {
+                handle: task.handle.0,
+                deadline: deadline_cycles,
+            });
             shed_any = true;
         }
         shed_any
@@ -791,23 +840,70 @@ impl<'d, 't> DeviceQueue<'d, 't> {
 
     /// Occupies the `cores_used` earliest-available cores for
     /// `duration`, starting no earlier than `not_before`. Returns the
-    /// dispatch's `(start, finish, cores_occupied)`.
+    /// dispatch's `(start, finish, occupied_core_indices)`; the indices
+    /// identify the dispatch's tracks in an exported trace.
     fn occupy(
         &mut self,
         cores_used: usize,
         not_before: Duration,
         duration: Duration,
-    ) -> (Duration, Duration, usize) {
+    ) -> (Duration, Duration, Vec<usize>) {
         let c = cores_used.clamp(1, self.core_free_at.len());
         let mut order: Vec<usize> = (0..self.core_free_at.len()).collect();
         order.sort_by_key(|&i| self.core_free_at[i]);
         let ready = self.core_free_at[order[c - 1]];
         let start = not_before.max(ready);
         let finish = start + duration;
-        for &i in &order[..c] {
+        order.truncate(c);
+        for &i in &order {
             self.core_free_at[i] = finish;
         }
-        (start, finish, c)
+        (start, finish, order)
+    }
+
+    /// Emits the [`TraceEventKind::DispatchIssued`] span for a dispatch
+    /// just booked via [`DeviceQueue::occupy`].
+    #[allow(clippy::too_many_arguments)]
+    fn emit_dispatch(
+        &self,
+        dispatch: u64,
+        start: Duration,
+        finish: Duration,
+        cores: &[usize],
+        members: &[TaskHandle],
+        tasks: u64,
+        batch_key: Option<BatchKey>,
+    ) {
+        let (start_cycles, finish_cycles) = (self.trace_ts(start), self.trace_ts(finish));
+        self.emit_with(start, || TraceEventKind::DispatchIssued {
+            dispatch,
+            start: start_cycles,
+            finish: finish_cycles,
+            cores: cores.to_vec(),
+            members: members.iter().map(|h| h.0).collect(),
+            tasks,
+            batch_key: batch_key.map(BatchKey::get),
+        });
+    }
+
+    /// Emits the [`TraceEventKind::TaskRetired`] marker for one member of
+    /// a dispatch, at the dispatch's finish time.
+    fn emit_retire(&self, handle: TaskHandle, dispatch: u64, at: Duration, error: Option<String>) {
+        self.emit_with(at, || TraceEventKind::TaskRetired {
+            handle: handle.0,
+            dispatch,
+            ok: error.is_none(),
+            error,
+        });
+    }
+
+    /// Accumulates one successful completion's stage breakdown into the
+    /// per-queue stage totals, `weight` times.
+    fn book_stages(&mut self, wait: Duration, service: Duration, stats: &VcuStats, weight: u64) {
+        let stages = StageBreakdown::from_parts(wait, service, stats);
+        self.stats.stage_dispatch += stages.dispatch * weight as u32;
+        self.stats.stage_dma += stages.dma * weight as u32;
+        self.stats.stage_device += stages.device * weight as u32;
     }
 
     /// Contains a pre-dispatch failure (the fault gate fired before the
@@ -823,9 +919,17 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         if retryable {
             let policy = self.cfg.retry.expect("checked above");
             let p = &mut self.pending[idx];
-            p.eligible = p.eligible.max(horizon) + policy.delay(p.attempt);
+            let decided_at = p.eligible.max(horizon);
+            p.eligible = decided_at + policy.delay(p.attempt);
             p.attempt += 1;
             self.stats.retries += 1;
+            let (handle, attempt, eligible) = (p.handle.0, p.attempt, p.eligible);
+            let eligible_cycles = self.trace_ts(eligible);
+            self.emit_with(decided_at, || TraceEventKind::TaskRetried {
+                handle,
+                attempt,
+                eligible: eligible_cycles,
+            });
             return Ok(false);
         }
         let task = self.pending.remove(idx).expect("index is valid");
@@ -835,6 +939,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             Work::Single(_) => None,
         };
         self.stats.failed += task.weight;
+        let error_text = e.to_string();
         self.completions.push(Completion {
             handle: task.handle,
             priority: task.priority,
@@ -848,11 +953,21 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             report: Self::empty_report(),
             outcome: TaskOutcome::Failed(e),
         });
+        self.emit_with(at, || TraceEventKind::TaskFailed {
+            handle: task.handle.0,
+            error: error_text,
+        });
         Ok(true)
     }
 
     fn dispatch_single(&mut self, idx: usize) -> Result<bool> {
         if let Some(e) = self.dev.fault_check_task(None) {
+            let at = self.pending[idx].eligible.max(self.horizon());
+            let seq = self.dev.fault_counts().tasks_injected;
+            self.emit_with(at, || TraceEventKind::FaultInjected {
+                scope: FaultScope::Task,
+                seq,
+            });
             return self.contain_predispatch_failure(idx, e);
         }
         let task = self.pending.remove(idx).expect("selected index is valid");
@@ -862,7 +977,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let snap = self.device_snapshot();
         match job(self.dev) {
             Ok((report, value)) => {
-                let (start, finish, c) =
+                let (start, finish, cores) =
                     self.occupy(report.cores_used, task.eligible, report.duration);
                 let dispatch = self.next_dispatch;
                 self.next_dispatch += 1;
@@ -877,8 +992,24 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 for _ in 0..task.weight {
                     self.stats.latency_samples.push(latency);
                 }
-                self.stats.busy += report.duration * c as u32;
+                self.stats.busy += report.duration * cores.len() as u32;
                 self.stats.makespan = self.stats.makespan.max(finish);
+                self.book_stages(
+                    start - task.arrival,
+                    report.duration,
+                    &report.stats,
+                    task.weight,
+                );
+                self.emit_dispatch(
+                    dispatch,
+                    start,
+                    finish,
+                    &cores,
+                    &[task.handle],
+                    task.weight,
+                    None,
+                );
+                self.emit_retire(task.handle, dispatch, finish, None);
 
                 self.completions.push(Completion {
                     handle: task.handle,
@@ -898,15 +1029,25 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 // The job consumed device time before failing; book that
                 // time on the timeline so failures still cost throughput.
                 let report = self.failed_report(snap);
-                let (start, finish, c) =
+                let (start, finish, cores) =
                     self.occupy(report.cores_used, task.eligible, report.duration);
                 let dispatch = self.next_dispatch;
                 self.next_dispatch += 1;
                 self.stats.dispatches += 1;
                 self.stats.dispatched_tasks += task.weight;
                 self.stats.failed += task.weight;
-                self.stats.busy += report.duration * c as u32;
+                self.stats.busy += report.duration * cores.len() as u32;
                 self.stats.makespan = self.stats.makespan.max(finish);
+                self.emit_dispatch(
+                    dispatch,
+                    start,
+                    finish,
+                    &cores,
+                    &[task.handle],
+                    task.weight,
+                    None,
+                );
+                self.emit_retire(task.handle, dispatch, finish, Some(e.to_string()));
 
                 self.completions.push(Completion {
                     handle: task.handle,
@@ -952,6 +1093,15 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 member_idx.push(i);
             }
         }
+        let window_close_cycles = self.trace_ts(window_close);
+        self.emit_with(head_arrival.max(horizon), || TraceEventKind::BatchFormed {
+            key: head_key.get(),
+            members: member_idx
+                .iter()
+                .map(|&i| self.pending[i].handle.0)
+                .collect(),
+            window_close: window_close_cycles,
+        });
 
         // Remove back-to-front so earlier indices stay valid, then
         // restore submission order.
@@ -973,19 +1123,33 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let mut latest_eligible = Duration::ZERO;
         for mut m in members {
             if let Some(e) = self.dev.fault_check_task(Some(head_key)) {
+                let gate_at = m.eligible.max(horizon);
+                let seq = self.dev.fault_counts().tasks_injected;
+                self.emit_with(gate_at, || TraceEventKind::FaultInjected {
+                    scope: FaultScope::Task,
+                    seq,
+                });
                 let retryable = self
                     .cfg
                     .retry
                     .is_some_and(|policy| e.is_transient() && m.attempt < policy.max_retries);
                 if retryable {
                     let policy = self.cfg.retry.expect("checked above");
-                    m.eligible = m.eligible.max(horizon) + policy.delay(m.attempt);
+                    m.eligible = gate_at + policy.delay(m.attempt);
                     m.attempt += 1;
                     self.stats.retries += 1;
+                    let (handle, attempt) = (m.handle.0, m.attempt);
+                    let eligible_cycles = self.trace_ts(m.eligible);
+                    self.emit_with(gate_at, || TraceEventKind::TaskRetried {
+                        handle,
+                        attempt,
+                        eligible: eligible_cycles,
+                    });
                     self.pending.push_back(m);
                 } else {
-                    let at = m.eligible.max(horizon);
+                    let at = gate_at;
                     self.stats.failed += m.weight;
+                    let error_text = e.to_string();
                     self.completions.push(Completion {
                         handle: m.handle,
                         priority: m.priority,
@@ -998,6 +1162,10 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                         attempts: m.attempt + 1,
                         report: Self::empty_report(),
                         outcome: TaskOutcome::Failed(e),
+                    });
+                    self.emit_with(at, || TraceEventKind::TaskFailed {
+                        handle: m.handle.0,
+                        error: error_text,
                     });
                     retired_any = true;
                 }
@@ -1037,16 +1205,28 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             Err(e) => e,
         };
         let report = self.failed_report(snap);
-        let (start, finish, c) = self.occupy(report.cores_used, latest_eligible, report.duration);
+        let (start, finish, cores) =
+            self.occupy(report.cores_used, latest_eligible, report.duration);
         let dispatch = self.next_dispatch;
         self.next_dispatch += 1;
         self.stats.dispatches += 1;
         self.stats.dispatched_tasks += n as u64;
         self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
-        self.stats.busy += report.duration * c as u32;
+        self.stats.busy += report.duration * cores.len() as u32;
         self.stats.makespan = self.stats.makespan.max(finish);
+        let handles: Vec<TaskHandle> = meta.iter().map(|&(h, ..)| h).collect();
+        self.emit_dispatch(
+            dispatch,
+            start,
+            finish,
+            &cores,
+            &handles,
+            n as u64,
+            Some(head_key),
+        );
         for (handle, priority, arrival, _eligible, attempt) in meta {
             self.stats.failed += 1;
+            self.emit_retire(handle, dispatch, finish, Some(e.to_string()));
             self.completions.push(Completion {
                 handle,
                 priority,
@@ -1079,14 +1259,25 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let n = meta.len();
         // One device dispatch for the whole batch; it cannot start
         // before its last member became eligible.
-        let (start, finish, c) = self.occupy(report.cores_used, latest_eligible, report.duration);
+        let (start, finish, cores) =
+            self.occupy(report.cores_used, latest_eligible, report.duration);
         let dispatch = self.next_dispatch;
         self.next_dispatch += 1;
         self.stats.dispatches += 1;
         self.stats.dispatched_tasks += n as u64;
         self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
-        self.stats.busy += report.duration * c as u32;
+        self.stats.busy += report.duration * cores.len() as u32;
         self.stats.makespan = self.stats.makespan.max(finish);
+        let handles: Vec<TaskHandle> = meta.iter().map(|&(h, ..)| h).collect();
+        self.emit_dispatch(
+            dispatch,
+            start,
+            finish,
+            &cores,
+            &handles,
+            n as u64,
+            Some(head_key),
+        );
 
         // Fan the completions back out: each member keeps its own
         // arrival and is charged the shared start/finish.
@@ -1099,10 +1290,13 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                     let latency = finish - arrival;
                     self.stats.total_latency += latency;
                     self.stats.latency_samples.push(latency);
+                    self.book_stages(start - arrival, report.duration, &report.stats, 1);
+                    self.emit_retire(handle, dispatch, finish, None);
                     TaskOutcome::Ok(value)
                 }
                 Err(e) => {
                     self.stats.failed += 1;
+                    self.emit_retire(handle, dispatch, finish, Some(e.to_string()));
                     TaskOutcome::Failed(e)
                 }
             };

@@ -232,6 +232,89 @@ impl LatencyReservoir {
     }
 }
 
+/// Per-task latency decomposed into serving stages, in the spirit of the
+/// paper's §4–§5 time attribution (DMA vs compute vs queueing).
+///
+/// The four components always sum *exactly* to the task's end-to-end
+/// latency — no lost or double-booked time:
+///
+/// * `queue_wait` — arrival to dispatch (scheduling delay, batch-window
+///   waits, retry backoff),
+/// * `dispatch` — the control-processor command-issue share of service,
+/// * `dma` — the DMA-engine share of service (stall cycles the CP spent
+///   waiting on transfers),
+/// * `device` — everything else on the device: compute, PIO, and lookup
+///   cycles, plus attribution rounding.
+///
+/// The service-time split is proportional to the task's [`VcuStats`]
+/// cycle classes, computed in integer nanoseconds with the `device`
+/// component defined as the remainder, so
+/// `queue_wait + dispatch + dma + device == latency` holds bit-exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Arrival → dispatch: scheduling delay on the virtual timeline.
+    pub queue_wait: Duration,
+    /// Command-issue overhead share of service time.
+    pub dispatch: Duration,
+    /// DMA share of service time.
+    pub dma: Duration,
+    /// Remaining device time: compute, PIO, lookup, rounding.
+    pub device: Duration,
+}
+
+impl StageBreakdown {
+    /// Builds a breakdown from a queueing delay, a service time, and the
+    /// task's device-cycle attribution.
+    pub fn from_parts(queue_wait: Duration, service: Duration, stats: &VcuStats) -> Self {
+        let (dispatch, dma, device) = stage_split(service, stats);
+        StageBreakdown {
+            queue_wait,
+            dispatch,
+            dma,
+            device,
+        }
+    }
+
+    /// The service-time share (`dispatch + dma + device`), equal to the
+    /// task's `finished_at - started_at`.
+    pub fn service(&self) -> Duration {
+        self.dispatch + self.dma + self.device
+    }
+
+    /// Total accounted time, equal to the task's end-to-end latency.
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.service()
+    }
+
+    /// Accumulates another breakdown (for per-queue stage totals).
+    pub fn accumulate(&mut self, other: &StageBreakdown) {
+        self.queue_wait += other.queue_wait;
+        self.dispatch += other.dispatch;
+        self.dma += other.dma;
+        self.device += other.device;
+    }
+}
+
+/// Splits a service time into `(dispatch, dma, device)` proportionally
+/// to the cycle classes in `stats`, in integer nanoseconds. `device` is
+/// the exact remainder, so the three parts always sum to `service`.
+pub fn stage_split(service: Duration, stats: &VcuStats) -> (Duration, Duration, Duration) {
+    let total = stats.total_cycles();
+    if total == 0 || service.is_zero() {
+        return (Duration::ZERO, Duration::ZERO, service);
+    }
+    let nanos = service.as_nanos();
+    let share = |cycles: u64| -> Duration {
+        Duration::from_nanos((nanos * cycles as u128 / total as u128) as u64)
+    };
+    let dispatch = share(stats.issue_cycles);
+    let dma = share(stats.dma_cycles);
+    // Floor division guarantees dispatch + dma ≤ service; the remainder
+    // (compute, PIO, lookup, rounding) is charged to the device stage.
+    let device = service - dispatch - dma;
+    (dispatch, dma, device)
+}
+
 /// Monotone per-queue counters, in the style of [`VcuStats`].
 ///
 /// Tracked by [`crate::DeviceQueue`]: admission and completion counts,
@@ -279,6 +362,13 @@ pub struct QueueStats {
     pub total_service: Duration,
     /// Accumulated end-to-end latency (finish − arrival).
     pub total_latency: Duration,
+    /// Accumulated command-issue stage over completions (see
+    /// [`StageBreakdown::dispatch`]).
+    pub stage_dispatch: Duration,
+    /// Accumulated DMA stage over completions.
+    pub stage_dma: Duration,
+    /// Accumulated device (compute/PIO/lookup) stage over completions.
+    pub stage_device: Duration,
     /// Bounded reservoir of per-completion end-to-end latencies, for
     /// percentile reporting (exact below the cap).
     pub latency_samples: LatencyReservoir,
@@ -324,6 +414,19 @@ impl QueueStats {
             0.0
         } else {
             self.completed as f64 / wall
+        }
+    }
+
+    /// Accumulated per-stage latency totals over successful completions:
+    /// `queue_wait` mirrors [`QueueStats::total_wait`] and the three
+    /// service stages sum to [`QueueStats::total_service`], so the
+    /// breakdown's total equals [`QueueStats::total_latency`].
+    pub fn stage_totals(&self) -> StageBreakdown {
+        StageBreakdown {
+            queue_wait: self.total_wait,
+            dispatch: self.stage_dispatch,
+            dma: self.stage_dma,
+            device: self.stage_device,
         }
     }
 
@@ -434,6 +537,56 @@ mod tests {
             b.push(Duration::from_micros(i * 7 % 311));
         }
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn reservoir_percentile_matches_brute_force_sort_under_capacity() {
+        // Regression (ISSUE 4): on the unsampled path — fewer samples
+        // offered than the reservoir cap — `percentile` over the
+        // reservoir must agree exactly with a brute-force sort of every
+        // offered sample, for every quantile.
+        let us = |n: u64| Duration::from_micros(n);
+        // An adversarial, unsorted, duplicate-heavy stream.
+        let offered: Vec<Duration> = (0..1000u64).map(|i| us(i * 7919 % 131)).collect();
+        let mut r = LatencyReservoir::with_capacity(4096);
+        for &s in &offered {
+            r.push(s);
+        }
+        assert_eq!(r.len(), offered.len(), "under capacity: nothing evicted");
+        let mut sorted = offered.clone();
+        sorted.sort_unstable();
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            let brute = {
+                let rank = (q * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            };
+            assert_eq!(percentile(r.as_slice(), q), brute, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn stage_split_is_exact_and_proportional() {
+        let mut s = VcuStats::default();
+        s.record_class(CycleClass::Compute, 600);
+        s.record_class(CycleClass::Dma, 300);
+        s.record_class(CycleClass::Issue, 100);
+        let service = Duration::from_nanos(10_007);
+        let (dispatch, dma, device) = stage_split(service, &s);
+        assert_eq!(dispatch + dma + device, service, "no lost time");
+        assert_eq!(dispatch, Duration::from_nanos(10_007 * 100 / 1000));
+        assert_eq!(dma, Duration::from_nanos(10_007 * 300 / 1000));
+        // Zero-cycle and zero-service corner cases.
+        let (d0, m0, v0) = stage_split(service, &VcuStats::default());
+        assert_eq!((d0, m0, v0), (Duration::ZERO, Duration::ZERO, service));
+        let (d1, m1, v1) = stage_split(Duration::ZERO, &s);
+        assert_eq!(
+            (d1, m1, v1),
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        );
+        let b = StageBreakdown::from_parts(Duration::from_nanos(13), service, &s);
+        assert_eq!(b.total(), Duration::from_nanos(13) + service);
+        assert_eq!(b.service(), service);
     }
 
     #[test]

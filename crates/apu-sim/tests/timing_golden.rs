@@ -7,7 +7,8 @@
 use std::time::Duration;
 
 use apu_sim::{
-    ApuDevice, Cycles, DeviceQueue, DeviceTiming, Priority, QueueConfig, SimConfig, VecOp,
+    ApuDevice, Cycles, DeviceQueue, DeviceTiming, Priority, QueueConfig, SimConfig, TraceRecorder,
+    VecOp, Vmr,
 };
 
 /// Table 5 measured column (cycles per 32K-element vector command).
@@ -158,4 +159,55 @@ fn batched_dispatch_charges_the_same_cycles_as_single() {
     assert_eq!(single_cycles, batched_cycles);
     let t = DeviceTiming::leda_e();
     assert_eq!(single_cycles, Cycles::new(t.mul_s16 + t.cmd_issue));
+}
+
+/// Tracing is an observer, never a participant: a run with a sink
+/// installed charges bit-identical golden cycles to an untraced run —
+/// per-task reports, queue timestamps, and the stats block all match.
+#[test]
+fn tracing_adds_zero_virtual_time() {
+    let run = |traced: bool| -> (String, Vec<(Cycles, Duration, Duration)>) {
+        let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(4 << 20));
+        let recorder = traced.then(|| {
+            let (sink, recorder) = TraceRecorder::shared();
+            dev.install_trace_sink(sink);
+            recorder
+        });
+        // Async DMA under the queue: both instrumentation domains
+        // (scheduler timeline and core cycle counter) are on the path.
+        let n = dev.config().vr_len;
+        let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
+        for i in 0..4u64 {
+            q.submit_job(
+                Priority::Normal,
+                Duration::from_micros(30 * i),
+                move |dev| {
+                    let h = dev.alloc_u16(2 * n)?;
+                    let r = dev.run_task(|ctx| {
+                        let t0 = ctx.dma_l4_to_l1_async(Vmr::new(0), h)?;
+                        let t1 = ctx.dma_l4_to_l1_async(Vmr::new(1), h.offset_by(n * 2)?)?;
+                        for _ in 0..50 {
+                            ctx.core_mut().charge(VecOp::MulS16);
+                        }
+                        ctx.dma_wait(t0);
+                        ctx.dma_wait(t1);
+                        Ok(())
+                    })?;
+                    Ok((r, i))
+                },
+            )
+            .expect("submission");
+        }
+        let done = q.drain().expect("drain");
+        let timeline = done
+            .iter()
+            .map(|c| (c.report.cycles, c.started_at, c.finished_at))
+            .collect();
+        let stats = format!("{:?}", q.stats());
+        if let Some(r) = &recorder {
+            assert!(!r.borrow().is_empty(), "the recorder must observe events");
+        }
+        (stats, timeline)
+    };
+    assert_eq!(run(false), run(true));
 }

@@ -91,8 +91,15 @@ fn main() {
         );
 
         for (mode, report) in [("batched", &batched), ("unbatched", &unbatched)] {
+            // Per-stage attribution of the total latency budget: queue
+            // wait vs command issue vs DMA vs device compute. The four
+            // shares sum to 100% by construction.
+            let stages = report.stage_totals();
+            let total = stages.total().as_secs_f64().max(f64::MIN_POSITIVE);
+            let share = |d: Duration| 100.0 * d.as_secs_f64() / total;
             println!(
-                "{:>8}  {:>8}  {:>10}  {:>10.0}  {:>9.2}  {:>10.2}  {:>10}",
+                "{:>8}  {:>8}  {:>10}  {:>10.0}  {:>9.2}  {:>10.2}  {:>10}  \
+                 wait {:.0}% / dispatch {:.0}% / dma {:.0}% / device {:.0}%",
                 n,
                 gap_us,
                 mode,
@@ -100,6 +107,10 @@ fn main() {
                 report.latency_percentile(0.50).as_secs_f64() * 1e3,
                 report.latency_percentile(0.99).as_secs_f64() * 1e3,
                 report.queue.dispatches,
+                share(stages.queue_wait),
+                share(stages.dispatch),
+                share(stages.dma),
+                share(stages.device),
             );
         }
         println!(

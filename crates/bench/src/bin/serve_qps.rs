@@ -65,6 +65,12 @@ fn main() {
         }
         let report = server.drain().expect("serve drain");
 
+        // Per-stage attribution of the total latency budget: as the
+        // offered rate crosses capacity, the queue-wait share takes
+        // over the whole budget.
+        let stages = report.stage_totals();
+        let total = stages.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        let share = |d: Duration| 100.0 * d.as_secs_f64() / total;
         rows.push(vec![
             format!("{offered:.0}"),
             format!("{:.0}", report.throughput_qps()),
@@ -72,6 +78,12 @@ fn main() {
             format!("{:.2}", report.latency_percentile(0.99).as_secs_f64() * 1e3),
             format!("{:.1}", report.mean_batch_size()),
             format!("{:.0}%", report.queue.occupancy() * 100.0),
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                share(stages.queue_wait),
+                share(stages.dma),
+                share(stages.device),
+            ),
             format!("{rejected}"),
         ]);
     }
@@ -83,6 +95,7 @@ fn main() {
             "p99 (ms)",
             "batch",
             "busy",
+            "wait/dma/dev",
             "rejected",
         ],
         &rows,

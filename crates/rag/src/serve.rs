@@ -19,8 +19,10 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use apu_sim::queue::percentile;
+use apu_sim::trace::prometheus_text;
 use apu_sim::{
-    ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, RetryPolicy, TaskHandle,
+    ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, RetryPolicy, StageBreakdown,
+    TaskHandle,
 };
 use hbm_sim::MemorySystem;
 
@@ -95,6 +97,10 @@ pub struct QueryCompletion {
     pub batch_size: usize,
     /// Dispatch attempts consumed (1 without retries).
     pub attempts: u32,
+    /// Per-stage latency attribution (`queue_wait / dispatch / dma /
+    /// device`); the components sum exactly to
+    /// [`QueryCompletion::latency`].
+    pub stages: StageBreakdown,
     /// Top-k hits — identical to the synchronous
     /// [`crate::batch::retrieve_batch`] path — or the retirement error.
     pub outcome: std::result::Result<Vec<Hit>, Error>,
@@ -173,6 +179,20 @@ impl ServeReport {
         } else {
             self.served() as f64 / wall
         }
+    }
+
+    /// Accumulated per-stage latency totals over successfully served
+    /// queries (see [`StageBreakdown`]): where a request's time went —
+    /// queue wait vs command issue vs DMA vs device compute.
+    pub fn stage_totals(&self) -> StageBreakdown {
+        self.queue.stage_totals()
+    }
+
+    /// The run's queue counters, stage totals, and latency quantiles in
+    /// the Prometheus text exposition format, ready to serve from a
+    /// `/metrics` endpoint or dump next to a bench log.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.queue, None)
     }
 
     /// Mean batch size over served queries.
@@ -318,6 +338,7 @@ impl<'a> RagServer<'a> {
                 finished_at: done.finished_at,
                 batch_size: done.batch_size,
                 attempts: done.attempts,
+                stages: done.stage_breakdown(),
                 outcome: done.into_output(),
             });
         }
@@ -381,6 +402,34 @@ mod tests {
         assert_eq!(report.queue.dispatched_tasks, 4);
         assert_eq!(report.queue.max_batch_size, 4);
         assert!(report.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn stage_breakdown_sums_to_latency_and_exports() {
+        let (mut dev, mut hbm, store) = setup(4096);
+        let report = {
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+            for i in 0..3 {
+                server
+                    .submit(Duration::from_micros(i * 5), store.query(i))
+                    .unwrap();
+            }
+            server.drain().unwrap()
+        };
+        for done in &report.completions {
+            assert_eq!(
+                done.stages.total(),
+                done.latency(),
+                "ticket {}",
+                done.ticket.id()
+            );
+            assert!(done.stages.device > Duration::ZERO);
+        }
+        let totals = report.stage_totals();
+        assert_eq!(totals.total(), report.queue.total_latency);
+        let text = report.prometheus_text();
+        assert!(text.contains("apu_queue_stage_seconds_total{stage=\"device\"}"));
+        assert!(text.contains("apu_queue_submitted_total 3"));
     }
 
     #[test]

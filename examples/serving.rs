@@ -12,16 +12,32 @@
 //! as an error completion instead of taking the stream down.
 //!
 //! Run with: `cargo run --release --example serving`
+//!
+//! Set `SERVE_TRACE_OUT=/path/to/trace.json` to record the whole run
+//! as a Chrome `trace_event` file (load it at <https://ui.perfetto.dev>),
+//! and `SERVE_METRICS_OUT=/path/to/metrics.txt` to dump the batched
+//! run's queue counters in the Prometheus text format.
 
 use std::time::Duration;
 
-use apu_sim::{ApuDevice, DeviceQueue, FaultPlan, Priority, QueueConfig, RetryPolicy, SimConfig};
+use apu_sim::{
+    ApuDevice, ChromeTraceSink, DeviceQueue, FaultPlan, Priority, QueueConfig, RetryPolicy,
+    SimConfig,
+};
 use hbm_sim::{DramSpec, MemorySystem};
 use phoenix::{histogram, OptConfig};
 use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig};
 
 fn main() -> Result<(), apu_sim::Error> {
     let mut dev = ApuDevice::try_new(SimConfig::default().with_l4_bytes(16 << 20))?;
+    // Optional device-timeline tracing: every queue, core, and DMA
+    // engine gets its own Perfetto track. The sink shares the device's
+    // clock so cycle stamps render in wall microseconds.
+    let trace = std::env::var_os("SERVE_TRACE_OUT").map(|path| {
+        let (sink, recorder) = ChromeTraceSink::shared(dev.config().clock);
+        dev.install_trace_sink(sink);
+        (path, recorder)
+    });
     let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
     let store = EmbeddingStore::materialized(
         CorpusSpec {
@@ -73,6 +89,18 @@ fn main() -> Result<(), apu_sim::Error> {
         report.queue.dispatches,
         report.queue.mean_batch_size(),
     );
+    let stages = report.stage_totals();
+    println!(
+        "  where the time went: queue_wait {:.2} ms, dispatch {:.2} ms, dma {:.2} ms, device {:.2} ms",
+        stages.queue_wait.as_secs_f64() * 1e3,
+        stages.dispatch.as_secs_f64() * 1e3,
+        stages.dma.as_secs_f64() * 1e3,
+        stages.device.as_secs_f64() * 1e3,
+    );
+    if let Some(path) = std::env::var_os("SERVE_METRICS_OUT") {
+        std::fs::write(&path, report.prometheus_text()).expect("write metrics file");
+        println!("  wrote Prometheus metrics to {}", path.to_string_lossy());
+    }
 
     // ---- 3. the same stream with coalescing disabled ----
     let unbatched = {
@@ -130,6 +158,18 @@ fn main() -> Result<(), apu_sim::Error> {
             done.ticket.id(),
             done.attempts,
             done.error().expect("failed completion carries its error"),
+        );
+    }
+
+    // ---- 5. export the recorded device timeline, if requested ----
+    if let Some((path, recorder)) = trace {
+        dev.clear_trace_sink();
+        let sink = recorder.borrow();
+        std::fs::write(&path, sink.json()).expect("write trace file");
+        println!(
+            "wrote {} trace events to {} (open in https://ui.perfetto.dev)",
+            sink.events().len(),
+            path.to_string_lossy(),
         );
     }
     Ok(())

@@ -1,0 +1,128 @@
+//! Golden-trace determinism: the recorded device timeline is a pure
+//! function of (seed, workload, [`ExecMode`]).
+//!
+//! Two guarantees are pinned:
+//!
+//! * **Byte-identical replays** — the same seed and workload produce a
+//!   byte-identical [`TraceRecorder::signature`] (timestamps included)
+//!   on every run within one mode.
+//! * **Mode-independent structure** — `Functional` and `TimingOnly`
+//!   runs of the same workload produce identical
+//!   [`TraceEvent::kind_signature`] streams: the *narrative* (who was
+//!   submitted, batched, dispatched, faulted, retried, retired, and in
+//!   what order) never depends on whether payload data is simulated.
+//!
+//! The suite also runs under `APU_SIM_TEST_MODE` (CI matrix), but the
+//! cross-mode assertions construct both modes explicitly so they hold
+//! regardless of the ambient mode.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, FaultPlan, RetryPolicy, SimConfig, TraceRecorder};
+use hbm_sim::{DramSpec, MemorySystem};
+use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig};
+
+/// Runs the fixed golden workload — a 32-query open-loop stream with a
+/// deterministic 40% task-fault plan, bounded retries, and a tight TTL
+/// — in the given mode, returning the recorder.
+fn record(mode: ExecMode) -> TraceRecorder {
+    let st = EmbeddingStore::materialized(
+        CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 4_096,
+        },
+        7,
+    );
+    let mut dev = ApuDevice::new(
+        SimConfig::default()
+            .with_exec_mode(mode)
+            .with_l4_bytes(8 << 20),
+    );
+    dev.inject_faults(FaultPlan::new(13).fail_task_rate(0.4));
+    let (sink, recorder) = TraceRecorder::shared();
+    dev.install_trace_sink(sink);
+    let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+    {
+        let cfg = ServeConfig {
+            ttl: Some(Duration::from_millis(2)),
+            retry: Some(RetryPolicy::default()),
+            ..ServeConfig::default()
+        };
+        let mut server = RagServer::new(&mut dev, &mut hbm, &st, cfg);
+        for i in 0..32u64 {
+            server
+                .submit(Duration::from_micros(20 * i), st.query(i))
+                .expect("submit");
+        }
+        server.drain().expect("drain");
+    }
+    dev.clear_trace_sink();
+    let recorder = std::rc::Rc::try_unwrap(recorder)
+        .expect("device handle was cleared")
+        .into_inner();
+    assert!(!recorder.is_empty(), "the workload must emit events");
+    recorder
+}
+
+/// Same seed, same workload, same mode → byte-identical trace,
+/// timestamps included.
+#[test]
+fn replays_are_byte_identical() {
+    let mode = ExecMode::from_env(ExecMode::Functional);
+    let a = record(mode);
+    let b = record(mode);
+    assert_eq!(a.signature(), b.signature());
+    assert_eq!(a.len(), b.len());
+}
+
+/// Functional and timing-only runs tell the same story: identical
+/// timestamp-free event streams, event for event.
+#[test]
+fn functional_and_timing_traces_agree_modulo_timestamps() {
+    let functional = record(ExecMode::Functional);
+    let timing = record(ExecMode::TimingOnly);
+    let f = functional.kind_signatures();
+    let t = timing.kind_signatures();
+    assert_eq!(
+        f.len(),
+        t.len(),
+        "modes must emit the same number of events"
+    );
+    for (i, (fs, ts)) in f.iter().zip(&t).enumerate() {
+        assert_eq!(fs, ts, "event {i} diverges between modes");
+    }
+}
+
+/// The golden workload exercises every lifecycle event class, so the
+/// byte-identity above is a meaningful pin, not a vacuous one.
+#[test]
+fn golden_workload_covers_the_event_vocabulary() {
+    use apu_sim::TraceEventKind::*;
+    let rec = record(ExecMode::from_env(ExecMode::Functional));
+    let mut saw = [false; 7];
+    for e in rec.events() {
+        let slot = match &e.kind {
+            TaskSubmitted { .. } => 0,
+            BatchFormed { .. } => 1,
+            DispatchIssued { .. } => 2,
+            TaskRetired { .. } => 3,
+            TaskRetried { .. } => 4,
+            FaultInjected { .. } => 5,
+            TaskFailed { .. } | TaskExpired { .. } => 6,
+            _ => continue,
+        };
+        saw[slot] = true;
+    }
+    const NAMES: [&str; 7] = [
+        "TaskSubmitted",
+        "BatchFormed",
+        "DispatchIssued",
+        "TaskRetired",
+        "TaskRetried",
+        "FaultInjected",
+        "TaskFailed/TaskExpired",
+    ];
+    for (seen, name) in saw.iter().zip(NAMES) {
+        assert!(seen, "golden workload never emitted {name}");
+    }
+}
