@@ -1,0 +1,776 @@
+//! Multi-device scale-out: a cluster of independent simulated APUs.
+//!
+//! The paper serves every workload from **one** device and §5.3 shows
+//! the corpus-scaling wall that follows (10 → 200 GB corpora stream
+//! ever-longer embedding scans through one HBM interface). This module
+//! is the scale-out answer sketched in the roadmap: [`DeviceCluster`]
+//! owns N fully independent [`DeviceQueue`]s — each over its own
+//! [`ApuDevice`] with its own virtual clock, fault plan, and trace sink
+//! — and routes submissions across them with a pluggable
+//! [`RoutePolicy`]:
+//!
+//! * [`RoutePolicy::RoundRobin`] — rotate through shards in submission
+//!   order (stateless load spreading),
+//! * [`RoutePolicy::LeastOutstanding`] — pick the shard with the
+//!   smallest not-yet-dispatched backlog (join-the-shortest-queue),
+//! * [`RoutePolicy::ConsistentHash`] — map each [`BatchKey`] to a stable
+//!   shard with a jump consistent hash, so same-key work always lands
+//!   where its batch mates are and continuous batching keeps coalescing
+//!   across the cluster.
+//!
+//! Explicit placement (`*_to` submission variants) bypasses the router:
+//! scatter-gather callers — e.g. `rag`'s sharded server, which fans each
+//! query to **every** shard and merges per-shard top-k — address shards
+//! directly and use [`DeviceCluster::scatter`] / [`DeviceCluster::drain`]
+//! for the fan-out/fan-in.
+//!
+//! Shards never share state: a fault plan armed on one device, a retry
+//! storm, or a TTL shed on one shard cannot perturb another shard's
+//! virtual timeline. Cluster-level reporting is therefore pure
+//! aggregation — [`ClusterReport`] keeps the per-shard
+//! [`QueueStats`] and [`QueueStats::merge`] folds them into one block
+//! for fleet-level metrics.
+
+use std::any::Any;
+use std::time::Duration;
+
+use crate::device::ApuDevice;
+use crate::error::Error;
+use crate::queue::{
+    BatchKey, BatchRunner, Completion, DeviceQueue, Job, Priority, QueueConfig, TaskHandle,
+};
+use crate::stats::QueueStats;
+use crate::Result;
+
+/// How a [`DeviceCluster`] places router-submitted work onto shards.
+///
+/// Explicit `*_to` submissions always bypass the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Rotate through shards in submission order.
+    #[default]
+    RoundRobin,
+    /// Pick the shard with the smallest pending backlog (ties go to the
+    /// lowest shard index).
+    LeastOutstanding,
+    /// Map each [`BatchKey`] to a stable shard (jump consistent hash),
+    /// so same-key submissions coalesce on one device. Non-batchable
+    /// submissions carry no key and fall back to round-robin.
+    ConsistentHash,
+}
+
+/// Identifier of a task submitted through a [`DeviceCluster`]: the shard
+/// it was placed on plus the shard-local [`TaskHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterHandle {
+    shard: usize,
+    task: TaskHandle,
+}
+
+impl ClusterHandle {
+    /// The shard the task was placed on.
+    pub fn shard(self) -> usize {
+        self.shard
+    }
+
+    /// The shard-local queue handle.
+    pub fn task(self) -> TaskHandle {
+        self.task
+    }
+}
+
+/// One shard's drained output: its retired completions (in retire order)
+/// and its queue counters.
+#[derive(Debug)]
+pub struct ShardDrain {
+    /// The shard index within the cluster.
+    pub shard: usize,
+    /// Every completion the shard's queue retired during the drain.
+    pub completions: Vec<Completion>,
+    /// The shard queue's cumulative counters.
+    pub stats: QueueStats,
+}
+
+/// Fan-in result of [`DeviceCluster::drain`]: per-shard completions and
+/// stats, in shard order.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardDrain>,
+}
+
+impl ClusterReport {
+    /// Total completions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.completions.len()).sum()
+    }
+
+    /// Whether no shard retired anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(shard, completion)` pairs in shard order.
+    pub fn completions(&self) -> impl Iterator<Item = (usize, &Completion)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.completions.iter().map(move |c| (s.shard, c)))
+    }
+
+    /// Removes and returns the completion of one cluster handle, or
+    /// `None` if it already retired elsewhere (or never existed).
+    pub fn take(&mut self, handle: ClusterHandle) -> Option<Completion> {
+        let shard = self.shards.get_mut(handle.shard)?;
+        let at = shard
+            .completions
+            .iter()
+            .position(|c| c.handle == handle.task)?;
+        Some(shard.completions.remove(at))
+    }
+
+    /// Folds the per-shard counters into one cluster-wide block (see
+    /// [`QueueStats::merge`] for the aggregation semantics).
+    pub fn merged_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent key values before they
+/// reach the consistent-hash bucketing.
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Jump consistent hash (Lamping & Veach): maps `key` to a bucket in
+/// `[0, buckets)` such that growing the bucket count relocates only
+/// `1/buckets` of the keys. Deterministic, stateless, O(ln buckets).
+fn jump_hash(mut key: u64, buckets: usize) -> usize {
+    debug_assert!(buckets > 0);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = ((b.wrapping_add(1) as f64)
+            * ((1u64 << 31) as f64 / ((key >> 33).wrapping_add(1) as f64))) as i64;
+    }
+    b as usize
+}
+
+/// A cluster of independent simulated APU devices behind one router.
+///
+/// See the [module documentation](self) for the scale-out model. Every
+/// shard is a full [`DeviceQueue`] — priorities, admission control,
+/// continuous batching, TTL shedding, bounded retry, fault containment,
+/// and tracing all work per shard exactly as on a single device.
+///
+/// ```
+/// use apu_sim::{ApuDevice, DeviceCluster, Priority, QueueConfig, RoutePolicy, SimConfig, VecOp};
+///
+/// # fn main() -> Result<(), apu_sim::Error> {
+/// let mut devs: Vec<ApuDevice> = (0..2)
+///     .map(|_| ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20)))
+///     .collect();
+/// let mut cluster = DeviceCluster::new(
+///     devs.iter_mut().collect(),
+///     QueueConfig::default(),
+///     RoutePolicy::RoundRobin,
+/// )?;
+/// for _ in 0..4 {
+///     cluster.submit_job(Priority::Normal, std::time::Duration::ZERO, |dev| {
+///         let r = dev.run_task(|ctx| {
+///             ctx.core_mut().charge(VecOp::AddU16);
+///             Ok(())
+///         })?;
+///         Ok((r, ()))
+///     })?;
+/// }
+/// let report = cluster.drain()?;
+/// assert_eq!(report.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeviceCluster<'d, 't> {
+    nodes: Vec<DeviceQueue<'d, 't>>,
+    policy: RoutePolicy,
+    rr_next: usize,
+}
+
+impl<'d, 't> DeviceCluster<'d, 't> {
+    /// Opens a cluster over the given devices, one [`DeviceQueue`] per
+    /// device, each configured with a clone of `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for an empty device set.
+    pub fn new(
+        devices: Vec<&'d mut ApuDevice>,
+        cfg: QueueConfig,
+        policy: RoutePolicy,
+    ) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(Error::InvalidArg(
+                "a device cluster needs at least one device".into(),
+            ));
+        }
+        let nodes = devices
+            .into_iter()
+            .map(|dev| DeviceQueue::new(dev, cfg.clone()))
+            .collect();
+        Ok(DeviceCluster {
+            nodes,
+            policy,
+            rr_next: 0,
+        })
+    }
+
+    /// Number of shards (devices) in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The routing policy in force.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Replaces the routing policy (placement of *future* submissions).
+    pub fn set_policy(&mut self, policy: RoutePolicy) {
+        self.policy = policy;
+    }
+
+    /// One shard's queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn node(&self, shard: usize) -> &DeviceQueue<'d, 't> {
+        &self.nodes[shard]
+    }
+
+    /// One shard's queue, mutably (e.g. to submit through shard-local
+    /// APIs not mirrored here).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn node_mut(&mut self, shard: usize) -> &mut DeviceQueue<'d, 't> {
+        &mut self.nodes[shard]
+    }
+
+    /// One shard's device (e.g. to arm a per-shard [`crate::FaultPlan`]
+    /// or allocate buffers between dispatches).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn device_mut(&mut self, shard: usize) -> &mut ApuDevice {
+        self.nodes[shard].device_mut()
+    }
+
+    /// Total not-yet-dispatched backlog across all shards.
+    pub fn pending(&self) -> usize {
+        self.nodes.iter().map(DeviceQueue::pending).sum()
+    }
+
+    /// One shard's queue counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn stats(&self, shard: usize) -> &QueueStats {
+        self.nodes[shard].stats()
+    }
+
+    /// Cluster-wide counters: every shard's [`QueueStats`] folded with
+    /// [`QueueStats::merge`].
+    pub fn merged_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for n in &self.nodes {
+            total.merge(n.stats());
+        }
+        total
+    }
+
+    /// Picks the shard for a router-placed submission.
+    fn route(&mut self, key: Option<BatchKey>) -> usize {
+        match self.policy {
+            RoutePolicy::RoundRobin => self.round_robin(),
+            RoutePolicy::LeastOutstanding => self
+                .nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, n)| (n.pending(), *i))
+                .map(|(i, _)| i)
+                .expect("cluster is never empty"),
+            RoutePolicy::ConsistentHash => match key {
+                Some(k) => jump_hash(mix64(k.get()), self.nodes.len()),
+                None => self.round_robin(),
+            },
+        }
+    }
+
+    fn round_robin(&mut self) -> usize {
+        let s = self.rr_next;
+        self.rr_next = (self.rr_next + 1) % self.nodes.len();
+        s
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<()> {
+        if shard >= self.nodes.len() {
+            return Err(Error::InvalidArg(format!(
+                "shard {shard} out of range (cluster has {})",
+                self.nodes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Router-placed [`DeviceQueue::submit_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the chosen shard's backlog
+    /// bound is hit.
+    pub fn submit_at(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        job: Job<'t>,
+    ) -> Result<ClusterHandle> {
+        let shard = self.route(None);
+        self.submit_to(shard, priority, arrival, job)
+    }
+
+    /// [`DeviceQueue::submit_at`] on an explicit shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard index or
+    /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    pub fn submit_to(
+        &mut self,
+        shard: usize,
+        priority: Priority,
+        arrival: Duration,
+        job: Job<'t>,
+    ) -> Result<ClusterHandle> {
+        self.check_shard(shard)?;
+        let task = self.nodes[shard].submit_at(priority, arrival, job)?;
+        Ok(ClusterHandle { shard, task })
+    }
+
+    /// Router-placed typed-output job (see [`DeviceQueue::submit_job`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the chosen shard's backlog
+    /// bound is hit.
+    pub fn submit_job<T, F>(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        job: F,
+    ) -> Result<ClusterHandle>
+    where
+        T: Any,
+        F: FnOnce(&mut ApuDevice) -> Result<(crate::TaskReport, T)> + 't,
+    {
+        self.submit_at(
+            priority,
+            arrival,
+            Box::new(move |dev| {
+                let (report, value) = job(dev)?;
+                Ok((report, Box::new(value) as Box<dyn Any>))
+            }),
+        )
+    }
+
+    /// [`DeviceQueue::submit_with_ttl`] on an explicit shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard index or
+    /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    pub fn submit_with_ttl_to(
+        &mut self,
+        shard: usize,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        job: Job<'t>,
+    ) -> Result<ClusterHandle> {
+        self.check_shard(shard)?;
+        let task = self.nodes[shard].submit_with_ttl(priority, arrival, ttl, job)?;
+        Ok(ClusterHandle { shard, task })
+    }
+
+    /// Router-placed [`DeviceQueue::submit_batchable`]: under
+    /// [`RoutePolicy::ConsistentHash`] the key pins the shard, so
+    /// same-key submissions keep coalescing into shared dispatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the chosen shard's backlog
+    /// bound is hit.
+    pub fn submit_batchable(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<ClusterHandle> {
+        let shard = self.route(Some(key));
+        self.submit_batchable_to(shard, priority, arrival, key, payload, run)
+    }
+
+    /// [`DeviceQueue::submit_batchable`] on an explicit shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard index or
+    /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    pub fn submit_batchable_to(
+        &mut self,
+        shard: usize,
+        priority: Priority,
+        arrival: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<ClusterHandle> {
+        self.check_shard(shard)?;
+        let task = self.nodes[shard].submit_batchable(priority, arrival, key, payload, run)?;
+        Ok(ClusterHandle { shard, task })
+    }
+
+    /// [`DeviceQueue::submit_batchable_with_ttl`] on an explicit shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard index or
+    /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_batchable_with_ttl_to(
+        &mut self,
+        shard: usize,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<ClusterHandle> {
+        self.check_shard(shard)?;
+        let task = self.nodes[shard]
+            .submit_batchable_with_ttl(priority, arrival, ttl, key, payload, run)?;
+        Ok(ClusterHandle { shard, task })
+    }
+
+    /// Scatter: submits one job per shard (built by `make`, which
+    /// receives the shard index), all arriving at the same instant —
+    /// the fan-out half of scatter-gather execution. Returns one handle
+    /// per shard, in shard order; gather with [`DeviceCluster::drain`]
+    /// and [`ClusterReport::take`], or [`DeviceCluster::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] if any shard rejects its piece;
+    /// pieces admitted before the rejection stay queued.
+    pub fn scatter<F>(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        mut make: F,
+    ) -> Result<Vec<ClusterHandle>>
+    where
+        F: FnMut(usize) -> Job<'t>,
+    {
+        (0..self.nodes.len())
+            .map(|shard| self.submit_to(shard, priority, arrival, make(shard)))
+            .collect()
+    }
+
+    /// Runs one shard's queue until the given task retires and returns
+    /// its completion (other shards are untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard index or an unknown
+    /// handle on that shard.
+    pub fn wait(&mut self, handle: ClusterHandle) -> Result<&Completion> {
+        self.check_shard(handle.shard)?;
+        self.nodes[handle.shard].wait(handle.task)
+    }
+
+    /// Gather: drains every shard's queue to completion (each on its own
+    /// virtual timeline) and returns the per-shard completions and
+    /// counters. Shards drain independently — one shard's faults, sheds,
+    /// or retries never block another's progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-level invariant violations; per-task failures
+    /// retire as error completions instead.
+    pub fn drain(&mut self) -> Result<ClusterReport> {
+        let mut shards = Vec::with_capacity(self.nodes.len());
+        for (shard, node) in self.nodes.iter_mut().enumerate() {
+            let completions = node.drain()?;
+            shards.push(ShardDrain {
+                shard,
+                completions,
+                stats: node.stats().clone(),
+            });
+        }
+        Ok(ClusterReport { shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::timing::VecOp;
+
+    fn devices(n: usize) -> Vec<ApuDevice> {
+        (0..n)
+            .map(|_| ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20)))
+            .collect()
+    }
+
+    fn charge_job<'t>(tag: u32) -> Job<'t> {
+        Box::new(move |dev: &mut ApuDevice| {
+            let r = dev.run_task(|ctx| {
+                ctx.core_mut().charge(VecOp::AddU16);
+                Ok(())
+            })?;
+            Ok((r, Box::new(tag) as Box<dyn Any>))
+        })
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert!(matches!(
+            DeviceCluster::new(Vec::new(), QueueConfig::default(), RoutePolicy::RoundRobin),
+            Err(Error::InvalidArg(_))
+        ));
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let mut devs = devices(3);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        let handles: Vec<ClusterHandle> = (0..9)
+            .map(|i| {
+                cluster
+                    .submit_at(Priority::Normal, Duration::ZERO, charge_job(i))
+                    .unwrap()
+            })
+            .collect();
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.shard(), i % 3);
+        }
+        let report = cluster.drain().unwrap();
+        assert_eq!(report.len(), 9);
+        for s in &report.shards {
+            assert_eq!(s.completions.len(), 3);
+            assert_eq!(s.stats.completed, 3);
+        }
+    }
+
+    #[test]
+    fn least_outstanding_prefers_the_shortest_backlog() {
+        let mut devs = devices(2);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::LeastOutstanding,
+        )
+        .unwrap();
+        // Pre-load shard 0 with explicit placements; the router must
+        // then prefer shard 1 until the backlogs level out.
+        for i in 0..4 {
+            cluster
+                .submit_to(0, Priority::Normal, Duration::ZERO, charge_job(i))
+                .unwrap();
+        }
+        for i in 0..4 {
+            let h = cluster
+                .submit_at(Priority::Normal, Duration::ZERO, charge_job(100 + i))
+                .unwrap();
+            assert_eq!(h.shard(), 1, "submission {i} must go to the idle shard");
+        }
+        // Backlogs now equal: ties go to the lowest index.
+        let h = cluster
+            .submit_at(Priority::Normal, Duration::ZERO, charge_job(200))
+            .unwrap();
+        assert_eq!(h.shard(), 0);
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_and_covers_shards() {
+        let mut devs = devices(4);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default().with_max_batch(8),
+            RoutePolicy::ConsistentHash,
+        )
+        .unwrap();
+        let noop_runner = || -> BatchRunner<'static> {
+            Box::new(|dev: &mut ApuDevice, payloads: Vec<Box<dyn Any>>| {
+                let report = dev.run_task(|ctx| {
+                    ctx.core_mut().charge(VecOp::AddU16);
+                    Ok(())
+                })?;
+                Ok((report, payloads.into_iter().map(Ok).collect()))
+            })
+        };
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..64u64 {
+            let a = cluster
+                .submit_batchable(
+                    Priority::Normal,
+                    Duration::ZERO,
+                    BatchKey::new(key),
+                    Box::new(()),
+                    noop_runner(),
+                )
+                .unwrap();
+            let b = cluster
+                .submit_batchable(
+                    Priority::Normal,
+                    Duration::ZERO,
+                    BatchKey::new(key),
+                    Box::new(()),
+                    noop_runner(),
+                )
+                .unwrap();
+            assert_eq!(a.shard(), b.shard(), "key {key} must pin one shard");
+            seen.insert(a.shard());
+        }
+        assert_eq!(seen.len(), 4, "64 keys must cover all 4 shards");
+        // Same-key members coalesce on their shard.
+        let report = cluster.drain().unwrap();
+        let merged = report.merged_stats();
+        assert_eq!(merged.submitted, 128);
+        assert_eq!(merged.completed, 128);
+        assert!(merged.max_batch_size >= 2, "pinned keys must batch");
+    }
+
+    #[test]
+    fn scatter_places_one_piece_per_shard() {
+        let mut devs = devices(3);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        let handles = cluster
+            .scatter(Priority::Normal, Duration::ZERO, |shard| {
+                charge_job(shard as u32)
+            })
+            .unwrap();
+        assert_eq!(handles.len(), 3);
+        let mut report = cluster.drain().unwrap();
+        for (shard, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.shard(), shard);
+            let c = report.take(h).expect("scattered piece retired");
+            assert_eq!(c.output::<u32>(), Some(&(shard as u32)));
+            assert!(report.take(h).is_none(), "take is consuming");
+        }
+    }
+
+    #[test]
+    fn shards_have_independent_timelines_and_faults() {
+        let mut devs = devices(2);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        cluster
+            .device_mut(1)
+            .inject_faults(crate::FaultPlan::new(3).fail_every_kth_task(1));
+        for i in 0..4 {
+            cluster
+                .submit_to(
+                    i % 2,
+                    Priority::Normal,
+                    Duration::ZERO,
+                    charge_job(i as u32),
+                )
+                .unwrap();
+        }
+        let report = cluster.drain().unwrap();
+        assert_eq!(report.shards[0].stats.completed, 2);
+        assert_eq!(report.shards[0].stats.failed, 0);
+        assert_eq!(report.shards[1].stats.completed, 0);
+        assert_eq!(report.shards[1].stats.failed, 2);
+        // The faulted shard books no device time; the clean one does.
+        assert!(report.shards[0].stats.busy > Duration::ZERO);
+        assert_eq!(report.shards[1].stats.busy, Duration::ZERO);
+        let merged = report.merged_stats();
+        assert_eq!(merged.completed, 2);
+        assert_eq!(merged.failed, 2);
+        assert_eq!(merged.cores, report.shards[0].stats.cores * 2);
+    }
+
+    #[test]
+    fn wait_retires_one_shard_without_draining_others() {
+        let mut devs = devices(2);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        let a = cluster
+            .submit_to(0, Priority::Normal, Duration::ZERO, charge_job(7))
+            .unwrap();
+        cluster
+            .submit_to(1, Priority::Normal, Duration::ZERO, charge_job(8))
+            .unwrap();
+        let done = cluster.wait(a).unwrap();
+        assert_eq!(done.output::<u32>(), Some(&7));
+        assert_eq!(cluster.node(1).pending(), 1, "shard 1 still holds its job");
+        let bad = ClusterHandle {
+            shard: 9,
+            task: a.task(),
+        };
+        assert!(cluster.wait(bad).is_err());
+    }
+
+    #[test]
+    fn jump_hash_is_consistent_under_growth() {
+        // Growing the cluster must relocate only a fraction of keys.
+        let keys: Vec<u64> = (0..512).map(mix64).collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| jump_hash(k, 4) != jump_hash(k, 5))
+            .count();
+        assert!(moved > 0, "some keys must move");
+        assert!(
+            moved < 512 / 3,
+            "jump hash must relocate ~1/5 of keys, moved {moved}"
+        );
+        for &k in &keys {
+            assert_eq!(jump_hash(k, 1), 0);
+            assert!(jump_hash(k, 7) < 7);
+        }
+    }
+}

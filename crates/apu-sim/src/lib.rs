@@ -70,6 +70,7 @@
 //! companion `gvml` crate.
 
 pub mod clock;
+pub mod cluster;
 pub mod config;
 pub mod core;
 pub mod device;
@@ -85,6 +86,7 @@ pub mod timing;
 pub mod trace;
 
 pub use clock::{Cycles, Frequency};
+pub use cluster::{ClusterHandle, ClusterReport, DeviceCluster, RoutePolicy, ShardDrain};
 pub use config::{ExecMode, SimConfig};
 pub use core::{ApuCore, Marker, Vmr, Vr};
 pub use device::{ApuContext, ApuDevice, CoreTask, TaskReport};
@@ -100,7 +102,8 @@ pub use queue::{
 pub use stats::{LatencyReservoir, StageBreakdown, VcuStats};
 pub use timing::{DeviceTiming, VecOp};
 pub use trace::{
-    ChromeTraceSink, FaultScope, SharedSink, TraceEvent, TraceEventKind, TraceRecorder, TraceSink,
+    chrome_trace_json_grouped, ChromeTraceSink, FaultScope, SharedSink, TraceEvent, TraceEventKind,
+    TraceRecorder, TraceSink,
 };
 
 /// Crate-wide result type.

@@ -439,6 +439,50 @@ impl QueueStats {
             self.dispatched_tasks as f64 / self.dispatches as f64
         }
     }
+
+    /// Folds another queue's counters into this block — the cluster-level
+    /// aggregation used by [`crate::DeviceCluster`] and the sharded
+    /// serving report.
+    ///
+    /// Aggregation semantics per field class:
+    ///
+    /// * event counters (`submitted`, `completed`, `failed`, …) and the
+    ///   wait/service/latency/stage accumulators **sum**;
+    /// * `max_batch_size` takes the max; `peak_pending` sums — the
+    ///   per-shard peaks need not be simultaneous, so the result is an
+    ///   upper bound on the cluster-wide instantaneous backlog;
+    /// * `busy` sums and `cores` sums, while `makespan` takes the max
+    ///   (shards run concurrently on independent virtual timelines), so
+    ///   [`QueueStats::occupancy`] stays a cluster-wide busy fraction;
+    /// * the other queue's retained latency samples are re-offered to
+    ///   this reservoir — exact while the combined totals fit the cap,
+    ///   a deterministic subsample past it.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.expired += other.expired;
+        self.retries += other.retries;
+        self.batches += other.batches;
+        self.batched_tasks += other.batched_tasks;
+        self.dispatches += other.dispatches;
+        self.dispatched_tasks += other.dispatched_tasks;
+        self.max_batch_size = self.max_batch_size.max(other.max_batch_size);
+        self.peak_pending += other.peak_pending;
+        self.total_wait += other.total_wait;
+        self.total_service += other.total_service;
+        self.total_latency += other.total_latency;
+        self.stage_dispatch += other.stage_dispatch;
+        self.stage_dma += other.stage_dma;
+        self.stage_device += other.stage_device;
+        for &sample in other.latency_samples.as_slice() {
+            self.latency_samples.push(sample);
+        }
+        self.busy += other.busy;
+        self.makespan = self.makespan.max(other.makespan);
+        self.cores += other.cores;
+    }
 }
 
 /// Nearest-rank percentile of a (not necessarily sorted) sample set:
@@ -587,6 +631,57 @@ mod tests {
         let b = StageBreakdown::from_parts(Duration::from_nanos(13), service, &s);
         assert_eq!(b.total(), Duration::from_nanos(13) + service);
         assert_eq!(b.service(), service);
+    }
+
+    #[test]
+    fn queue_stats_merge_aggregates_per_field_class() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let mut a = QueueStats {
+            submitted: 3,
+            completed: 3,
+            dispatches: 2,
+            dispatched_tasks: 3,
+            max_batch_size: 2,
+            peak_pending: 4,
+            total_latency: ms(30),
+            busy: ms(20),
+            makespan: ms(25),
+            cores: 4,
+            ..QueueStats::default()
+        };
+        for i in 1..=3 {
+            a.latency_samples.push(ms(10 * i));
+        }
+        let mut b = QueueStats {
+            submitted: 2,
+            completed: 1,
+            failed: 1,
+            dispatches: 1,
+            dispatched_tasks: 1,
+            max_batch_size: 5,
+            peak_pending: 1,
+            total_latency: ms(40),
+            busy: ms(10),
+            makespan: ms(60),
+            cores: 4,
+            ..QueueStats::default()
+        };
+        b.latency_samples.push(ms(40));
+        a.merge(&b);
+        assert_eq!(a.submitted, 5);
+        assert_eq!(a.completed, 4);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.max_batch_size, 5, "max, not sum");
+        assert_eq!(a.peak_pending, 5, "summed upper bound");
+        assert_eq!(a.total_latency, ms(70));
+        assert_eq!(a.busy, ms(30));
+        assert_eq!(a.makespan, ms(60), "concurrent shards: max");
+        assert_eq!(a.cores, 8);
+        assert_eq!(a.latency_samples.len(), 4, "samples re-offered");
+        assert_eq!(a.latency_percentile(1.0), ms(40));
+        // Occupancy stays a fraction of summed core-time over the
+        // cluster makespan.
+        assert!(a.occupancy() > 0.0 && a.occupancy() <= 1.0);
     }
 
     #[test]

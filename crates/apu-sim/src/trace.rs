@@ -437,185 +437,226 @@ fn tid_dma(core: usize, engine: usize) -> u64 {
 /// carry queue-lifecycle markers; complete events (`ph: "X"`) carry
 /// dispatch spans on core tracks and transfer spans on DMA-engine
 /// tracks; metadata events name every track.
+///
+/// Single-device form of [`chrome_trace_json_grouped`]: the whole
+/// stream renders as one `"device"` track group.
 pub fn chrome_trace_json(events: &[TraceEvent], clock: Frequency) -> String {
+    chrome_trace_json_grouped(&[("device", events)], clock)
+}
+
+/// Renders several recorded event streams as one Chrome `trace_event`
+/// JSON document, one **track group** (Chrome "process") per named
+/// stream — the multi-device export used by the sharded serving stack,
+/// where each cluster shard's device timeline gets its own group.
+///
+/// Group `i` renders under `pid = i + 1` with a `process_name` metadata
+/// row carrying its name; within each group the track layout matches
+/// [`chrome_trace_json`] (queue track, core tracks, DMA-engine tracks).
+/// All groups share one clock, so Perfetto aligns the shard timelines
+/// on a common virtual-time axis.
+pub fn chrome_trace_json_grouped(groups: &[(&str, &[TraceEvent])], clock: Frequency) -> String {
     use TraceEventKind::*;
     let us = |c: Cycles| clock.cycles_to_secs(c) * 1e6;
-    let mut rows: Vec<String> = Vec::new();
-    let mut tracks: Vec<(u64, String)> = vec![(TID_QUEUE, "queue".to_string())];
-    let track = |tid: u64, name: String, tracks: &mut Vec<(u64, String)>| {
-        if !tracks.iter().any(|(t, _)| *t == tid) {
-            tracks.push((tid, name));
-        }
-        tid
-    };
-    let instant = |name: &str, ts: f64, tid: u64, args: String| {
-        format!(
-            r#"{{"name":"{}","ph":"i","s":"t","ts":{:.3},"pid":1,"tid":{},"args":{{{}}}}}"#,
-            json_escape(name),
-            ts,
-            tid,
-            args
-        )
-    };
-    let span = |name: &str, ts: f64, dur: f64, tid: u64, args: String| {
-        format!(
-            r#"{{"name":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{},"args":{{{}}}}}"#,
-            json_escape(name),
-            ts,
-            dur,
-            tid,
-            args
-        )
-    };
-    for e in events {
-        let ts = us(e.ts);
-        match &e.kind {
-            TaskSubmitted {
-                handle,
-                priority,
-                batch_key,
-                weight,
-                ..
-            } => rows.push(instant(
-                &format!("submit #{handle}"),
-                ts,
-                TID_QUEUE,
-                format!(
-                    r#""priority":"{priority:?}","batch_key":{},"weight":{weight}"#,
-                    batch_key.map_or("null".into(), |k| k.to_string())
-                ),
-            )),
-            BatchFormed { key, members, .. } => rows.push(instant(
-                &format!("batch key={key} ×{}", members.len()),
-                ts,
-                TID_QUEUE,
-                format!(r#""key":{key},"members":{members:?}"#),
-            )),
-            DispatchIssued {
-                dispatch,
-                start,
-                finish,
-                cores,
-                members,
-                tasks,
-                batch_key,
-            } => {
-                let dur = us(*finish) - us(*start);
-                for &c in cores {
-                    let tid = track(tid_core(c), format!("core {c}"), &mut tracks);
-                    rows.push(span(
-                        &format!(
-                            "dispatch {dispatch} ({tasks} task{})",
-                            if *tasks == 1 { "" } else { "s" }
-                        ),
-                        us(*start),
-                        dur,
-                        tid,
-                        format!(
-                            r#""dispatch":{dispatch},"members":{members:?},"batch_key":{}"#,
-                            batch_key.map_or("null".into(), |k| k.to_string())
-                        ),
-                    ));
-                }
-            }
-            TaskRetired {
-                handle,
-                dispatch,
-                ok,
-                error,
-            } => rows.push(instant(
-                &format!("retire #{handle}"),
-                ts,
-                TID_QUEUE,
-                format!(
-                    r#""dispatch":{dispatch},"ok":{ok},"error":{}"#,
-                    error
-                        .as_deref()
-                        .map_or("null".into(), |e| format!("\"{}\"", json_escape(e)))
-                ),
-            )),
-            TaskFailed { handle, error } => rows.push(instant(
-                &format!("fail #{handle}"),
-                ts,
-                TID_QUEUE,
-                format!(r#""error":"{}""#, json_escape(error)),
-            )),
-            TaskExpired { handle, .. } => rows.push(instant(
-                &format!("shed #{handle}"),
-                ts,
-                TID_QUEUE,
-                String::new(),
-            )),
-            TaskRetried {
-                handle, attempt, ..
-            } => rows.push(instant(
-                &format!("retry #{handle}"),
-                ts,
-                TID_QUEUE,
-                format!(r#""attempt":{attempt}"#),
-            )),
-            DmaIssued {
-                core,
-                engine,
-                start,
-                completes_at,
-                bytes,
-            } => {
-                let tid = track(
-                    tid_dma(*core, *engine),
-                    format!("core {core} dma {engine}"),
-                    &mut tracks,
-                );
-                rows.push(span(
-                    &format!("dma {bytes} B"),
-                    us(*start),
-                    us(*completes_at) - us(*start),
-                    tid,
-                    format!(r#""bytes":{bytes}"#),
-                ));
-            }
-            DmaWaited {
-                core,
-                engine,
-                stall,
-            } => {
-                let tid = track(
-                    tid_dma(*core, *engine),
-                    format!("core {core} dma {engine}"),
-                    &mut tracks,
-                );
-                rows.push(instant(
-                    "dma wait",
-                    ts,
-                    tid,
-                    format!(r#""stall_cycles":{}"#, stall.get()),
-                ));
-            }
-            FaultInjected { scope, seq } => rows.push(instant(
-                &format!("fault {scope:?} #{seq}"),
-                ts,
-                TID_QUEUE,
-                format!(r#""scope":"{scope:?}","seq":{seq}"#),
-            )),
-        }
-    }
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
-    for (tid, name) in &tracks {
+    let mut push = |row: String, out: &mut String| {
         if !first {
             out.push(',');
         }
         first = false;
-        let _ = write!(
-            out,
-            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
-            tid,
-            json_escape(name)
-        );
-    }
-    for row in rows {
-        out.push(',');
         out.push_str(&row);
+    };
+    for (group, (group_name, events)) in groups.iter().enumerate() {
+        let pid = group as u64 + 1;
+        let mut rows: Vec<String> = Vec::new();
+        let mut tracks: Vec<(u64, String)> = vec![(TID_QUEUE, "queue".to_string())];
+        let track = |tid: u64, name: String, tracks: &mut Vec<(u64, String)>| {
+            if !tracks.iter().any(|(t, _)| *t == tid) {
+                tracks.push((tid, name));
+            }
+            tid
+        };
+        let instant = |name: &str, ts: f64, tid: u64, args: String| {
+            format!(
+                r#"{{"name":"{}","ph":"i","s":"t","ts":{:.3},"pid":{},"tid":{},"args":{{{}}}}}"#,
+                json_escape(name),
+                ts,
+                pid,
+                tid,
+                args
+            )
+        };
+        let span = |name: &str, ts: f64, dur: f64, tid: u64, args: String| {
+            format!(
+                r#"{{"name":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{},"args":{{{}}}}}"#,
+                json_escape(name),
+                ts,
+                dur,
+                pid,
+                tid,
+                args
+            )
+        };
+        for e in *events {
+            let ts = us(e.ts);
+            match &e.kind {
+                TaskSubmitted {
+                    handle,
+                    priority,
+                    batch_key,
+                    weight,
+                    ..
+                } => rows.push(instant(
+                    &format!("submit #{handle}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(
+                        r#""priority":"{priority:?}","batch_key":{},"weight":{weight}"#,
+                        batch_key.map_or("null".into(), |k| k.to_string())
+                    ),
+                )),
+                BatchFormed { key, members, .. } => rows.push(instant(
+                    &format!("batch key={key} ×{}", members.len()),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""key":{key},"members":{members:?}"#),
+                )),
+                DispatchIssued {
+                    dispatch,
+                    start,
+                    finish,
+                    cores,
+                    members,
+                    tasks,
+                    batch_key,
+                } => {
+                    let dur = us(*finish) - us(*start);
+                    for &c in cores {
+                        let tid = track(tid_core(c), format!("core {c}"), &mut tracks);
+                        rows.push(span(
+                            &format!(
+                                "dispatch {dispatch} ({tasks} task{})",
+                                if *tasks == 1 { "" } else { "s" }
+                            ),
+                            us(*start),
+                            dur,
+                            tid,
+                            format!(
+                                r#""dispatch":{dispatch},"members":{members:?},"batch_key":{}"#,
+                                batch_key.map_or("null".into(), |k| k.to_string())
+                            ),
+                        ));
+                    }
+                }
+                TaskRetired {
+                    handle,
+                    dispatch,
+                    ok,
+                    error,
+                } => rows.push(instant(
+                    &format!("retire #{handle}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(
+                        r#""dispatch":{dispatch},"ok":{ok},"error":{}"#,
+                        error
+                            .as_deref()
+                            .map_or("null".into(), |e| format!("\"{}\"", json_escape(e)))
+                    ),
+                )),
+                TaskFailed { handle, error } => rows.push(instant(
+                    &format!("fail #{handle}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""error":"{}""#, json_escape(error)),
+                )),
+                TaskExpired { handle, .. } => rows.push(instant(
+                    &format!("shed #{handle}"),
+                    ts,
+                    TID_QUEUE,
+                    String::new(),
+                )),
+                TaskRetried {
+                    handle, attempt, ..
+                } => rows.push(instant(
+                    &format!("retry #{handle}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""attempt":{attempt}"#),
+                )),
+                DmaIssued {
+                    core,
+                    engine,
+                    start,
+                    completes_at,
+                    bytes,
+                } => {
+                    let tid = track(
+                        tid_dma(*core, *engine),
+                        format!("core {core} dma {engine}"),
+                        &mut tracks,
+                    );
+                    rows.push(span(
+                        &format!("dma {bytes} B"),
+                        us(*start),
+                        us(*completes_at) - us(*start),
+                        tid,
+                        format!(r#""bytes":{bytes}"#),
+                    ));
+                }
+                DmaWaited {
+                    core,
+                    engine,
+                    stall,
+                } => {
+                    let tid = track(
+                        tid_dma(*core, *engine),
+                        format!("core {core} dma {engine}"),
+                        &mut tracks,
+                    );
+                    rows.push(instant(
+                        "dma wait",
+                        ts,
+                        tid,
+                        format!(r#""stall_cycles":{}"#, stall.get()),
+                    ));
+                }
+                FaultInjected { scope, seq } => rows.push(instant(
+                    &format!("fault {scope:?} #{seq}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""scope":"{scope:?}","seq":{seq}"#),
+                )),
+            }
+        }
+        push(
+            format!(
+                r#"{{"name":"process_name","ph":"M","pid":{},"args":{{"name":"{}"}}}}"#,
+                pid,
+                json_escape(group_name)
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                r#"{{"name":"process_sort_index","ph":"M","pid":{pid},"args":{{"sort_index":{pid}}}}}"#
+            ),
+            &mut out,
+        );
+        for (tid, name) in &tracks {
+            push(
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":{},"tid":{},"args":{{"name":"{}"}}}}"#,
+                    pid,
+                    tid,
+                    json_escape(name)
+                ),
+                &mut out,
+            );
+        }
+        for row in rows {
+            push(row, &mut out);
+        }
     }
     out.push_str("]}");
     out
@@ -862,6 +903,40 @@ mod tests {
             _ => (b, s),
         });
         assert_eq!(depth, (0, 0));
+    }
+
+    #[test]
+    fn grouped_chrome_export_gives_each_shard_its_own_track_group() {
+        let events = sample_events();
+        let groups: Vec<(&str, &[TraceEvent])> =
+            vec![("shard 0", &events), ("shard 1", &events), ("shard 2", &[])];
+        let json = chrome_trace_json_grouped(&groups, Frequency::LEDA_E);
+        // One process per group, named and sorted.
+        for (pid, name) in [(1, "shard 0"), (2, "shard 1"), (3, "shard 2")] {
+            assert!(
+                json.contains(&format!(
+                    r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{name}"}}}}"#
+                )),
+                "missing process_name for {name}"
+            );
+        }
+        // Event rows land on their group's pid.
+        assert!(json.contains(r#""ph":"i","s":"t","ts":0.000,"pid":1"#));
+        assert!(json.contains(r#""ph":"i","s":"t","ts":0.000,"pid":2"#));
+        // Balanced structure.
+        let depth = json.chars().fold((0i64, 0i64), |(b, s), c| match c {
+            '{' => (b + 1, s),
+            '}' => (b - 1, s),
+            '[' => (b, s + 1),
+            ']' => (b, s - 1),
+            _ => (b, s),
+        });
+        assert_eq!(depth, (0, 0));
+        // The single-group export is the one-device special case.
+        assert_eq!(
+            chrome_trace_json(&events, Frequency::LEDA_E),
+            chrome_trace_json_grouped(&[("device", events.as_slice())], Frequency::LEDA_E)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use std::time::Duration;
 
 use apu_sim::{
-    ApuDevice, Cycles, DeviceQueue, DeviceTiming, Priority, QueueConfig, SimConfig, TraceRecorder,
-    VecOp, Vmr,
+    ApuDevice, BatchKey, Cycles, DeviceCluster, DeviceQueue, DeviceTiming, ExecMode, FaultPlan,
+    Priority, QueueConfig, RetryPolicy, RoutePolicy, SimConfig, TraceRecorder, VecOp, Vmr,
 };
 
 /// Table 5 measured column (cycles per 32K-element vector command).
@@ -159,6 +159,149 @@ fn batched_dispatch_charges_the_same_cycles_as_single() {
     assert_eq!(single_cycles, batched_cycles);
     let t = DeviceTiming::leda_e();
     assert_eq!(single_cycles, Cycles::new(t.mul_s16 + t.cmd_issue));
+}
+
+/// Cluster width for the determinism workload: the CI shard axis
+/// (`APU_SIM_TEST_SHARDS`) when set, otherwise 3.
+fn cluster_shards() -> usize {
+    std::env::var("APU_SIM_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// A fixed mixed workload on a [`DeviceCluster`] — consistent-hash
+/// routed batchables, a high-priority scatter, a fault plan on one
+/// shard, bounded retries — with a [`TraceRecorder`] on every device.
+/// Returns per-shard full trace signatures, per-shard timestamp-free
+/// kind signatures, and per-shard completion timelines (cycles and
+/// queue timestamps).
+type ClusterGolden = (
+    Vec<String>,
+    Vec<Vec<String>>,
+    Vec<Vec<(Cycles, Duration, Duration, bool)>>,
+);
+
+fn run_cluster_workload(mode: ExecMode) -> ClusterGolden {
+    let shards = cluster_shards();
+    let mut devices: Vec<ApuDevice> = (0..shards)
+        .map(|_| {
+            ApuDevice::new(
+                SimConfig::default()
+                    .with_l4_bytes(1 << 20)
+                    .with_exec_mode(mode),
+            )
+        })
+        .collect();
+    let recorders: Vec<_> = devices
+        .iter_mut()
+        .map(|dev| {
+            let (sink, rec) = TraceRecorder::shared();
+            dev.install_trace_sink(sink);
+            rec
+        })
+        .collect();
+    if shards > 1 {
+        // One shard faults every third task; its siblings stay clean.
+        devices[1].inject_faults(FaultPlan::new(9).fail_every_kth_task(3));
+    }
+
+    let cfg = QueueConfig::default()
+        .with_max_batch(4)
+        .with_max_batch_wait(Duration::from_micros(50))
+        .with_retry(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        });
+    let mut cluster = DeviceCluster::new(
+        devices.iter_mut().collect(),
+        cfg,
+        RoutePolicy::ConsistentHash,
+    )
+    .expect("cluster construction");
+
+    for i in 0..12u64 {
+        cluster
+            .submit_batchable(
+                Priority::Normal,
+                Duration::from_micros(10 * i),
+                BatchKey::new(i % 5 + 1),
+                Box::new(i),
+                Box::new(
+                    |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                        let report = dev.run_task(|ctx| {
+                            ctx.core_mut().charge(VecOp::MulS16);
+                            Ok(())
+                        })?;
+                        Ok((report, payloads.into_iter().map(Ok).collect()))
+                    },
+                ),
+            )
+            .expect("submission");
+    }
+    cluster
+        .scatter(Priority::High, Duration::from_micros(5), |shard| {
+            Box::new(move |dev: &mut ApuDevice| {
+                let r = dev.run_task(|ctx| {
+                    ctx.core_mut().charge(VecOp::AddU16);
+                    Ok(())
+                })?;
+                Ok((r, Box::new(shard) as Box<dyn std::any::Any>))
+            })
+        })
+        .expect("scatter");
+    let report = cluster.drain().expect("drain");
+
+    let signatures = recorders.iter().map(|r| r.borrow().signature()).collect();
+    let kinds = recorders
+        .iter()
+        .map(|r| r.borrow().kind_signatures())
+        .collect();
+    let timelines = report
+        .shards
+        .iter()
+        .map(|d| {
+            d.completions
+                .iter()
+                .map(|c| (c.report.cycles, c.started_at, c.finished_at, c.is_ok()))
+                .collect()
+        })
+        .collect();
+    (signatures, kinds, timelines)
+}
+
+/// Same seed + same shard count ⇒ byte-identical per-shard trace
+/// signatures (timestamps included) and identical completion timelines:
+/// the cluster layer — routing, batching, per-shard faults, retries —
+/// adds no nondeterminism on top of the simulator.
+#[test]
+fn cluster_trace_signatures_are_deterministic_per_shard() {
+    let a = run_cluster_workload(ExecMode::Functional);
+    let b = run_cluster_workload(ExecMode::Functional);
+    assert!(
+        a.0.iter().all(|s| !s.is_empty()),
+        "every shard must record a timeline"
+    );
+    for (shard, (sa, sb)) in a.0.iter().zip(&b.0).enumerate() {
+        assert_eq!(sa, sb, "shard {shard} trace signature diverged across runs");
+    }
+    assert_eq!(a.2, b.2, "completion timelines diverged across runs");
+}
+
+/// Functional and timing-only execution agree on cluster-level cycle
+/// accounting: the workload charges fixed per-op costs, so per-shard
+/// event streams (timestamp-free projection), per-completion cycles,
+/// and queue timestamps must all be mode-independent.
+#[test]
+fn cluster_functional_and_timing_modes_agree_on_cycles() {
+    let f = run_cluster_workload(ExecMode::Functional);
+    let t = run_cluster_workload(ExecMode::TimingOnly);
+    assert_eq!(f.1, t.1, "per-shard event kinds diverged across exec modes");
+    assert_eq!(
+        f.2, t.2,
+        "per-completion cycle accounting diverged across exec modes"
+    );
 }
 
 /// Tracing is an observer, never a participant: a run with a sink

@@ -25,6 +25,9 @@ pub struct RunCfg {
     pub paper: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Device-cluster width for sharded serving studies (`--shards`,
+    /// default 1 = single device). Benches that don't shard ignore it.
+    pub shards: usize,
 }
 
 impl Default for RunCfg {
@@ -33,6 +36,7 @@ impl Default for RunCfg {
             scale: 1.0 / 256.0,
             paper: false,
             seed: 42,
+            shards: 1,
         }
     }
 }
@@ -55,6 +59,11 @@ pub fn parse_args() -> RunCfg {
             "--seed" => {
                 if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
                     cfg.seed = v;
+                }
+            }
+            "--shards" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    cfg.shards = std::cmp::max(v, 1);
                 }
             }
             _ => {}
@@ -110,5 +119,6 @@ mod tests {
         let c = RunCfg::default();
         assert!(!c.paper);
         assert!((c.scale - 1.0 / 256.0).abs() < 1e-12);
+        assert_eq!(c.shards, 1);
     }
 }

@@ -100,6 +100,26 @@ pub fn run_boxed_batch(
     payloads: Vec<Box<dyn Any>>,
     k: usize,
 ) -> Result<(TaskReport, Vec<apu_sim::BatchOutput>)> {
+    run_boxed_batch_at(dev, hbm, store, payloads, k, 0)
+}
+
+/// [`run_boxed_batch`] against one corpus shard: identical semantics,
+/// except every returned hit's chunk id is offset by `chunk_base` so a
+/// shard store with local 0-based ids (see
+/// [`crate::corpus::EmbeddingStore::shards`]) reports **global** chunk
+/// ids. Sharded serving merges per-shard hits directly because of this.
+///
+/// # Errors
+///
+/// Same as [`run_boxed_batch`].
+pub fn run_boxed_batch_at(
+    dev: &mut ApuDevice,
+    hbm: &mut MemorySystem,
+    store: &EmbeddingStore,
+    payloads: Vec<Box<dyn Any>>,
+    k: usize,
+    chunk_base: u32,
+) -> Result<(TaskReport, Vec<apu_sim::BatchOutput>)> {
     let n = payloads.len();
     let mut queries: Vec<Vec<i16>> = Vec::with_capacity(n);
     // Slot of each valid member in `queries`, or None for poisoned ones.
@@ -135,7 +155,20 @@ pub fn run_boxed_batch(
     let result = retrieve_batch(dev, hbm, store, &queries, k)?;
     let mut report = result.report;
     report.duration += std::time::Duration::from_secs_f64(result.breakdown.load_embedding_ms / 1e3);
-    let mut hits: Vec<Option<Vec<Hit>>> = result.hits.into_iter().map(Some).collect();
+    let mut hits: Vec<Option<Vec<Hit>>> = result
+        .hits
+        .into_iter()
+        .map(|hs| {
+            Some(
+                hs.into_iter()
+                    .map(|h| Hit {
+                        chunk: h.chunk + chunk_base,
+                        score: h.score,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
     let outputs = slots
         .into_iter()
         .map(|slot| match slot {

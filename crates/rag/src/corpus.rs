@@ -140,6 +140,73 @@ impl EmbeddingStore {
             .map(|_| rng.gen_range(-EMBED_MAX..=EMBED_MAX))
             .collect()
     }
+
+    /// Splits the corpus into `n` contiguous shards for multi-device
+    /// serving (see `rag::ShardedRagServer`).
+    ///
+    /// Chunks are partitioned in order — shard `i` takes
+    /// `chunks/n + (i < chunks%n)` chunks — so shard sizes differ by at
+    /// most one and concatenating the shards in order reconstructs the
+    /// corpus exactly. Each shard's store **slices this store's data**
+    /// (never regenerates from the seed, which would change values);
+    /// shards of a size-only store are size-only. Shard chunk ids are
+    /// local (0-based); [`CorpusShard::base`] maps them back to global
+    /// ids. The nominal `corpus_bytes` is split proportionally.
+    ///
+    /// `n` is clamped to ≥ 1; when `n > chunks` the trailing shards are
+    /// empty but still well-formed.
+    pub fn shards(&self, n: usize) -> Vec<CorpusShard> {
+        let n = n.max(1);
+        let chunks = self.spec.chunks;
+        let mut out = Vec::with_capacity(n);
+        let mut base = 0usize;
+        for i in 0..n {
+            let len = chunks / n + usize::from(i < chunks % n);
+            let data = self
+                .data
+                .as_ref()
+                .map(|d| d[base * EMBED_DIM..(base + len) * EMBED_DIM].to_vec());
+            let corpus_bytes = if chunks == 0 {
+                0
+            } else {
+                self.spec.corpus_bytes * len as u64 / chunks as u64
+            };
+            out.push(CorpusShard {
+                store: EmbeddingStore {
+                    spec: CorpusSpec {
+                        corpus_bytes,
+                        chunks: len,
+                    },
+                    seed: self.seed,
+                    data,
+                },
+                base: base as u32,
+            });
+            base += len;
+        }
+        out
+    }
+}
+
+/// One contiguous shard of a parent [`EmbeddingStore`], produced by
+/// [`EmbeddingStore::shards`]: the shard's own store (with shard-local,
+/// 0-based chunk ids) plus the global id of its first chunk.
+#[derive(Debug, Clone)]
+pub struct CorpusShard {
+    /// The shard's embedding store; `store.spec().chunks` is the shard
+    /// length.
+    pub store: EmbeddingStore,
+    /// Global chunk id of the shard's first chunk: a shard-local hit for
+    /// chunk `c` refers to global chunk `base + c`.
+    pub base: u32,
+}
+
+impl CorpusShard {
+    /// Half-open global chunk-id range `[base, base + len)` this shard
+    /// covers.
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.base..self.base + self.store.spec().chunks as u32
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +251,79 @@ mod tests {
             .all(|&v| (-EMBED_MAX..=EMBED_MAX).contains(&v)));
         // worst-case dot product fits i16
         assert!(EMBED_DIM as i32 * (EMBED_MAX as i32).pow(2) <= i16::MAX as i32);
+    }
+
+    #[test]
+    fn shards_partition_the_corpus_exactly() {
+        let spec = CorpusSpec {
+            corpus_bytes: 1000,
+            chunks: 10,
+        };
+        let s = EmbeddingStore::materialized(spec, 5);
+        let shards = s.shards(3);
+        assert_eq!(shards.len(), 3);
+        // 10 = 4 + 3 + 3, contiguous bases.
+        assert_eq!(
+            shards
+                .iter()
+                .map(|sh| sh.store.spec().chunks)
+                .collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        assert_eq!(
+            shards.iter().map(|sh| sh.base).collect::<Vec<_>>(),
+            vec![0, 4, 7]
+        );
+        assert_eq!(shards[1].range(), 4..7);
+        // Shard data is a slice of the parent, not a regeneration.
+        for sh in &shards {
+            for local in 0..sh.store.spec().chunks {
+                assert_eq!(
+                    sh.store.embedding(local),
+                    s.embedding(sh.base as usize + local)
+                );
+            }
+            // Queries are shared across shards (same seed).
+            assert_eq!(sh.store.query(9), s.query(9));
+        }
+        // Nominal bytes split proportionally (within integer rounding).
+        let total: u64 = shards.iter().map(|sh| sh.store.spec().corpus_bytes).sum();
+        assert!((997..=1000).contains(&total));
+    }
+
+    #[test]
+    fn sharding_edge_cases_stay_well_formed() {
+        let spec = CorpusSpec {
+            corpus_bytes: 64,
+            chunks: 2,
+        };
+        let s = EmbeddingStore::materialized(spec, 8);
+        // n = 0 clamps to one shard covering everything.
+        let whole = s.shards(0);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].store.spec().chunks, 2);
+        assert_eq!(whole[0].store.raw(), s.raw());
+        // More shards than chunks: trailing shards are empty.
+        let over = s.shards(4);
+        assert_eq!(over.len(), 4);
+        assert_eq!(
+            over.iter()
+                .map(|sh| sh.store.spec().chunks)
+                .collect::<Vec<_>>(),
+            vec![1, 1, 0, 0]
+        );
+        assert!(over[3].range().is_empty());
+        // Size-only parents give size-only shards.
+        let dry = EmbeddingStore::size_only(CorpusSpec::from_corpus_bytes(10_000_000_000), 3);
+        let dry_shards = dry.shards(4);
+        assert!(dry_shards.iter().all(|sh| !sh.store.is_materialized()));
+        assert_eq!(
+            dry_shards
+                .iter()
+                .map(|sh| sh.store.spec().chunks)
+                .sum::<usize>(),
+            163_000
+        );
     }
 
     #[test]

@@ -30,12 +30,17 @@ pub mod pipeline;
 pub mod serve;
 
 pub use apu::{ApuRetriever, RagVariant, RetrievalBreakdown};
-pub use batch::{retrieval_batch_key, retrieve_batch, run_boxed_batch, BatchResult, MAX_BATCH};
-pub use corpus::{CorpusSpec, EmbeddingStore};
+pub use batch::{
+    retrieval_batch_key, retrieve_batch, run_boxed_batch, run_boxed_batch_at, BatchResult,
+    MAX_BATCH,
+};
+pub use corpus::{CorpusShard, CorpusSpec, EmbeddingStore};
 pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};
 pub use pipeline::{EndToEnd, Platform, RagPipeline};
-pub use serve::{QueryCompletion, QueryTicket, RagServer, ServeConfig, ServeReport};
+pub use serve::{
+    QueryCompletion, QueryTicket, RagServer, ServeConfig, ServeReport, ShardedRagServer,
+};
 
 pub(crate) use apu::{inject_l2 as apu_inject_l2, tile_top_k as apu_tile_top_k};
 

@@ -13,21 +13,35 @@
 //! is realistic dispatch: queueing delay, priority, admission control,
 //! batch coalescing, and per-query latency accounting on the virtual
 //! timeline.
+//!
+//! [`ShardedRagServer`] scales the same front-end across a
+//! [`DeviceCluster`]: the corpus is split into contiguous shards
+//! ([`EmbeddingStore::shards`]), each shard gets its own simulated
+//! device + off-chip memory + command queue, every query fans out to all
+//! shards, and the per-shard top-k results are merged into the exact
+//! global top-k (shard kernels report global chunk ids, so the merge is
+//! a plain [`top_k`] over the concatenation). A faulted or shedding
+//! shard *degrades* the queries it drops — they still serve from the
+//! healthy shards, flagged via [`QueryCompletion::is_degraded`] —
+//! instead of failing them.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Duration;
 
 use apu_sim::queue::percentile;
 use apu_sim::trace::prometheus_text;
 use apu_sim::{
-    ApuDevice, DeviceQueue, Error, Priority, QueueConfig, QueueStats, RetryPolicy, StageBreakdown,
-    TaskHandle,
+    chrome_trace_json_grouped, ApuDevice, ChromeTraceSink, Completion, DeviceCluster, DeviceQueue,
+    Error, FaultPlan, Priority, QueueConfig, QueueStats, RetryPolicy, RoutePolicy, SimConfig,
+    StageBreakdown, TaskHandle, TraceEvent,
 };
-use hbm_sim::MemorySystem;
+use hbm_sim::{DramSpec, MemorySystem};
 
-use crate::batch::{retrieval_batch_key, run_boxed_batch, MAX_BATCH};
-use crate::corpus::EmbeddingStore;
+use crate::batch::{retrieval_batch_key, run_boxed_batch, run_boxed_batch_at, MAX_BATCH};
+use crate::corpus::{CorpusShard, EmbeddingStore};
+use crate::cpu::top_k;
 use crate::{Hit, Result};
 
 /// Configuration of a [`RagServer`].
@@ -101,6 +115,13 @@ pub struct QueryCompletion {
     /// device`); the components sum exactly to
     /// [`QueryCompletion::latency`].
     pub stages: StageBreakdown,
+    /// How many corpus shards answered this query (always 1 of 1 on a
+    /// single-device [`RagServer`]). A served query with `shards_ok <
+    /// shards_total` is *degraded*: its hits are exact over the healthy
+    /// shards only.
+    pub shards_ok: usize,
+    /// How many corpus shards the query was fanned out to.
+    pub shards_total: usize,
     /// Top-k hits — identical to the synchronous
     /// [`crate::batch::retrieve_batch`] path — or the retirement error.
     pub outcome: std::result::Result<Vec<Hit>, Error>,
@@ -116,6 +137,15 @@ impl QueryCompletion {
     /// Whether the query was served successfully.
     pub fn is_ok(&self) -> bool {
         self.outcome.is_ok()
+    }
+
+    /// Whether the query was served from a strict subset of its corpus
+    /// shards (some shard faulted or shed it). Degraded queries count as
+    /// served — their hits are exact over the shards that answered —
+    /// but a caller that needs whole-corpus recall can detect and retry
+    /// them.
+    pub fn is_degraded(&self) -> bool {
+        self.outcome.is_ok() && self.shards_ok < self.shards_total
     }
 
     /// The served hits, or `None` for a failed query.
@@ -143,13 +173,27 @@ impl QueryCompletion {
 pub struct ServeReport {
     /// Per-query completions, in finish order (ticket order for ties).
     pub completions: Vec<QueryCompletion>,
-    /// Command-queue counters for the run.
+    /// Command-queue counters for the run. On a sharded run this is the
+    /// [`QueueStats::merge`] of every shard's queue, so task-level
+    /// counters (`submitted`, `completed`, `dispatches`, …) count
+    /// *shard-tasks* — queries × shards — not queries; use
+    /// [`ServeReport::served`] / [`ServeReport::failed`] for query-level
+    /// accounting.
     pub queue: QueueStats,
+    /// Per-shard queue counters, in shard order. A single-device
+    /// [`RagServer`] reports one entry (equal to `queue`).
+    pub shards: Vec<QueueStats>,
 }
 
 impl ServeReport {
     /// Per-query end-to-end latency percentile (nearest rank), over
     /// successfully served queries.
+    ///
+    /// Returns [`Duration::ZERO`] when there is no served query to rank
+    /// — an empty report, or one whose queries all failed (shed,
+    /// faulted, or rejected). Callers gating on a latency objective
+    /// should check [`ServeReport::served`] first: an all-failed run
+    /// trivially "meets" any percentile target.
     pub fn latency_percentile(&self, q: f64) -> Duration {
         let samples: Vec<Duration> = self
             .completions
@@ -157,6 +201,9 @@ impl ServeReport {
             .filter(|c| c.is_ok())
             .map(|c| c.latency())
             .collect();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
         percentile(&samples, q)
     }
 
@@ -168,6 +215,13 @@ impl ServeReport {
     /// Queries that retired with an error (shed, faulted, or failed).
     pub fn failed(&self) -> usize {
         self.completions.len() - self.served()
+    }
+
+    /// Served queries answered by only a subset of their corpus shards
+    /// (see [`QueryCompletion::is_degraded`]). Always 0 on a
+    /// single-device [`RagServer`].
+    pub fn degraded(&self) -> usize {
+        self.completions.iter().filter(|c| c.is_degraded()).count()
     }
 
     /// Sustained successfully-served queries per second over the queue
@@ -331,21 +385,390 @@ impl<'a> RagServer<'a> {
             let (ticket, arrival) = tickets
                 .remove(&done.handle)
                 .expect("every completion maps to a submitted query");
+            let (started_at, finished_at) = (done.started_at, done.finished_at);
+            let (batch_size, attempts) = (done.batch_size, done.attempts);
+            let stages = done.stage_breakdown();
+            let outcome = done.into_output();
             completions.push(QueryCompletion {
                 ticket,
                 arrival,
-                started_at: done.started_at,
-                finished_at: done.finished_at,
-                batch_size: done.batch_size,
-                attempts: done.attempts,
-                stages: done.stage_breakdown(),
-                outcome: done.into_output(),
+                started_at,
+                finished_at,
+                batch_size,
+                attempts,
+                stages,
+                shards_ok: usize::from(outcome.is_ok()),
+                shards_total: 1,
+                outcome,
             });
         }
         let stats = queue.stats().clone();
         Ok(ServeReport {
             completions,
+            shards: vec![stats.clone()],
             queue: stats,
+        })
+    }
+}
+
+/// An online RAG retrieval server sharded across a simulated multi-device
+/// cluster.
+///
+/// The corpus is split into contiguous shards
+/// ([`EmbeddingStore::shards`]); each shard owns one simulated
+/// [`ApuDevice`] (independent virtual clock, fault plan, trace sink) and
+/// one off-chip [`MemorySystem`]. [`ShardedRagServer::drain`] fans every
+/// query out to all shards through a [`DeviceCluster`] — each shard runs
+/// the same continuous-batching retrieval kernel over its slice of the
+/// corpus and reports **global** chunk ids — then merges the per-shard
+/// top-k into the exact global top-k with the same tie-break
+/// (score descending, chunk ascending) as the single-device path, so a
+/// fault-free sharded run is element-identical to [`RagServer`] on the
+/// whole corpus.
+///
+/// Shard failures are contained, not amplified: a query dropped by one
+/// shard (injected fault, TTL shed, kernel failure) still serves from
+/// the remaining shards and is flagged via
+/// [`QueryCompletion::is_degraded`]; it fails outright only when *every*
+/// shard drops it.
+///
+/// # Example
+///
+/// ```rust
+/// use std::time::Duration;
+/// use apu_sim::SimConfig;
+/// use rag::corpus::{CorpusSpec, EmbeddingStore};
+/// use rag::{ServeConfig, ShardedRagServer};
+///
+/// # fn main() -> rag::Result<()> {
+/// let store = EmbeddingStore::materialized(
+///     CorpusSpec { corpus_bytes: 0, chunks: 4096 },
+///     7,
+/// );
+/// let mut server = ShardedRagServer::new(
+///     &store,
+///     4,
+///     SimConfig::default().with_l4_bytes(8 << 20),
+///     ServeConfig::default(),
+/// )?;
+/// for i in 0..8 {
+///     server.submit(Duration::from_micros(i * 50), store.query(i))?;
+/// }
+/// let report = server.drain()?;
+/// assert_eq!(report.served(), 8);
+/// assert_eq!(report.shards.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedRagServer {
+    devices: Vec<ApuDevice>,
+    hbms: Vec<MemorySystem>,
+    shards: Vec<CorpusShard>,
+    cfg: ServeConfig,
+    pending: Vec<PendingQuery>,
+    next_ticket: u64,
+    traces: Option<Vec<Rc<RefCell<ChromeTraceSink>>>>,
+}
+
+impl ShardedRagServer {
+    /// Builds a cluster of `shards` simulated devices, each configured
+    /// from `sim` and holding one contiguous shard of `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for `shards == 0` or an invalid
+    /// `sim` configuration.
+    pub fn new(
+        store: &EmbeddingStore,
+        shards: usize,
+        sim: SimConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self> {
+        if shards == 0 {
+            return Err(Error::InvalidArg(
+                "a sharded server needs at least one shard".into(),
+            ));
+        }
+        let shards = store.shards(shards);
+        let mut devices = Vec::with_capacity(shards.len());
+        let mut hbms = Vec::with_capacity(shards.len());
+        for _ in &shards {
+            devices.push(ApuDevice::try_new(sim.clone())?);
+            hbms.push(MemorySystem::new(DramSpec::hbm2e_16gb()));
+        }
+        Ok(ShardedRagServer {
+            devices,
+            hbms,
+            shards,
+            cfg,
+            pending: Vec::new(),
+            next_ticket: 0,
+            traces: None,
+        })
+    }
+
+    /// Number of corpus shards (= devices).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The corpus shards, in shard order.
+    pub fn shards(&self) -> &[CorpusShard] {
+        &self.shards
+    }
+
+    /// Queries accepted but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Direct access to one shard's device — e.g. to reconfigure or
+    /// inspect it between drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn device_mut(&mut self, shard: usize) -> &mut ApuDevice {
+        &mut self.devices[shard]
+    }
+
+    /// Arms fault injection on one shard's device; the other shards are
+    /// unaffected (failure containment is per device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn inject_faults(&mut self, shard: usize, plan: FaultPlan) {
+        self.devices[shard].inject_faults(plan);
+    }
+
+    /// Installs a Chrome trace sink on every shard's device. Idempotent;
+    /// events accumulate across drains until
+    /// [`ShardedRagServer::take_chrome_trace`].
+    pub fn enable_tracing(&mut self) {
+        if self.traces.is_some() {
+            return;
+        }
+        let mut sinks = Vec::with_capacity(self.devices.len());
+        for dev in &mut self.devices {
+            let (sink, shared) = ChromeTraceSink::shared(dev.config().clock);
+            dev.install_trace_sink(sink);
+            sinks.push(shared);
+        }
+        self.traces = Some(sinks);
+    }
+
+    /// Detaches the trace sinks and renders the accumulated events as
+    /// one Chrome `chrome://tracing` / Perfetto JSON document with a
+    /// separate process-level track group per shard ("shard 0",
+    /// "shard 1", …). Returns `None` when tracing was never enabled.
+    pub fn take_chrome_trace(&mut self) -> Option<String> {
+        let shared = self.traces.take()?;
+        for dev in &mut self.devices {
+            dev.clear_trace_sink();
+        }
+        let clock = self.devices[0].config().clock;
+        let sinks: Vec<ChromeTraceSink> = shared
+            .into_iter()
+            .map(|rc| {
+                Rc::try_unwrap(rc)
+                    .expect("devices released their trace sinks")
+                    .into_inner()
+            })
+            .collect();
+        let names: Vec<String> = (0..sinks.len()).map(|i| format!("shard {i}")).collect();
+        let groups: Vec<(&str, &[TraceEvent])> = names
+            .iter()
+            .zip(&sinks)
+            .map(|(name, sink)| (name.as_str(), sink.events()))
+            .collect();
+        Some(chrome_trace_json_grouped(&groups, clock))
+    }
+
+    /// Accepts one query arriving at `arrival` on the virtual timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog exceeds the queue's
+    /// admission bound (applied to queries, before the per-shard
+    /// fan-out).
+    pub fn submit(&mut self, arrival: Duration, query: Vec<i16>) -> Result<QueryTicket> {
+        if self.pending.len() >= self.cfg.queue.max_pending {
+            return Err(Error::QueueFull {
+                pending: self.pending.len(),
+                capacity: self.cfg.queue.max_pending,
+            });
+        }
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(PendingQuery {
+            ticket,
+            arrival,
+            query,
+        });
+        Ok(ticket)
+    }
+
+    /// Fans every pending query out to all shards, runs each shard's
+    /// command queue to completion, and merges the per-shard top-k into
+    /// per-query global completions.
+    ///
+    /// Merge semantics per query: `started_at` is the earliest shard
+    /// dispatch and `finished_at` the latest shard retire; the *critical
+    /// shard* (the one retiring last) supplies the stage breakdown —
+    /// every shard sees the same arrival, so the critical shard's stages
+    /// still sum exactly to the merged latency — plus `batch_size` and
+    /// `attempts` is the worst case over shards. Hits from shards that
+    /// answered are merged with [`top_k`]; `shards_ok < shards_total`
+    /// marks the result degraded. A query fails only when every shard
+    /// dropped it, with the first failing shard's error.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for queue-level invariant violations; pending queries
+    /// are consumed either way.
+    pub fn drain(&mut self) -> Result<ServeReport> {
+        let mut queries = std::mem::take(&mut self.pending);
+        queries.sort_by_key(|p| (p.arrival, p.ticket.0));
+
+        let k = self.cfg.k;
+        let n_shards = self.shards.len();
+        let mut queue_cfg = self
+            .cfg
+            .queue
+            .clone()
+            .with_max_batch(self.cfg.max_batch.clamp(1, MAX_BATCH))
+            .with_max_batch_wait(self.cfg.batch_window);
+        if let Some(policy) = self.cfg.retry {
+            queue_cfg = queue_cfg.with_retry(policy);
+        }
+        let ttl = self.cfg.ttl;
+
+        // Borrow order matters: the per-shard closures capture these
+        // cells, so they must outlive the cluster that owns the closures.
+        let hbm_cells: Vec<RefCell<&mut MemorySystem>> =
+            self.hbms.iter_mut().map(RefCell::new).collect();
+        let shards = &self.shards;
+        let keys: Vec<_> = shards
+            .iter()
+            .map(|sh| retrieval_batch_key(&sh.store, k))
+            .collect();
+        let mut cluster = DeviceCluster::new(
+            self.devices.iter_mut().collect(),
+            queue_cfg,
+            // Scatter-gather pins every submission to its shard; the
+            // router is not consulted.
+            RoutePolicy::RoundRobin,
+        )?;
+
+        let mut tickets: HashMap<(usize, TaskHandle), (QueryTicket, Duration)> = HashMap::new();
+        for p in queries {
+            for (s, shard) in shards.iter().enumerate() {
+                let hbm = &hbm_cells[s];
+                let run = Box::new(move |dev: &mut ApuDevice, payloads| {
+                    let mut hbm = hbm.borrow_mut();
+                    run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
+                });
+                let payload = Box::new(p.query.clone());
+                let handle = match ttl {
+                    Some(ttl) => cluster.submit_batchable_with_ttl_to(
+                        s,
+                        self.cfg.priority,
+                        p.arrival,
+                        ttl,
+                        keys[s],
+                        payload,
+                        run,
+                    ),
+                    None => cluster.submit_batchable_to(
+                        s,
+                        self.cfg.priority,
+                        p.arrival,
+                        keys[s],
+                        payload,
+                        run,
+                    ),
+                }?;
+                tickets.insert((handle.shard(), handle.task()), (p.ticket, p.arrival));
+            }
+        }
+
+        let cluster_report = cluster.drain()?;
+        let queue = cluster_report.merged_stats();
+        let mut shard_stats = Vec::with_capacity(n_shards);
+        // Gather each query's per-shard completions, in shard order
+        // (shards drain in order, so pushing preserves it).
+        let mut gathered: HashMap<u64, (Duration, Vec<Completion>)> = HashMap::new();
+        for drained in cluster_report.shards {
+            let shard = drained.shard;
+            shard_stats.push(drained.stats);
+            for done in drained.completions {
+                let (ticket, arrival) = tickets
+                    .remove(&(shard, done.handle))
+                    .expect("every completion maps to a submitted query");
+                gathered
+                    .entry(ticket.0)
+                    .or_insert_with(|| (arrival, Vec::new()))
+                    .1
+                    .push(done);
+            }
+        }
+
+        let mut completions = Vec::with_capacity(gathered.len());
+        for (ticket, (arrival, parts)) in gathered {
+            debug_assert_eq!(parts.len(), n_shards);
+            let started_at = parts.iter().map(|c| c.started_at).min().unwrap_or_default();
+            let finished_at = parts
+                .iter()
+                .map(|c| c.finished_at)
+                .max()
+                .unwrap_or_default();
+            let attempts = parts.iter().map(|c| c.attempts).max().unwrap_or(1);
+            let critical = parts
+                .iter()
+                .max_by_key(|c| c.finished_at)
+                .expect("a query fans out to at least one shard");
+            let stages = critical.stage_breakdown();
+            let batch_size = critical.batch_size;
+            let shards_total = parts.len();
+            let mut hits = Vec::new();
+            let mut shards_ok = 0;
+            let mut first_err = None;
+            for done in parts {
+                match done.into_output::<Vec<Hit>>() {
+                    Ok(shard_hits) => {
+                        shards_ok += 1;
+                        hits.extend(shard_hits);
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            let outcome = match first_err {
+                Some(e) if shards_ok == 0 => Err(e),
+                _ => Ok(top_k(hits, k)),
+            };
+            completions.push(QueryCompletion {
+                ticket: QueryTicket(ticket),
+                arrival,
+                started_at,
+                finished_at,
+                batch_size,
+                attempts,
+                stages,
+                shards_ok,
+                shards_total,
+                outcome,
+            });
+        }
+        completions.sort_by_key(|c| (c.finished_at, c.ticket.0));
+        Ok(ServeReport {
+            completions,
+            queue,
+            shards: shard_stats,
         })
     }
 }
@@ -480,6 +903,116 @@ mod tests {
             .unwrap();
         assert_eq!(max_seen, MAX_BATCH);
         assert_eq!(report.queue.dispatches, 2);
+    }
+
+    #[test]
+    fn sharded_serving_matches_the_single_device_top_k() {
+        let (mut dev, mut hbm, store) = setup(12_000);
+        let queries: Vec<Vec<i16>> = (0..4).map(|i| store.query(i)).collect();
+
+        let single = {
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+            for q in &queries {
+                server.submit(Duration::ZERO, q.clone()).unwrap();
+            }
+            server.drain().unwrap()
+        };
+
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let mut sharded = ShardedRagServer::new(&store, 3, sim, ServeConfig::default()).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        for q in &queries {
+            sharded.submit(Duration::ZERO, q.clone()).unwrap();
+        }
+        let report = sharded.drain().unwrap();
+
+        assert_eq!(report.completions.len(), 4);
+        assert_eq!(report.degraded(), 0);
+        let single_hits: HashMap<u64, &[Hit]> = single
+            .completions
+            .iter()
+            .map(|c| (c.ticket.id(), c.hits().expect("served")))
+            .collect();
+        for done in &report.completions {
+            assert_eq!((done.shards_ok, done.shards_total), (3, 3));
+            assert!(!done.is_degraded());
+            assert_eq!(
+                done.hits().expect("served"),
+                single_hits[&done.ticket.id()],
+                "query {}",
+                done.ticket.id()
+            );
+            assert_eq!(done.stages.total(), done.latency());
+        }
+        // Cluster counters count shard-tasks: 4 queries × 3 shards.
+        assert_eq!(report.queue.submitted, 12);
+        assert_eq!(report.shards.len(), 3);
+        assert!(report.shards.iter().all(|s| s.submitted == 4));
+    }
+
+    #[test]
+    fn percentile_of_an_empty_or_all_failed_report_is_zero() {
+        // Empty report: no queries at all.
+        let empty = ServeReport {
+            completions: Vec::new(),
+            queue: QueueStats::default(),
+            shards: Vec::new(),
+        };
+        assert_eq!(empty.latency_percentile(0.5), Duration::ZERO);
+        assert_eq!(empty.latency_percentile(0.99), Duration::ZERO);
+
+        // All-failed report: every dispatch faults, and no retries.
+        let (mut dev, mut hbm, store) = setup(4096);
+        dev.inject_faults(FaultPlan::new(3).fail_every_kth_task(1));
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+        for i in 0..3 {
+            server
+                .submit(Duration::from_micros(i * 10), store.query(i))
+                .unwrap();
+        }
+        let report = server.drain().unwrap();
+        assert_eq!(report.served(), 0);
+        assert_eq!(report.failed(), 3);
+        assert_eq!(report.latency_percentile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn a_faulted_shard_degrades_queries_instead_of_failing_them() {
+        let store = EmbeddingStore::materialized(
+            CorpusSpec {
+                corpus_bytes: 0,
+                chunks: 6_000,
+            },
+            77,
+        );
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let mut sharded = ShardedRagServer::new(&store, 3, sim, ServeConfig::default()).unwrap();
+        // Shard 1 fails every dispatch; no retries configured.
+        sharded.inject_faults(1, apu_sim::FaultPlan::new(7).fail_every_kth_task(1));
+        for i in 0..4 {
+            sharded.submit(Duration::ZERO, store.query(i)).unwrap();
+        }
+        let report = sharded.drain().unwrap();
+        assert_eq!(report.served(), 4);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.degraded(), 4);
+        let healthy: Vec<_> = sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != 1)
+            .flat_map(|(_, sh)| sh.range())
+            .collect();
+        for done in &report.completions {
+            assert_eq!((done.shards_ok, done.shards_total), (2, 3));
+            assert!(done.is_degraded());
+            // Hits come only from the healthy shards' chunk ranges.
+            for h in done.hits().unwrap() {
+                assert!(healthy.contains(&h.chunk), "chunk {}", h.chunk);
+            }
+        }
+        assert_eq!(report.shards[1].failed, 4);
+        assert_eq!(report.shards[0].failed + report.shards[2].failed, 0);
     }
 
     #[test]

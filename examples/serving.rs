@@ -17,6 +17,11 @@
 //! as a Chrome `trace_event` file (load it at <https://ui.perfetto.dev>),
 //! and `SERVE_METRICS_OUT=/path/to/metrics.txt` to dump the batched
 //! run's queue counters in the Prometheus text format.
+//!
+//! The sharded section replays part of the stream on a four-device
+//! [`rag::ShardedRagServer`] and checks the merged top-k against the
+//! single-device run; `SERVE_SHARD_TRACE_OUT=/path/to/trace.json`
+//! exports its timeline with one Perfetto track group per shard.
 
 use std::time::Duration;
 
@@ -26,7 +31,7 @@ use apu_sim::{
 };
 use hbm_sim::{DramSpec, MemorySystem};
 use phoenix::{histogram, OptConfig};
-use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig};
+use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig, ShardedRagServer};
 
 fn main() -> Result<(), apu_sim::Error> {
     let mut dev = ApuDevice::try_new(SimConfig::default().with_l4_bytes(16 << 20))?;
@@ -161,7 +166,55 @@ fn main() -> Result<(), apu_sim::Error> {
         );
     }
 
-    // ---- 5. export the recorded device timeline, if requested ----
+    // ---- 5. sharded serving: the same corpus across four devices ----
+    // The corpus splits into four contiguous shards, each on its own
+    // simulated device; every query fans out to all shards and the
+    // per-shard top-k results merge into the exact global top-k — the
+    // hits match the single-device server bit for bit.
+    let sharded_report = {
+        let mut sharded = ShardedRagServer::new(
+            &store,
+            4,
+            SimConfig::default().with_l4_bytes(16 << 20),
+            ServeConfig::default(),
+        )?;
+        if std::env::var_os("SERVE_SHARD_TRACE_OUT").is_some() {
+            sharded.enable_tracing();
+        }
+        for (i, q) in queries.iter().take(24).enumerate() {
+            sharded.submit(Duration::from_micros(50 * i as u64), q.clone())?;
+        }
+        let report = sharded.drain()?;
+        if let Some(path) = std::env::var_os("SERVE_SHARD_TRACE_OUT") {
+            let json = sharded
+                .take_chrome_trace()
+                .expect("tracing was enabled before the drain");
+            std::fs::write(&path, json).expect("write shard trace file");
+            println!(
+                "wrote per-shard trace groups to {} (open in https://ui.perfetto.dev)",
+                path.to_string_lossy(),
+            );
+        }
+        report
+    };
+    println!(
+        "sharded x4: {} served / {} degraded, p99 {:.2} ms, {} shard queues",
+        sharded_report.served(),
+        sharded_report.degraded(),
+        sharded_report.latency_percentile(0.99).as_secs_f64() * 1e3,
+        sharded_report.shards.len(),
+    );
+    let single_hits: std::collections::HashMap<u64, &[rag::Hit]> = report
+        .completions
+        .iter()
+        .filter_map(|c| c.hits().map(|h| (c.ticket.id(), h)))
+        .collect();
+    assert!(sharded_report.completions.iter().all(|c| {
+        c.hits().expect("fault-free sharded run serves everything") == single_hits[&c.ticket.id()]
+    }));
+    println!("  merged shard top-k matches the single-device server exactly");
+
+    // ---- 6. export the recorded device timeline, if requested ----
     if let Some((path, recorder)) = trace {
         dev.clear_trace_sink();
         let sink = recorder.borrow();

@@ -19,7 +19,7 @@ use apu_sim::{
     SimConfig, VecOp,
 };
 use hbm_sim::{DramSpec, MemorySystem};
-use rag::{CorpusSpec, EmbeddingStore, Hit, RagServer, ServeConfig, ServeReport};
+use rag::{CorpusSpec, EmbeddingStore, Hit, RagServer, ServeConfig, ServeReport, ShardedRagServer};
 
 fn mode() -> ExecMode {
     ExecMode::from_env(ExecMode::Functional)
@@ -227,6 +227,106 @@ fn deadline_expired_queries_never_dispatch() {
     }
     // Shed queries do not inflate dispatch counters.
     assert_eq!(report.queue.dispatches as usize, report.served());
+}
+
+/// Runs `queries` through a three-shard cluster; `fault_shard` arms a
+/// fail-every-dispatch plan on that one shard.
+fn serve_sharded(
+    st: &EmbeddingStore,
+    queries: &[Vec<i16>],
+    fault_shard: Option<usize>,
+) -> ServeReport {
+    let mut server = ShardedRagServer::new(
+        st,
+        3,
+        SimConfig::default()
+            .with_exec_mode(mode())
+            .with_l4_bytes(8 << 20),
+        ServeConfig::default(),
+    )
+    .expect("cluster construction");
+    if let Some(shard) = fault_shard {
+        server.inject_faults(shard, FaultPlan::new(7).fail_every_kth_task(1));
+    }
+    for (i, q) in queries.iter().enumerate() {
+        server
+            .submit(Duration::from_micros(20 * i as u64), q.clone())
+            .expect("submission under capacity");
+    }
+    server.drain().expect("drain never aborts on shard failure")
+}
+
+/// A fully faulted shard in a three-shard cluster is contained to that
+/// shard: every query still serves (degraded, never failed), the healthy
+/// shards' completions are bitwise identical to the fault-free run, and
+/// the cluster-level accounting balances — queries split cleanly into
+/// served vs failed, shard-task counters into completed vs failed.
+#[test]
+fn faulted_shard_degrades_queries_and_leaves_other_shards_bitwise_identical() {
+    let st = store(9_000);
+    let queries: Vec<Vec<i16>> = (0..10).map(|i| st.query(300 + i)).collect();
+    let clean = serve_sharded(&st, &queries, None);
+    let faulted = serve_sharded(&st, &queries, Some(1));
+
+    // Query-level accounting balances: everything retires, nothing
+    // fails — losing one of three shards degrades, it does not fail.
+    assert_eq!(faulted.completions.len(), queries.len());
+    assert_eq!(faulted.served() + faulted.failed(), queries.len());
+    assert_eq!(faulted.served(), queries.len());
+    assert_eq!(faulted.failed(), 0);
+    assert_eq!(faulted.degraded(), queries.len());
+    for c in &faulted.completions {
+        assert_eq!((c.shards_ok, c.shards_total), (2, 3));
+        assert!(c.is_degraded(), "query {} must be flagged", c.ticket.id());
+    }
+
+    // Shard-task accounting: only shard 1 fails, and exactly once per
+    // query; the cluster aggregate is the sum of the shard queues.
+    assert_eq!(faulted.shards[1].failed as usize, queries.len());
+    assert_eq!(faulted.shards[0].failed + faulted.shards[2].failed, 0);
+    assert_eq!(faulted.shards[0].completed as usize, queries.len());
+    assert_eq!(faulted.shards[2].completed as usize, queries.len());
+    assert_eq!(
+        faulted.queue.completed + faulted.queue.failed,
+        faulted.shards.iter().map(|s| s.completed + s.failed).sum()
+    );
+
+    // The healthy shards never see the fault: their queue counters and
+    // their hits match the fault-free run exactly.
+    for shard in [0usize, 2] {
+        assert_eq!(
+            faulted.shards[shard].completed, clean.shards[shard].completed,
+            "shard {shard} accounting diverged"
+        );
+    }
+    if mode().is_functional() {
+        // Degraded hits are exact over the healthy shards: re-rank the
+        // fault-free (full-corpus) hits without shard 1's chunk range
+        // and the result must match bitwise.
+        let shard1 = st.shards(3)[1].range();
+        let clean_hits = hits_by_ticket(&clean);
+        for c in &faulted.completions {
+            let hits = c.hits().expect("served");
+            assert!(
+                hits.iter().all(|h| !shard1.contains(&h.chunk)),
+                "query {} leaked hits from the faulted shard",
+                c.ticket.id()
+            );
+            // Full-corpus hits that already avoid shard 1 must survive
+            // unchanged at the head of the degraded ranking.
+            let expected_head: Vec<Hit> = clean_hits[&c.ticket.id()]
+                .iter()
+                .filter(|h| !shard1.contains(&h.chunk))
+                .copied()
+                .collect();
+            assert_eq!(
+                &hits[..expected_head.len()],
+                &expected_head[..],
+                "query {} reordered surviving hits",
+                c.ticket.id()
+            );
+        }
+    }
 }
 
 /// Retries are bounded by the policy and fully deterministic: the same

@@ -1,0 +1,187 @@
+//! Differential / property tests for sharded retrieval: for any corpus,
+//! query set, `k`, and shard count, the merged per-shard top-k must be
+//! element-identical — ids AND scores, with the global tie-break (score
+//! descending, chunk ascending) — to the single-device top-k over the
+//! whole corpus.
+//!
+//! Two layers of evidence:
+//!
+//! * a cheap pure-CPU property (many cases): shard [`cpu_retrieve`]
+//!   results, globalize the chunk ids, merge with [`top_k`] — equals
+//!   [`cpu_retrieve`] on the unsharded store;
+//! * a device differential (fewer cases, functional simulation): a full
+//!   [`rag::ShardedRagServer`] drain — fan-out, per-shard continuous
+//!   batching, scatter-gather merge — equals the synchronous
+//!   single-device [`retrieve_batch`] on the whole corpus.
+//!
+//! The CI shard axis (`APU_SIM_TEST_SHARDS`) picks the cluster width for
+//! the end-to-end case; the properties sweep shard counts 1..=8 on their
+//! own.
+
+use std::time::Duration;
+
+use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use hbm_sim::{DramSpec, MemorySystem};
+use proptest::prelude::*;
+use rag::cpu::{cpu_retrieve, top_k};
+use rag::{retrieve_batch, CorpusSpec, EmbeddingStore, Hit, ServeConfig, ShardedRagServer};
+
+fn store(chunks: usize, seed: u64) -> EmbeddingStore {
+    EmbeddingStore::materialized(
+        CorpusSpec {
+            corpus_bytes: 0,
+            chunks,
+        },
+        seed,
+    )
+}
+
+/// Merges per-shard CPU retrievals into a global top-k: retrieve on each
+/// shard's local store, lift hits to global chunk ids, and re-rank.
+fn sharded_cpu_top_k(st: &EmbeddingStore, query: &[i16], k: usize, shards: usize) -> Vec<Hit> {
+    let mut merged = Vec::new();
+    for shard in st.shards(shards) {
+        if shard.store.spec().chunks == 0 {
+            continue;
+        }
+        let (hits, _) = cpu_retrieve(&shard.store, query, k, 2);
+        merged.extend(hits.into_iter().map(|h| Hit {
+            chunk: h.chunk + shard.base,
+            score: h.score,
+        }));
+    }
+    top_k(merged, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pure-CPU merge property, cheap enough for a wide sweep: for any
+    /// corpus, seed, k 1..=8, and shard count 1..=8 (including counts
+    /// that leave trailing shards empty), the sharded merge is
+    /// element-identical to the unsharded scan.
+    #[test]
+    fn sharded_cpu_merge_equals_global_top_k(
+        chunks in 1usize..600,
+        seed in 0u64..1_000,
+        k in 1usize..=8,
+        shards in 1usize..=8,
+        query_id in 0u64..100,
+    ) {
+        let st = store(chunks, seed);
+        let query = st.query(query_id);
+        let (expected, _) = cpu_retrieve(&st, &query, k, 2);
+        let merged = sharded_cpu_top_k(&st, &query, k, shards);
+        prop_assert_eq!(merged, expected, "chunks={} shards={} k={}", chunks, shards, k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Device differential: a full sharded serve — per-shard devices,
+    /// continuous batching, scatter-gather merge — returns exactly the
+    /// hits of the synchronous single-device batch kernel on the whole
+    /// corpus, for every query, with ids and scores intact.
+    #[test]
+    fn sharded_server_matches_single_device_retrieval(
+        chunks in 64usize..=1024,
+        k in 1usize..=8,
+        shards in 1usize..=8,
+        nq in 1usize..=3,
+    ) {
+        let st = store(chunks, 77);
+        let queries: Vec<Vec<i16>> = (0..nq as u64).map(|i| st.query(i)).collect();
+
+        // Synchronous single-device reference on the unsharded corpus.
+        let mut dev = ApuDevice::new(
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+        );
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let reference = retrieve_batch(&mut dev, &mut hbm, &st, &queries, k)
+            .expect("reference retrieval");
+
+        let mut server = ShardedRagServer::new(
+            &st,
+            shards,
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+            ServeConfig {
+                k,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("cluster construction");
+        for (i, q) in queries.iter().enumerate() {
+            server
+                .submit(Duration::from_micros(10 * i as u64), q.clone())
+                .expect("submit");
+        }
+        let report = server.drain().expect("drain");
+
+        prop_assert_eq!(report.completions.len(), nq);
+        prop_assert_eq!(report.served(), nq);
+        prop_assert_eq!(report.degraded(), 0);
+        for done in &report.completions {
+            prop_assert_eq!(
+                done.hits().expect("served"),
+                &reference.hits[done.ticket.id() as usize][..],
+                "query {} diverged: chunks={} shards={} k={}",
+                done.ticket.id(), chunks, shards, k
+            );
+        }
+    }
+}
+
+/// End-to-end check on the CI shard axis: `APU_SIM_TEST_SHARDS` (default
+/// 3) sets the cluster width, `APU_SIM_TEST_MODE` the simulation mode.
+/// Scheduling/accounting assertions hold in both modes; hit equality is
+/// gated on functional execution.
+#[test]
+fn ci_shard_axis_serves_the_full_stream() {
+    let shards: usize = std::env::var("APU_SIM_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3);
+    let mode = ExecMode::from_env(ExecMode::Functional);
+    let st = store(6_000, 42);
+    let queries: Vec<Vec<i16>> = (0..12).map(|i| st.query(i)).collect();
+
+    let mut server = ShardedRagServer::new(
+        &st,
+        shards,
+        SimConfig::default()
+            .with_exec_mode(mode)
+            .with_l4_bytes(8 << 20),
+        ServeConfig::default(),
+    )
+    .expect("cluster construction");
+    for (i, q) in queries.iter().enumerate() {
+        server
+            .submit(Duration::from_micros(25 * i as u64), q.clone())
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+
+    assert_eq!(report.completions.len(), queries.len());
+    assert_eq!(report.served(), queries.len());
+    assert_eq!(report.shards.len(), shards);
+    for shard_stats in &report.shards {
+        assert_eq!(shard_stats.submitted as usize, queries.len());
+        assert_eq!(shard_stats.completed as usize, queries.len());
+    }
+    for done in &report.completions {
+        assert_eq!((done.shards_ok, done.shards_total), (shards, shards));
+        assert_eq!(done.stages.total(), done.latency());
+    }
+    if mode.is_functional() {
+        for done in &report.completions {
+            let expected = sharded_cpu_top_k(&st, &queries[done.ticket.id() as usize], 5, 1);
+            assert_eq!(done.hits().expect("served"), &expected[..]);
+        }
+    }
+}
