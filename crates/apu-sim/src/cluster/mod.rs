@@ -13,16 +13,17 @@
 //!   order (stateless load spreading),
 //! * [`RoutePolicy::LeastOutstanding`] — pick the shard with the
 //!   smallest not-yet-dispatched backlog (join-the-shortest-queue),
-//! * [`RoutePolicy::ConsistentHash`] — map each [`BatchKey`] to a stable
-//!   shard with a jump consistent hash, so same-key work always lands
-//!   where its batch mates are and continuous batching keeps coalescing
-//!   across the cluster.
+//! * [`RoutePolicy::ConsistentHash`] — map each [`crate::BatchKey`] to a
+//!   stable shard with a jump consistent hash, so same-key work always
+//!   lands where its batch mates are and continuous batching keeps
+//!   coalescing across the cluster.
 //!
-//! Explicit placement (`*_to` submission variants) bypasses the router:
-//! scatter-gather callers — e.g. `rag`'s sharded server, which fans each
-//! query to **every** shard and merges per-shard top-k — address shards
-//! directly and use [`DeviceCluster::scatter`] / [`DeviceCluster::drain`]
-//! for the fan-out/fan-in.
+//! All submissions flow through [`DeviceCluster::submit`] with a
+//! [`TaskSpec`]. Explicit placement ([`TaskSpec::on_shard`]) bypasses
+//! the router: scatter-gather callers — e.g. `rag`'s sharded server,
+//! which fans each query to **every** shard and merges per-shard top-k —
+//! address shards directly and use [`DeviceCluster::scatter`] /
+//! [`DeviceCluster::drain`] for the fan-out/fan-in.
 //!
 //! Shards never share state: a fault plan armed on one device, a retry
 //! storm, or a TTL shed on one shard cannot perturb another shard's
@@ -31,138 +32,23 @@
 //! [`QueueStats`] and [`QueueStats::merge`] folds them into one block
 //! for fleet-level metrics.
 
+mod report;
+mod routing;
+
+pub use report::{ClusterHandle, ClusterReport, ShardDrain};
+pub use routing::RoutePolicy;
+
 use std::any::Any;
 use std::time::Duration;
 
 use crate::device::ApuDevice;
 use crate::error::Error;
-use crate::queue::{
-    BatchKey, BatchRunner, Completion, DeviceQueue, Job, Priority, QueueConfig, TaskHandle,
-};
+use crate::queue::{BatchKey, BatchRunner, Completion, DeviceQueue, Job, Priority, QueueConfig};
+use crate::spec::TaskSpec;
 use crate::stats::QueueStats;
 use crate::Result;
 
-/// How a [`DeviceCluster`] places router-submitted work onto shards.
-///
-/// Explicit `*_to` submissions always bypass the policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RoutePolicy {
-    /// Rotate through shards in submission order.
-    #[default]
-    RoundRobin,
-    /// Pick the shard with the smallest pending backlog (ties go to the
-    /// lowest shard index).
-    LeastOutstanding,
-    /// Map each [`BatchKey`] to a stable shard (jump consistent hash),
-    /// so same-key submissions coalesce on one device. Non-batchable
-    /// submissions carry no key and fall back to round-robin.
-    ConsistentHash,
-}
-
-/// Identifier of a task submitted through a [`DeviceCluster`]: the shard
-/// it was placed on plus the shard-local [`TaskHandle`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ClusterHandle {
-    shard: usize,
-    task: TaskHandle,
-}
-
-impl ClusterHandle {
-    /// The shard the task was placed on.
-    pub fn shard(self) -> usize {
-        self.shard
-    }
-
-    /// The shard-local queue handle.
-    pub fn task(self) -> TaskHandle {
-        self.task
-    }
-}
-
-/// One shard's drained output: its retired completions (in retire order)
-/// and its queue counters.
-#[derive(Debug)]
-pub struct ShardDrain {
-    /// The shard index within the cluster.
-    pub shard: usize,
-    /// Every completion the shard's queue retired during the drain.
-    pub completions: Vec<Completion>,
-    /// The shard queue's cumulative counters.
-    pub stats: QueueStats,
-}
-
-/// Fan-in result of [`DeviceCluster::drain`]: per-shard completions and
-/// stats, in shard order.
-#[derive(Debug)]
-pub struct ClusterReport {
-    /// One entry per shard, in shard order.
-    pub shards: Vec<ShardDrain>,
-}
-
-impl ClusterReport {
-    /// Total completions across all shards.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.completions.len()).sum()
-    }
-
-    /// Whether no shard retired anything.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Iterates `(shard, completion)` pairs in shard order.
-    pub fn completions(&self) -> impl Iterator<Item = (usize, &Completion)> {
-        self.shards
-            .iter()
-            .flat_map(|s| s.completions.iter().map(move |c| (s.shard, c)))
-    }
-
-    /// Removes and returns the completion of one cluster handle, or
-    /// `None` if it already retired elsewhere (or never existed).
-    pub fn take(&mut self, handle: ClusterHandle) -> Option<Completion> {
-        let shard = self.shards.get_mut(handle.shard)?;
-        let at = shard
-            .completions
-            .iter()
-            .position(|c| c.handle == handle.task)?;
-        Some(shard.completions.remove(at))
-    }
-
-    /// Folds the per-shard counters into one cluster-wide block (see
-    /// [`QueueStats::merge`] for the aggregation semantics).
-    pub fn merged_stats(&self) -> QueueStats {
-        let mut total = QueueStats::default();
-        for s in &self.shards {
-            total.merge(&s.stats);
-        }
-        total
-    }
-}
-
-/// SplitMix64 finalizer: decorrelates adjacent key values before they
-/// reach the consistent-hash bucketing.
-fn mix64(v: u64) -> u64 {
-    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Jump consistent hash (Lamping & Veach): maps `key` to a bucket in
-/// `[0, buckets)` such that growing the bucket count relocates only
-/// `1/buckets` of the keys. Deterministic, stateless, O(ln buckets).
-fn jump_hash(mut key: u64, buckets: usize) -> usize {
-    debug_assert!(buckets > 0);
-    let mut b: i64 = -1;
-    let mut j: i64 = 0;
-    while j < buckets as i64 {
-        b = j;
-        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
-        j = ((b.wrapping_add(1) as f64)
-            * ((1u64 << 31) as f64 / ((key >> 33).wrapping_add(1) as f64))) as i64;
-    }
-    b as usize
-}
+use routing::{jump_hash, mix64};
 
 /// A cluster of independent simulated APU devices behind one router.
 ///
@@ -172,7 +58,9 @@ fn jump_hash(mut key: u64, buckets: usize) -> usize {
 /// and tracing all work per shard exactly as on a single device.
 ///
 /// ```
-/// use apu_sim::{ApuDevice, DeviceCluster, Priority, QueueConfig, RoutePolicy, SimConfig, VecOp};
+/// use apu_sim::{
+///     ApuDevice, DeviceCluster, QueueConfig, RoutePolicy, SimConfig, TaskSpec, VecOp,
+/// };
 ///
 /// # fn main() -> Result<(), apu_sim::Error> {
 /// let mut devs: Vec<ApuDevice> = (0..2)
@@ -184,13 +72,13 @@ fn jump_hash(mut key: u64, buckets: usize) -> usize {
 ///     RoutePolicy::RoundRobin,
 /// )?;
 /// for _ in 0..4 {
-///     cluster.submit_job(Priority::Normal, std::time::Duration::ZERO, |dev| {
+///     cluster.submit(TaskSpec::typed(|dev: &mut ApuDevice| {
 ///         let r = dev.run_task(|ctx| {
 ///             ctx.core_mut().charge(VecOp::AddU16);
 ///             Ok(())
 ///         })?;
 ///         Ok((r, ()))
-///     })?;
+///     }))?;
 /// }
 /// let report = cluster.drain()?;
 /// assert_eq!(report.len(), 4);
@@ -333,28 +221,55 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         Ok(())
     }
 
-    /// Router-placed [`DeviceQueue::submit_at`].
+    /// Submits the work described by a [`TaskSpec`] — the single entry
+    /// point of the cluster submission API. A pinned spec
+    /// ([`TaskSpec::on_shard`]) bypasses the router; otherwise the
+    /// [`RoutePolicy`] places it (batchable specs route by their key
+    /// under [`RoutePolicy::ConsistentHash`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for a bad shard pin or zero weight,
+    /// or [`Error::QueueFull`] when the chosen shard's backlog bound is
+    /// hit.
+    pub fn submit(&mut self, spec: TaskSpec<'t>) -> Result<ClusterHandle> {
+        let shard = match spec.shard {
+            Some(s) => {
+                self.check_shard(s)?;
+                s
+            }
+            None => self.route(spec.batch_key()),
+        };
+        let task = self.nodes[shard].submit(spec)?;
+        Ok(ClusterHandle::new(shard, task))
+    }
+
+    /// Router-placed raw-job submission with an explicit arrival.
     ///
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the chosen shard's backlog
     /// bound is hit.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
     pub fn submit_at(
         &mut self,
         priority: Priority,
         arrival: Duration,
         job: Job<'t>,
     ) -> Result<ClusterHandle> {
-        let shard = self.route(None);
-        self.submit_to(shard, priority, arrival, job)
+        self.submit(TaskSpec::job(job).priority(priority).at(arrival))
     }
 
-    /// [`DeviceQueue::submit_at`] on an explicit shard.
+    /// Raw-job submission on an explicit shard.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidArg`] for a bad shard index or
     /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec` with `.on_shard(shard)` and call `submit(spec)`"
+    )]
     pub fn submit_to(
         &mut self,
         shard: usize,
@@ -362,17 +277,24 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         arrival: Duration,
         job: Job<'t>,
     ) -> Result<ClusterHandle> {
-        self.check_shard(shard)?;
-        let task = self.nodes[shard].submit_at(priority, arrival, job)?;
-        Ok(ClusterHandle { shard, task })
+        self.submit(
+            TaskSpec::job(job)
+                .priority(priority)
+                .at(arrival)
+                .on_shard(shard),
+        )
     }
 
-    /// Router-placed typed-output job (see [`DeviceQueue::submit_job`]).
+    /// Router-placed typed-output job.
     ///
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the chosen shard's backlog
     /// bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::typed` and call `submit(spec)`"
+    )]
     pub fn submit_job<T, F>(
         &mut self,
         priority: Priority,
@@ -383,22 +305,19 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         T: Any,
         F: FnOnce(&mut ApuDevice) -> Result<(crate::TaskReport, T)> + 't,
     {
-        self.submit_at(
-            priority,
-            arrival,
-            Box::new(move |dev| {
-                let (report, value) = job(dev)?;
-                Ok((report, Box::new(value) as Box<dyn Any>))
-            }),
-        )
+        self.submit(TaskSpec::typed(job).priority(priority).at(arrival))
     }
 
-    /// [`DeviceQueue::submit_with_ttl`] on an explicit shard.
+    /// Raw-job submission with a time-to-live on an explicit shard.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidArg`] for a bad shard index or
     /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec` with `.ttl(...)` / `.on_shard(...)` and call `submit(spec)`"
+    )]
     pub fn submit_with_ttl_to(
         &mut self,
         shard: usize,
@@ -407,12 +326,16 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         ttl: Duration,
         job: Job<'t>,
     ) -> Result<ClusterHandle> {
-        self.check_shard(shard)?;
-        let task = self.nodes[shard].submit_with_ttl(priority, arrival, ttl, job)?;
-        Ok(ClusterHandle { shard, task })
+        self.submit(
+            TaskSpec::job(job)
+                .priority(priority)
+                .at(arrival)
+                .ttl(ttl)
+                .on_shard(shard),
+        )
     }
 
-    /// Router-placed [`DeviceQueue::submit_batchable`]: under
+    /// Router-placed batchable submission: under
     /// [`RoutePolicy::ConsistentHash`] the key pins the shard, so
     /// same-key submissions keep coalescing into shared dispatches.
     ///
@@ -420,6 +343,10 @@ impl<'d, 't> DeviceCluster<'d, 't> {
     ///
     /// Returns [`Error::QueueFull`] when the chosen shard's backlog
     /// bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::batch` and call `submit(spec)`"
+    )]
     pub fn submit_batchable(
         &mut self,
         priority: Priority,
@@ -428,16 +355,23 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         payload: Box<dyn Any>,
         run: BatchRunner<'t>,
     ) -> Result<ClusterHandle> {
-        let shard = self.route(Some(key));
-        self.submit_batchable_to(shard, priority, arrival, key, payload, run)
+        self.submit(
+            TaskSpec::batch(key, payload, run)
+                .priority(priority)
+                .at(arrival),
+        )
     }
 
-    /// [`DeviceQueue::submit_batchable`] on an explicit shard.
+    /// Batchable submission on an explicit shard.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidArg`] for a bad shard index or
     /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::batch` with `.on_shard(shard)` and call `submit(spec)`"
+    )]
     pub fn submit_batchable_to(
         &mut self,
         shard: usize,
@@ -447,17 +381,24 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         payload: Box<dyn Any>,
         run: BatchRunner<'t>,
     ) -> Result<ClusterHandle> {
-        self.check_shard(shard)?;
-        let task = self.nodes[shard].submit_batchable(priority, arrival, key, payload, run)?;
-        Ok(ClusterHandle { shard, task })
+        self.submit(
+            TaskSpec::batch(key, payload, run)
+                .priority(priority)
+                .at(arrival)
+                .on_shard(shard),
+        )
     }
 
-    /// [`DeviceQueue::submit_batchable_with_ttl`] on an explicit shard.
+    /// Batchable submission with a time-to-live on an explicit shard.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidArg`] for a bad shard index or
     /// [`Error::QueueFull`] when that shard's backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::batch` with `.ttl(...)` / `.on_shard(...)` and call `submit(spec)`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn submit_batchable_with_ttl_to(
         &mut self,
@@ -469,10 +410,13 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         payload: Box<dyn Any>,
         run: BatchRunner<'t>,
     ) -> Result<ClusterHandle> {
-        self.check_shard(shard)?;
-        let task = self.nodes[shard]
-            .submit_batchable_with_ttl(priority, arrival, ttl, key, payload, run)?;
-        Ok(ClusterHandle { shard, task })
+        self.submit(
+            TaskSpec::batch(key, payload, run)
+                .priority(priority)
+                .at(arrival)
+                .ttl(ttl)
+                .on_shard(shard),
+        )
     }
 
     /// Scatter: submits one job per shard (built by `make`, which
@@ -495,7 +439,14 @@ impl<'d, 't> DeviceCluster<'d, 't> {
         F: FnMut(usize) -> Job<'t>,
     {
         (0..self.nodes.len())
-            .map(|shard| self.submit_to(shard, priority, arrival, make(shard)))
+            .map(|shard| {
+                self.submit(
+                    TaskSpec::job(make(shard))
+                        .priority(priority)
+                        .at(arrival)
+                        .on_shard(shard),
+                )
+            })
             .collect()
     }
 
@@ -507,8 +458,8 @@ impl<'d, 't> DeviceCluster<'d, 't> {
     /// Returns [`Error::InvalidArg`] for a bad shard index or an unknown
     /// handle on that shard.
     pub fn wait(&mut self, handle: ClusterHandle) -> Result<&Completion> {
-        self.check_shard(handle.shard)?;
-        self.nodes[handle.shard].wait(handle.task)
+        self.check_shard(handle.shard())?;
+        self.nodes[handle.shard()].wait(handle.task())
     }
 
     /// Gather: drains every shard's queue to completion (each on its own
@@ -574,11 +525,7 @@ mod tests {
         )
         .unwrap();
         let handles: Vec<ClusterHandle> = (0..9)
-            .map(|i| {
-                cluster
-                    .submit_at(Priority::Normal, Duration::ZERO, charge_job(i))
-                    .unwrap()
-            })
+            .map(|i| cluster.submit(TaskSpec::job(charge_job(i))).unwrap())
             .collect();
         for (i, h) in handles.iter().enumerate() {
             assert_eq!(h.shard(), i % 3);
@@ -604,19 +551,15 @@ mod tests {
         // then prefer shard 1 until the backlogs level out.
         for i in 0..4 {
             cluster
-                .submit_to(0, Priority::Normal, Duration::ZERO, charge_job(i))
+                .submit(TaskSpec::job(charge_job(i)).on_shard(0))
                 .unwrap();
         }
         for i in 0..4 {
-            let h = cluster
-                .submit_at(Priority::Normal, Duration::ZERO, charge_job(100 + i))
-                .unwrap();
+            let h = cluster.submit(TaskSpec::job(charge_job(100 + i))).unwrap();
             assert_eq!(h.shard(), 1, "submission {i} must go to the idle shard");
         }
         // Backlogs now equal: ties go to the lowest index.
-        let h = cluster
-            .submit_at(Priority::Normal, Duration::ZERO, charge_job(200))
-            .unwrap();
+        let h = cluster.submit(TaskSpec::job(charge_job(200))).unwrap();
         assert_eq!(h.shard(), 0);
     }
 
@@ -641,22 +584,18 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for key in 0..64u64 {
             let a = cluster
-                .submit_batchable(
-                    Priority::Normal,
-                    Duration::ZERO,
+                .submit(TaskSpec::batch(
                     BatchKey::new(key),
                     Box::new(()),
                     noop_runner(),
-                )
+                ))
                 .unwrap();
             let b = cluster
-                .submit_batchable(
-                    Priority::Normal,
-                    Duration::ZERO,
+                .submit(TaskSpec::batch(
                     BatchKey::new(key),
                     Box::new(()),
                     noop_runner(),
-                )
+                ))
                 .unwrap();
             assert_eq!(a.shard(), b.shard(), "key {key} must pin one shard");
             seen.insert(a.shard());
@@ -668,6 +607,28 @@ mod tests {
         assert_eq!(merged.submitted, 128);
         assert_eq!(merged.completed, 128);
         assert!(merged.max_batch_size >= 2, "pinned keys must batch");
+    }
+
+    #[test]
+    fn pinned_specs_bypass_the_router_and_bad_pins_error() {
+        let mut devs = devices(3);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        // Pins don't advance the round-robin cursor.
+        let pinned = cluster
+            .submit(TaskSpec::job(charge_job(1)).on_shard(2))
+            .unwrap();
+        assert_eq!(pinned.shard(), 2);
+        let routed = cluster.submit(TaskSpec::job(charge_job(2))).unwrap();
+        assert_eq!(routed.shard(), 0, "router starts at shard 0 regardless");
+        assert!(matches!(
+            cluster.submit(TaskSpec::job(charge_job(3)).on_shard(9)),
+            Err(Error::InvalidArg(_))
+        ));
     }
 
     #[test]
@@ -708,12 +669,7 @@ mod tests {
             .inject_faults(crate::FaultPlan::new(3).fail_every_kth_task(1));
         for i in 0..4 {
             cluster
-                .submit_to(
-                    i % 2,
-                    Priority::Normal,
-                    Duration::ZERO,
-                    charge_job(i as u32),
-                )
+                .submit(TaskSpec::job(charge_job(i as u32)).on_shard(i % 2))
                 .unwrap();
         }
         let report = cluster.drain().unwrap();
@@ -740,37 +696,15 @@ mod tests {
         )
         .unwrap();
         let a = cluster
-            .submit_to(0, Priority::Normal, Duration::ZERO, charge_job(7))
+            .submit(TaskSpec::job(charge_job(7)).on_shard(0))
             .unwrap();
         cluster
-            .submit_to(1, Priority::Normal, Duration::ZERO, charge_job(8))
+            .submit(TaskSpec::job(charge_job(8)).on_shard(1))
             .unwrap();
         let done = cluster.wait(a).unwrap();
         assert_eq!(done.output::<u32>(), Some(&7));
         assert_eq!(cluster.node(1).pending(), 1, "shard 1 still holds its job");
-        let bad = ClusterHandle {
-            shard: 9,
-            task: a.task(),
-        };
+        let bad = ClusterHandle::new(9, a.task());
         assert!(cluster.wait(bad).is_err());
-    }
-
-    #[test]
-    fn jump_hash_is_consistent_under_growth() {
-        // Growing the cluster must relocate only a fraction of keys.
-        let keys: Vec<u64> = (0..512).map(mix64).collect();
-        let moved = keys
-            .iter()
-            .filter(|&&k| jump_hash(k, 4) != jump_hash(k, 5))
-            .count();
-        assert!(moved > 0, "some keys must move");
-        assert!(
-            moved < 512 / 3,
-            "jump hash must relocate ~1/5 of keys, moved {moved}"
-        );
-        for &k in &keys {
-            assert_eq!(jump_hash(k, 1), 0);
-            assert!(jump_hash(k, 7) < 7);
-        }
     }
 }

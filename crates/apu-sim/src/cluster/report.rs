@@ -1,0 +1,89 @@
+//! Fan-in types of a cluster drain: per-shard handles, drained
+//! completions, and merged fleet counters.
+
+use crate::queue::{Completion, TaskHandle};
+use crate::stats::QueueStats;
+
+/// Identifier of a task submitted through a [`crate::DeviceCluster`]:
+/// the shard it was placed on plus the shard-local [`TaskHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterHandle {
+    shard: usize,
+    task: TaskHandle,
+}
+
+impl ClusterHandle {
+    pub(crate) fn new(shard: usize, task: TaskHandle) -> Self {
+        ClusterHandle { shard, task }
+    }
+
+    /// The shard the task was placed on.
+    pub fn shard(self) -> usize {
+        self.shard
+    }
+
+    /// The shard-local queue handle.
+    pub fn task(self) -> TaskHandle {
+        self.task
+    }
+}
+
+/// One shard's drained output: its retired completions (in retire order)
+/// and its queue counters.
+#[derive(Debug)]
+pub struct ShardDrain {
+    /// The shard index within the cluster.
+    pub shard: usize,
+    /// Every completion the shard's queue retired during the drain.
+    pub completions: Vec<Completion>,
+    /// The shard queue's cumulative counters.
+    pub stats: QueueStats,
+}
+
+/// Fan-in result of [`crate::DeviceCluster::drain`]: per-shard
+/// completions and stats, in shard order.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardDrain>,
+}
+
+impl ClusterReport {
+    /// Total completions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.completions.len()).sum()
+    }
+
+    /// Whether no shard retired anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(shard, completion)` pairs in shard order.
+    pub fn completions(&self) -> impl Iterator<Item = (usize, &Completion)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.completions.iter().map(move |c| (s.shard, c)))
+    }
+
+    /// Removes and returns the completion of one cluster handle, or
+    /// `None` if it already retired elsewhere (or never existed).
+    pub fn take(&mut self, handle: ClusterHandle) -> Option<Completion> {
+        let shard = self.shards.get_mut(handle.shard())?;
+        let at = shard
+            .completions
+            .iter()
+            .position(|c| c.handle == handle.task())?;
+        Some(shard.completions.remove(at))
+    }
+
+    /// Folds the per-shard counters into one cluster-wide block (see
+    /// [`QueueStats::merge`] for the aggregation semantics).
+    pub fn merged_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+}

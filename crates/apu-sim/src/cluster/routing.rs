@@ -1,0 +1,72 @@
+//! Placement policy of router-submitted work: the [`RoutePolicy`] enum
+//! and the stateless hashing primitives behind
+//! [`RoutePolicy::ConsistentHash`].
+
+/// How a [`crate::DeviceCluster`] places router-submitted work onto
+/// shards.
+///
+/// Explicit placement ([`crate::TaskSpec::on_shard`]) always bypasses
+/// the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Rotate through shards in submission order.
+    #[default]
+    RoundRobin,
+    /// Pick the shard with the smallest pending backlog (ties go to the
+    /// lowest shard index).
+    LeastOutstanding,
+    /// Map each [`crate::BatchKey`] to a stable shard (jump consistent
+    /// hash), so same-key submissions coalesce on one device.
+    /// Non-batchable submissions carry no key and fall back to
+    /// round-robin.
+    ConsistentHash,
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent key values before they
+/// reach the consistent-hash bucketing.
+pub(crate) fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Jump consistent hash (Lamping & Veach): maps `key` to a bucket in
+/// `[0, buckets)` such that growing the bucket count relocates only
+/// `1/buckets` of the keys. Deterministic, stateless, O(ln buckets).
+pub(crate) fn jump_hash(mut key: u64, buckets: usize) -> usize {
+    debug_assert!(buckets > 0);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = ((b.wrapping_add(1) as f64)
+            * ((1u64 << 31) as f64 / ((key >> 33).wrapping_add(1) as f64))) as i64;
+    }
+    b as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_consistent_under_growth() {
+        // Growing the cluster must relocate only a fraction of keys.
+        let keys: Vec<u64> = (0..512).map(mix64).collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| jump_hash(k, 4) != jump_hash(k, 5))
+            .count();
+        assert!(moved > 0, "some keys must move");
+        assert!(
+            moved < 512 / 3,
+            "jump hash must relocate ~1/5 of keys, moved {moved}"
+        );
+        for &k in &keys {
+            assert_eq!(jump_hash(k, 1), 0);
+            assert!(jump_hash(k, 7) < 7);
+        }
+    }
+}

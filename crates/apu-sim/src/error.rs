@@ -75,6 +75,15 @@ pub enum Error {
     /// The fault-injection harness killed this operation (see
     /// [`crate::FaultPlan`]). Only produced when faults are armed.
     FaultInjected(String),
+    /// Cluster-level admission control shed this queued task to protect
+    /// higher-priority tail latency: the backlog exceeded the configured
+    /// watermark and the task was retired without dispatching.
+    AdmissionShed {
+        /// Backlog size observed when the task was shed.
+        backlog: usize,
+        /// The watermark the backlog exceeded.
+        watermark: usize,
+    },
 }
 
 impl Error {
@@ -133,6 +142,10 @@ impl fmt::Display for Error {
                 "task deadline exceeded: shed before dispatch (deadline {deadline:?})"
             ),
             Error::FaultInjected(msg) => write!(f, "injected fault: {msg}"),
+            Error::AdmissionShed { backlog, watermark } => write!(
+                f,
+                "admission control shed task: backlog {backlog} over watermark {watermark}"
+            ),
         }
     }
 }
@@ -182,6 +195,12 @@ mod tests {
         };
         assert!(!e.is_transient());
         assert!(e.to_string().contains("deadline"));
+        let e = Error::AdmissionShed {
+            backlog: 9,
+            watermark: 4,
+        };
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("watermark 4"));
     }
 
     #[test]

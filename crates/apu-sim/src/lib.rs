@@ -81,9 +81,11 @@ pub mod fault;
 pub mod mem;
 pub mod micro;
 pub mod queue;
+pub mod spec;
 pub mod stats;
 pub mod timing;
 pub mod trace;
+pub mod workload;
 
 pub use clock::{Cycles, Frequency};
 pub use cluster::{ClusterHandle, ClusterReport, DeviceCluster, RoutePolicy, ShardDrain};
@@ -99,12 +101,14 @@ pub use queue::{
     BatchKey, BatchOutput, Completion, DeviceQueue, Priority, QueueConfig, QueueStats, RetryPolicy,
     TaskHandle, TaskOutcome,
 };
-pub use stats::{LatencyReservoir, StageBreakdown, VcuStats};
+pub use spec::{AdmissionControl, SchedPolicy, TaskSpec, TenantId};
+pub use stats::{LatencyReservoir, StageBreakdown, TenantStats, VcuStats};
 pub use timing::{DeviceTiming, VecOp};
 pub use trace::{
     chrome_trace_json_grouped, ChromeTraceSink, FaultScope, SharedSink, TraceEvent, TraceEventKind,
     TraceRecorder, TraceSink,
 };
+pub use workload::{ArrivalEvent, ArrivalProcess, TenantTraffic, TrafficSpec, WorkloadTrace};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -3,28 +3,35 @@
 //! The paper's host runtime drives the APU through a GDL command queue —
 //! tasks are enqueued, dispatched to cores, and retired asynchronously.
 //! This module provides that layer for the simulator: clients open a
-//! [`DeviceQueue`] over an [`ApuDevice`], submit boxed jobs with a
-//! [`Priority`] and an arrival timestamp, and receive a [`TaskHandle`].
-//! The scheduler replays jobs on the simulated device and places them on
-//! a discrete-event *virtual timeline* with per-core availability, so a
+//! [`DeviceQueue`] over an [`ApuDevice`], submit work described by a
+//! [`TaskSpec`] — priority class, tenant, arrival timestamp, deadline,
+//! weight, batch key — and receive a [`TaskHandle`]. The scheduler
+//! replays jobs on the simulated device and places them on a
+//! discrete-event *virtual timeline* with per-core availability, so a
 //! stream of queries reports realistic queueing delay, service time, and
 //! end-to-end latency without wall-clock sleeps.
 //!
 //! Scheduling model:
 //!
 //! * jobs become eligible at their arrival time (open-loop streams pass
-//!   Poisson timestamps; closed-loop callers use [`DeviceQueue::submit`],
-//!   which arrives "now"),
-//! * among eligible jobs the highest [`Priority`] wins, FIFO within a
-//!   priority class,
+//!   Poisson timestamps; closed-loop callers omit the arrival, which
+//!   means "now"),
+//! * among eligible jobs the highest [`Priority`] wins; within a class
+//!   the default [`SchedPolicy::Fifo`] serves submission order, while
+//!   [`SchedPolicy::SloAware`] serves tenants in weighted fair-share
+//!   order (start-time fair queueing) with earliest-deadline-first
+//!   tie-breaks,
 //! * a job that used `c` cores (see [`TaskReport::cores_used`]) occupies
 //!   the `c` earliest-available cores from its start until its finish,
 //! * admission control bounds the backlog: submissions beyond
-//!   [`QueueConfig::max_pending`] are rejected with [`Error::QueueFull`].
+//!   [`QueueConfig::max_pending`] are rejected with [`Error::QueueFull`],
+//!   and an optional [`AdmissionControl`] sheds queued low-priority work
+//!   once the backlog crosses its watermarks, before it poisons
+//!   high-priority tail latency.
 //!
 //! # Continuous batching
 //!
-//! Jobs submitted through [`DeviceQueue::submit_batchable`] declare a
+//! Jobs submitted through [`TaskSpec::batch`] declare a
 //! [`BatchKey`]: when such a job reaches the head of the line, the
 //! dispatcher coalesces it with every pending job of the *same priority
 //! and key* — in submission order, up to [`QueueConfig::max_batch`]
@@ -48,7 +55,7 @@
 //! [`DeviceQueue::wait`] / [`DeviceQueue::drain`]. A failed job still
 //! consumed simulated device time, so its dispatch is booked on the
 //! virtual timeline like any other. Tasks submitted with a TTL
-//! ([`DeviceQueue::submit_with_ttl`]) are shed *without dispatching*
+//! ([`TaskSpec::ttl`]) are shed *without dispatching*
 //! once their deadline passes (`Failed(DeadlineExceeded)`, load
 //! shedding), and an optional [`RetryPolicy`] re-queues transient
 //! **pre-dispatch** failures (the fault-injection gate) with bounded
@@ -65,20 +72,27 @@
 //! time through `busy` / `makespan`.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use crate::clock::Cycles;
 use crate::device::{ApuContext, ApuDevice, TaskReport};
 use crate::error::Error;
+use crate::spec::{AdmissionControl, SchedPolicy, TaskSpec, TenantId};
 use crate::stats::{LatencyReservoir, StageBreakdown, VcuStats, DEFAULT_RESERVOIR_CAP};
 use crate::trace::{FaultScope, TraceEvent, TraceEventKind};
 use crate::Result;
 
 pub use crate::stats::{percentile, QueueStats};
 
+/// Fixed-point scale of the fair-share virtual clock: one unit of work
+/// at tenant weight 1 advances the tenant's virtual time by this much.
+const VT_SCALE: u128 = 1_000_000;
+
 /// Dispatch priority of a queued task. Lower discriminant = served first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Priority {
     /// Latency-sensitive foreground work (interactive queries).
     High,
@@ -171,6 +185,17 @@ pub struct QueueConfig {
     /// Capacity of the latency reservoir backing percentile reporting
     /// (exact below the cap, deterministic subsample above it).
     pub latency_reservoir: usize,
+    /// Dispatch-ordering policy. The default [`SchedPolicy::Fifo`] is
+    /// byte-exact with the historical scheduler; [`SchedPolicy::SloAware`]
+    /// adds weighted fair-share dequeue and deadline awareness.
+    pub scheduler: SchedPolicy,
+    /// Per-tenant fair-share weights for [`SchedPolicy::SloAware`]
+    /// (raw [`TenantId`] → weight; unlisted tenants weigh 1).
+    pub tenant_weights: BTreeMap<u64, u64>,
+    /// Backlog watermarks for admission shedding; `None` — the default —
+    /// never sheds on backlog (only [`QueueConfig::max_pending`] rejects
+    /// at submission).
+    pub admission: Option<AdmissionControl>,
 }
 
 impl Default for QueueConfig {
@@ -181,6 +206,9 @@ impl Default for QueueConfig {
             max_batch_wait: Duration::ZERO,
             retry: None,
             latency_reservoir: DEFAULT_RESERVOIR_CAP,
+            scheduler: SchedPolicy::default(),
+            tenant_weights: BTreeMap::new(),
+            admission: None,
         }
     }
 }
@@ -220,6 +248,29 @@ impl QueueConfig {
         self.latency_reservoir = cap.max(1);
         self
     }
+
+    /// Selects the dispatch-ordering policy.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets one tenant's fair-share weight (clamped to ≥ 1) for
+    /// [`SchedPolicy::SloAware`]: a tenant of weight `w` receives `w`
+    /// shares of the dispatch bandwidth per share of a weight-1 tenant.
+    #[must_use]
+    pub fn with_tenant_weight(mut self, tenant: TenantId, weight: u64) -> Self {
+        self.tenant_weights.insert(tenant.get(), weight.max(1));
+        self
+    }
+
+    /// Enables admission shedding at the given backlog watermarks.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = Some(admission);
+        self
+    }
 }
 
 /// Per-task outcome carried by a [`Completion`].
@@ -241,6 +292,9 @@ pub struct Completion {
     pub handle: TaskHandle,
     /// Priority the task ran at.
     pub priority: Priority,
+    /// Tenant the task was submitted on behalf of (see
+    /// [`TaskSpec::tenant`]; [`TenantId`] 0 when unspecified).
+    pub tenant: TenantId,
     /// Arrival time on the virtual timeline.
     pub submitted_at: Duration,
     /// Dispatch time (arrival + queueing delay). For work that never
@@ -357,7 +411,7 @@ pub type BatchRunner<'t> = Box<
     dyn FnOnce(&mut ApuDevice, Vec<Box<dyn Any>>) -> Result<(TaskReport, Vec<BatchOutput>)> + 't,
 >;
 
-enum Work<'t> {
+pub(crate) enum Work<'t> {
     /// Dispatches alone.
     Single(Job<'t>),
     /// May be coalesced with same-priority, same-key neighbours. Every
@@ -373,6 +427,7 @@ enum Work<'t> {
 struct Pending<'t> {
     handle: TaskHandle,
     priority: Priority,
+    tenant: TenantId,
     arrival: Duration,
     /// When the task becomes dispatchable — equals `arrival` until a
     /// retry backoff pushes it later.
@@ -383,7 +438,24 @@ struct Pending<'t> {
     /// Dispatch attempts already consumed by fault-gate retries.
     attempt: u32,
     weight: u64,
+    /// Start-time-fair-queueing tag frozen at admission (see
+    /// [`DeviceQueue::submit`]); orders same-priority work under
+    /// [`SchedPolicy::SloAware`].
+    vstart: u128,
     work: Work<'t>,
+}
+
+/// The scheduling attributes of a batch member, captured before its
+/// payload is consumed by the batch runner.
+#[derive(Clone, Copy)]
+struct MemberMeta {
+    handle: TaskHandle,
+    priority: Priority,
+    tenant: TenantId,
+    arrival: Duration,
+    /// Dispatch attempts already consumed by fault-gate retries.
+    attempt: u32,
+    weight: u64,
 }
 
 /// A serving queue over a borrowed [`ApuDevice`].
@@ -391,15 +463,18 @@ struct Pending<'t> {
 /// See the [module documentation](self) for the scheduling model.
 ///
 /// ```
-/// use apu_sim::{DeviceQueue, Priority, QueueConfig, ApuDevice, SimConfig, VecOp};
+/// use apu_sim::{DeviceQueue, Priority, QueueConfig, ApuDevice, SimConfig, TaskSpec, VecOp};
 ///
 /// # fn main() -> Result<(), apu_sim::Error> {
 /// let mut dev = ApuDevice::try_new(SimConfig::default())?;
 /// let mut queue = DeviceQueue::new(&mut dev, QueueConfig::default());
-/// let h = queue.submit_kernel(Priority::High, |ctx| {
-///     ctx.core_mut().charge(VecOp::AddU16);
-///     Ok(())
-/// })?;
+/// let h = queue.submit(
+///     TaskSpec::kernel(|ctx| {
+///         ctx.core_mut().charge(VecOp::AddU16);
+///         Ok(())
+///     })
+///     .priority(Priority::High),
+/// )?;
 /// let done = queue.wait(h)?;
 /// assert!(done.report.cycles.get() > 0);
 /// # Ok(())
@@ -416,6 +491,10 @@ pub struct DeviceQueue<'d, 't> {
     next_id: u64,
     next_dispatch: u64,
     stats: QueueStats,
+    /// Fair-share state for [`SchedPolicy::SloAware`]: the global
+    /// virtual clock and each tenant's virtual finish tag.
+    vclock: u128,
+    tenant_vtime: BTreeMap<u64, u128>,
 }
 
 impl<'d, 't> DeviceQueue<'d, 't> {
@@ -436,6 +515,8 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 latency_samples: LatencyReservoir::with_capacity(reservoir),
                 ..QueueStats::default()
             },
+            vclock: 0,
+            tenant_vtime: BTreeMap::new(),
         }
     }
 
@@ -474,138 +555,22 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         &self.stats
     }
 
-    /// Submits a job arriving "now" (at the queue's current virtual
-    /// time, so it is immediately eligible).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
-    pub fn submit(&mut self, priority: Priority, job: Job<'t>) -> Result<TaskHandle> {
-        self.submit_at(priority, Duration::ZERO, job)
-    }
-
-    /// Submits a job with an explicit arrival time on the virtual
-    /// timeline (open-loop request streams).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
-    pub fn submit_at(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        job: Job<'t>,
-    ) -> Result<TaskHandle> {
-        self.submit_weighted(priority, arrival, 1, job)
-    }
-
-    /// Submits a *batch* job folding `weight` logical tasks (e.g. a
-    /// VR-limited RAG retrieval batch) into one dispatch. `weight > 1`
-    /// is counted in [`QueueStats::batches`] / `batched_tasks`.
+    /// Submits the work described by a [`TaskSpec`] — the single entry
+    /// point of the submission API. Build the spec with
+    /// [`TaskSpec::job`] / [`TaskSpec::typed`] / [`TaskSpec::kernel`] /
+    /// [`TaskSpec::batch`] and compose priority, tenant, arrival,
+    /// TTL/deadline, and weight freely. A shard pin
+    /// ([`TaskSpec::on_shard`]) is ignored here: a single queue has no
+    /// placement choice (see [`crate::DeviceCluster::submit`]).
     ///
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the backlog bound is hit, or
     /// [`Error::InvalidArg`] for a zero weight.
-    pub fn submit_weighted(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        weight: u64,
-        job: Job<'t>,
-    ) -> Result<TaskHandle> {
-        if weight == 0 {
+    pub fn submit(&mut self, spec: TaskSpec<'t>) -> Result<TaskHandle> {
+        if spec.weight == 0 {
             return Err(Error::InvalidArg("batch weight must be non-zero".into()));
         }
-        let handle = self.admit(priority, arrival, None, weight, Work::Single(job))?;
-        if weight > 1 {
-            self.stats.batches += 1;
-            self.stats.batched_tasks += weight;
-        }
-        Ok(handle)
-    }
-
-    /// Submits a job with a time-to-live: if the task cannot *start* by
-    /// `arrival + ttl` it is shed without dispatching, retiring as
-    /// `Failed(`[`Error::DeadlineExceeded`]`)` (load shedding under
-    /// overload). A task that starts before its deadline runs to
-    /// completion even if it finishes past the deadline.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
-    pub fn submit_with_ttl(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        ttl: Duration,
-        job: Job<'t>,
-    ) -> Result<TaskHandle> {
-        self.admit(priority, arrival, Some(arrival + ttl), 1, Work::Single(job))
-    }
-
-    /// Submits a job eligible for **continuous batching**: when it
-    /// reaches the head of the line, the dispatcher may coalesce it with
-    /// other pending submissions sharing its `priority` and `key` (see
-    /// the [module documentation](self)). The `payload` is the member's
-    /// contribution to the batch; `run` executes the whole batch and
-    /// returns one output per payload, in order. Every member submits an
-    /// equivalent runner — only the first member's is invoked.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
-    pub fn submit_batchable(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        key: BatchKey,
-        payload: Box<dyn Any>,
-        run: BatchRunner<'t>,
-    ) -> Result<TaskHandle> {
-        self.admit(
-            priority,
-            arrival,
-            None,
-            1,
-            Work::Batchable { key, payload, run },
-        )
-    }
-
-    /// [`DeviceQueue::submit_batchable`] with a time-to-live (see
-    /// [`DeviceQueue::submit_with_ttl`] for the shedding semantics).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
-    pub fn submit_batchable_with_ttl(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        ttl: Duration,
-        key: BatchKey,
-        payload: Box<dyn Any>,
-        run: BatchRunner<'t>,
-    ) -> Result<TaskHandle> {
-        self.admit(
-            priority,
-            arrival,
-            Some(arrival + ttl),
-            1,
-            Work::Batchable { key, payload, run },
-        )
-    }
-
-    /// Shared admission control: rejects past `max_pending`, assigns a
-    /// handle, and records backlog high-water marks.
-    fn admit(
-        &mut self,
-        priority: Priority,
-        arrival: Duration,
-        deadline: Option<Duration>,
-        weight: u64,
-        work: Work<'t>,
-    ) -> Result<TaskHandle> {
         if self.pending.len() >= self.cfg.max_pending {
             self.stats.rejected += 1;
             return Err(Error::QueueFull {
@@ -613,21 +578,51 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 capacity: self.cfg.max_pending,
             });
         }
+        let TaskSpec {
+            priority,
+            arrival,
+            tenant,
+            deadline,
+            weight,
+            shard: _,
+            work,
+        } = spec;
         let handle = TaskHandle(self.next_id);
         self.next_id += 1;
         self.stats.submitted += 1;
+        self.stats
+            .per_tenant
+            .entry(tenant.get())
+            .or_default()
+            .submitted += weight;
+        if weight > 1 {
+            self.stats.batches += 1;
+            self.stats.batched_tasks += weight;
+        }
         let batch_key = match &work {
             Work::Batchable { key, .. } => Some(key.get()),
             Work::Single(_) => None,
         };
+        // Start-time fair queueing (SFQ): freeze the virtual-time tag at
+        // admission. A tenant's tag advances by weight/share per admitted
+        // unit, so backlogged heavy tenants accumulate tags faster and
+        // interleave with light tenants in proportion to their shares.
+        let share = self.tenant_weight(tenant) as u128;
+        let vstart = self
+            .vclock
+            .max(self.tenant_vtime.get(&tenant.get()).copied().unwrap_or(0));
+        self.tenant_vtime
+            .insert(tenant.get(), vstart + weight as u128 * VT_SCALE / share);
         self.pending.push_back(Pending {
             handle,
             priority,
+            tenant,
             arrival,
             eligible: arrival,
             deadline,
             attempt: 0,
             weight,
+            vstart,
             work,
         });
         self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
@@ -642,23 +637,122 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         Ok(handle)
     }
 
-    /// Convenience: submits a single-core kernel (the
-    /// [`ApuDevice::run_task`] shape) arriving now, with unit output.
+    /// Submits a job with an explicit arrival time on the virtual
+    /// timeline.
     ///
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
+    pub fn submit_at(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit(TaskSpec::job(job).priority(priority).at(arrival))
+    }
+
+    /// Submits a *batch* job folding `weight` logical tasks into one
+    /// dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit, or
+    /// [`Error::InvalidArg`] for a zero weight.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
+    pub fn submit_weighted(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        weight: u64,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit(
+            TaskSpec::job(job)
+                .priority(priority)
+                .at(arrival)
+                .weight(weight),
+        )
+    }
+
+    /// Submits a job with a time-to-live (see [`TaskSpec::ttl`] for the
+    /// shedding semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
+    pub fn submit_with_ttl(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        job: Job<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit(TaskSpec::job(job).priority(priority).at(arrival).ttl(ttl))
+    }
+
+    /// Submits a job eligible for **continuous batching** (see
+    /// [`TaskSpec::batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
+    pub fn submit_batchable(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit(
+            TaskSpec::batch(key, payload, run)
+                .priority(priority)
+                .at(arrival),
+        )
+    }
+
+    /// [`TaskSpec::batch`] with a time-to-live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(since = "0.6.0", note = "build a `TaskSpec` and call `submit(spec)`")]
+    pub fn submit_batchable_with_ttl(
+        &mut self,
+        priority: Priority,
+        arrival: Duration,
+        ttl: Duration,
+        key: BatchKey,
+        payload: Box<dyn Any>,
+        run: BatchRunner<'t>,
+    ) -> Result<TaskHandle> {
+        self.submit(
+            TaskSpec::batch(key, payload, run)
+                .priority(priority)
+                .at(arrival)
+                .ttl(ttl),
+        )
+    }
+
+    /// Convenience: submits a single-core kernel arriving now, with unit
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::kernel` and call `submit(spec)`"
+    )]
     pub fn submit_kernel<F>(&mut self, priority: Priority, kernel: F) -> Result<TaskHandle>
     where
         F: FnOnce(&mut ApuContext<'_>) -> Result<()> + 't,
     {
-        self.submit(
-            priority,
-            Box::new(move |dev| {
-                let report = dev.run_task(kernel)?;
-                Ok((report, Box::new(()) as Box<dyn Any>))
-            }),
-        )
+        self.submit(TaskSpec::kernel(kernel).priority(priority))
     }
 
     /// Convenience: submits a job with a typed output, boxing it for the
@@ -667,6 +761,10 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the backlog bound is hit.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `TaskSpec::typed` and call `submit(spec)`"
+    )]
     pub fn submit_job<T, F>(
         &mut self,
         priority: Priority,
@@ -677,33 +775,46 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         T: Any,
         F: FnOnce(&mut ApuDevice) -> Result<(TaskReport, T)> + 't,
     {
-        self.submit_at(
-            priority,
-            arrival,
-            Box::new(move |dev| {
-                let (report, value) = job(dev)?;
-                Ok((report, Box::new(value) as Box<dyn Any>))
-            }),
-        )
+        self.submit(TaskSpec::typed(job).priority(priority).at(arrival))
     }
 
-    /// Index (into `pending`) of the next task to dispatch: among tasks
-    /// that have arrived by the time a core frees up, the highest
-    /// priority wins, FIFO within a class; if none has arrived yet, the
-    /// earliest arrival (then priority, then FIFO) is chosen and the
-    /// timeline advances to it.
+    /// Index (into `pending`) of the next task to dispatch. Under
+    /// [`SchedPolicy::Fifo`]: among tasks that have arrived by the time
+    /// a core frees up, the highest priority wins, FIFO within a class.
+    /// Under [`SchedPolicy::SloAware`]: priority still dominates, then
+    /// the smallest admission-time virtual start tag (weighted fair
+    /// share), then the earliest deadline, then FIFO. If nothing has
+    /// arrived yet, the earliest arrival (then priority, then FIFO) is
+    /// chosen and the timeline advances to it (identical under both
+    /// policies).
     fn select(&self) -> Option<usize> {
         if self.pending.is_empty() {
             return None;
         }
         let horizon = self.horizon();
-        let arrived = self
-            .pending
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.eligible <= horizon)
-            .min_by_key(|(i, p)| (p.priority, *i))
-            .map(|(i, _)| i);
+        let arrived = match self.cfg.scheduler {
+            SchedPolicy::Fifo => self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.eligible <= horizon)
+                .min_by_key(|(i, p)| (p.priority, *i))
+                .map(|(i, _)| i),
+            SchedPolicy::SloAware => self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.eligible <= horizon)
+                .min_by_key(|(i, p)| {
+                    (
+                        p.priority,
+                        p.vstart,
+                        p.deadline.unwrap_or(Duration::MAX),
+                        *i,
+                    )
+                })
+                .map(|(i, _)| i),
+        };
         arrived.or_else(|| {
             self.pending
                 .iter()
@@ -711,6 +822,24 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 .min_by_key(|(i, p)| (p.eligible, p.priority, *i))
                 .map(|(i, _)| i)
         })
+    }
+
+    /// The effective fair-share weight of a tenant (default 1; see
+    /// [`QueueConfig::with_tenant_weight`]).
+    fn tenant_weight(&self, tenant: TenantId) -> u64 {
+        self.cfg
+            .tenant_weights
+            .get(&tenant.get())
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Advances the queue's virtual clock to a dispatched task's start
+    /// tag, so tenants that go idle and return re-enter at the current
+    /// virtual time instead of catching up on credit they never used.
+    fn advance_virtual_clock(&mut self, vstart: u128) {
+        self.vclock = self.vclock.max(vstart);
     }
 
     /// The virtual time the next core frees up — the earliest moment any
@@ -787,9 +916,15 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 Work::Single(_) => None,
             };
             self.stats.expired += task.weight;
+            self.stats
+                .per_tenant
+                .entry(task.tenant.get())
+                .or_default()
+                .expired += task.weight;
             self.completions.push(Completion {
                 handle: task.handle,
                 priority: task.priority,
+                tenant: task.tenant,
                 submitted_at: task.arrival,
                 started_at: deadline,
                 finished_at: deadline,
@@ -810,6 +945,96 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         shed_any
     }
 
+    /// Cluster-level admission control: while the backlog exceeds a
+    /// configured watermark (see [`AdmissionControl`]), sheds the
+    /// lowest-priority latest-arrived pending task so the queued work
+    /// low-priority tenants pile up cannot poison high-priority tail
+    /// latency. Shed tasks retire as `Failed(`[`Error::AdmissionShed`]`)`
+    /// without dispatching. High-priority work is never admission-shed.
+    ///
+    /// Backlog depth is measured on the **virtual timeline**: only tasks
+    /// that have arrived by the queue's current horizon count, and only
+    /// those are shed. An open-loop trace submitted up front is load the
+    /// device has not seen yet — shedding it at submission time would
+    /// act on a queue depth that never exists.
+    ///
+    /// Returns whether anything was shed.
+    fn shed_admission_backlog(&mut self) -> bool {
+        let Some(adm) = self.cfg.admission else {
+            return false;
+        };
+        let horizon = self.horizon();
+        let mut shed_any = false;
+        loop {
+            let backlog = self
+                .pending
+                .iter()
+                .filter(|p| p.eligible <= horizon)
+                .count();
+            let (victim, watermark) = if backlog > adm.shed_normal_above {
+                // Over the upper watermark: shed Normal and Low work,
+                // lowest class first (Priority orders High < Normal <
+                // Low, so `max_by_key` prefers Low), newest first.
+                (
+                    self.pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.eligible <= horizon && p.priority != Priority::High)
+                        .max_by_key(|(i, p)| (p.priority, p.arrival, *i))
+                        .map(|(i, _)| i),
+                    adm.shed_normal_above,
+                )
+            } else if backlog > adm.shed_low_above {
+                (
+                    self.pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.eligible <= horizon && p.priority == Priority::Low)
+                        .max_by_key(|(i, p)| (p.arrival, *i))
+                        .map(|(i, _)| i),
+                    adm.shed_low_above,
+                )
+            } else {
+                (None, 0)
+            };
+            let Some(idx) = victim else { break };
+            let task = self.pending.remove(idx).expect("victim index is valid");
+            let at = task.eligible.max(horizon);
+            let batch_key = match &task.work {
+                Work::Batchable { key, .. } => Some(*key),
+                Work::Single(_) => None,
+            };
+            self.stats.shed_admission += task.weight;
+            self.stats
+                .per_tenant
+                .entry(task.tenant.get())
+                .or_default()
+                .shed += task.weight;
+            let e = Error::AdmissionShed { backlog, watermark };
+            let error_text = e.to_string();
+            self.completions.push(Completion {
+                handle: task.handle,
+                priority: task.priority,
+                tenant: task.tenant,
+                submitted_at: task.arrival,
+                started_at: at,
+                finished_at: at,
+                batch_size: task.weight as usize,
+                dispatch: None,
+                batch_key,
+                attempts: task.attempt,
+                report: Self::empty_report(),
+                outcome: TaskOutcome::Failed(e),
+            });
+            self.emit_with(at, || TraceEventKind::TaskFailed {
+                handle: task.handle.0,
+                error: error_text,
+            });
+            shed_any = true;
+        }
+        shed_any
+    }
+
     /// Dispatches one device job — a single task, or a coalesced batch
     /// of compatible batchable tasks — and places it on the virtual
     /// timeline, after shedding any deadline-expired backlog. A batch
@@ -823,7 +1048,8 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// (counted in [`QueueStats::failed`]). The `Result` is reserved for
     /// queue-level invariant violations.
     pub fn step(&mut self) -> Result<Option<&Completion>> {
-        let shed = self.shed_expired();
+        let shed_expired = self.shed_expired();
+        let shed = self.shed_admission_backlog() || shed_expired;
         let retired = match self.select() {
             Some(idx) => match self.pending[idx].work {
                 Work::Single(_) => self.dispatch_single(idx)?,
@@ -897,13 +1123,46 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         });
     }
 
-    /// Accumulates one successful completion's stage breakdown into the
-    /// per-queue stage totals, `weight` times.
-    fn book_stages(&mut self, wait: Duration, service: Duration, stats: &VcuStats, weight: u64) {
+    /// Books one successful completion — latency counters, reservoir
+    /// samples, and stage breakdown — into both the queue-wide totals
+    /// and the submitting tenant's [`crate::TenantStats`], `weight`
+    /// times.
+    fn book_success(
+        &mut self,
+        tenant: TenantId,
+        wait: Duration,
+        service: Duration,
+        latency: Duration,
+        stats: &VcuStats,
+        weight: u64,
+    ) {
+        self.stats.completed += weight;
+        self.stats.total_wait += wait * weight as u32;
+        self.stats.total_service += service * weight as u32;
+        self.stats.total_latency += latency * weight as u32;
+        for _ in 0..weight {
+            self.stats.latency_samples.push(latency);
+        }
         let stages = StageBreakdown::from_parts(wait, service, stats);
         self.stats.stage_dispatch += stages.dispatch * weight as u32;
         self.stats.stage_dma += stages.dma * weight as u32;
         self.stats.stage_device += stages.device * weight as u32;
+        let t = self.stats.per_tenant.entry(tenant.get()).or_default();
+        t.completed += weight;
+        t.total_wait += wait * weight as u32;
+        t.total_latency += latency * weight as u32;
+        t.stage_dispatch += stages.dispatch * weight as u32;
+        t.stage_dma += stages.dma * weight as u32;
+        t.stage_device += stages.device * weight as u32;
+    }
+
+    /// Books a failed (never-completed) task against its tenant.
+    fn book_tenant_failure(&mut self, tenant: TenantId, weight: u64) {
+        self.stats
+            .per_tenant
+            .entry(tenant.get())
+            .or_default()
+            .failed += weight;
     }
 
     /// Contains a pre-dispatch failure (the fault gate fired before the
@@ -939,10 +1198,12 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             Work::Single(_) => None,
         };
         self.stats.failed += task.weight;
+        self.book_tenant_failure(task.tenant, task.weight);
         let error_text = e.to_string();
         self.completions.push(Completion {
             handle: task.handle,
             priority: task.priority,
+            tenant: task.tenant,
             submitted_at: task.arrival,
             started_at: at,
             finished_at: at,
@@ -974,6 +1235,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let Work::Single(job) = task.work else {
             unreachable!("dispatch_single is only called on single work");
         };
+        self.advance_virtual_clock(task.vstart);
         let snap = self.device_snapshot();
         match job(self.dev) {
             Ok((report, value)) => {
@@ -984,19 +1246,13 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 self.stats.dispatches += 1;
                 self.stats.dispatched_tasks += task.weight;
                 self.stats.max_batch_size = self.stats.max_batch_size.max(task.weight);
-                self.stats.completed += task.weight;
-                self.stats.total_wait += (start - task.arrival) * task.weight as u32;
-                self.stats.total_service += report.duration * task.weight as u32;
-                let latency = finish - task.arrival;
-                self.stats.total_latency += latency * task.weight as u32;
-                for _ in 0..task.weight {
-                    self.stats.latency_samples.push(latency);
-                }
                 self.stats.busy += report.duration * cores.len() as u32;
                 self.stats.makespan = self.stats.makespan.max(finish);
-                self.book_stages(
+                self.book_success(
+                    task.tenant,
                     start - task.arrival,
                     report.duration,
+                    finish - task.arrival,
                     &report.stats,
                     task.weight,
                 );
@@ -1014,6 +1270,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 self.completions.push(Completion {
                     handle: task.handle,
                     priority: task.priority,
+                    tenant: task.tenant,
                     submitted_at: task.arrival,
                     started_at: start,
                     finished_at: finish,
@@ -1036,6 +1293,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 self.stats.dispatches += 1;
                 self.stats.dispatched_tasks += task.weight;
                 self.stats.failed += task.weight;
+                self.book_tenant_failure(task.tenant, task.weight);
                 self.stats.busy += report.duration * cores.len() as u32;
                 self.stats.makespan = self.stats.makespan.max(finish);
                 self.emit_dispatch(
@@ -1052,6 +1310,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 self.completions.push(Completion {
                     handle: task.handle,
                     priority: task.priority,
+                    tenant: task.tenant,
                     submitted_at: task.arrival,
                     started_at: start,
                     finished_at: finish,
@@ -1078,14 +1337,14 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let horizon = self.horizon();
         let window_close = head_arrival.max(horizon) + self.cfg.max_batch_wait;
 
-        // Batch membership is FIFO in submission order over the whole
-        // backlog: the first `max_batch` jobs of the head's (priority,
-        // key) class arriving inside the window ride together.
+        // Gather every compatible job of the head's (priority, key)
+        // class arriving inside the window, then pick `max_batch` of
+        // them: FIFO in submission order under the default policy,
+        // earliest-deadline-first under [`SchedPolicy::SloAware`] (so a
+        // full window sheds slack from the members that can afford it,
+        // not from whoever happened to submit last).
         let mut member_idx: Vec<usize> = Vec::new();
         for (i, p) in self.pending.iter().enumerate() {
-            if member_idx.len() >= self.cfg.max_batch.max(1) {
-                break;
-            }
             let compatible = p.priority == head_priority
                 && matches!(&p.work, Work::Batchable { key, .. } if *key == head_key)
                 && p.arrival <= window_close;
@@ -1093,6 +1352,13 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 member_idx.push(i);
             }
         }
+        if self.cfg.scheduler == SchedPolicy::SloAware {
+            member_idx.sort_by_key(|&i| {
+                let p = &self.pending[i];
+                (p.deadline.unwrap_or(Duration::MAX), i)
+            });
+        }
+        member_idx.truncate(self.cfg.max_batch.max(1));
         let window_close_cycles = self.trace_ts(window_close);
         self.emit_with(head_arrival.max(horizon), || TraceEventKind::BatchFormed {
             key: head_key.get(),
@@ -1104,12 +1370,22 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         });
 
         // Remove back-to-front so earlier indices stay valid, then
-        // restore submission order.
-        let mut members: Vec<Pending<'t>> = Vec::with_capacity(member_idx.len());
-        for &i in member_idx.iter().rev() {
-            members.push(self.pending.remove(i).expect("member index is valid"));
+        // restore the chosen membership order (which may differ from
+        // index order under EDF gathering).
+        let mut removal = member_idx.clone();
+        removal.sort_unstable();
+        let mut extracted: Vec<(usize, Pending<'t>)> = Vec::with_capacity(removal.len());
+        for &i in removal.iter().rev() {
+            extracted.push((i, self.pending.remove(i).expect("member index is valid")));
         }
-        members.reverse();
+        let mut members: Vec<Pending<'t>> = Vec::with_capacity(member_idx.len());
+        for &i in &member_idx {
+            let pos = extracted
+                .iter()
+                .position(|(j, _)| *j == i)
+                .expect("every chosen index was extracted");
+            members.push(extracted.remove(pos).1);
+        }
 
         // Fault-gate each member individually: a poisoned member fails
         // (or retries) alone while its healthy siblings still ride
@@ -1118,8 +1394,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let mut retired_any = false;
         let mut payloads = Vec::with_capacity(members.len());
         let mut runner: Option<BatchRunner<'t>> = None;
-        let mut meta: Vec<(TaskHandle, Priority, Duration, Duration, u32)> =
-            Vec::with_capacity(members.len());
+        let mut meta: Vec<MemberMeta> = Vec::with_capacity(members.len());
         let mut latest_eligible = Duration::ZERO;
         for mut m in members {
             if let Some(e) = self.dev.fault_check_task(Some(head_key)) {
@@ -1149,10 +1424,12 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 } else {
                     let at = gate_at;
                     self.stats.failed += m.weight;
+                    self.book_tenant_failure(m.tenant, m.weight);
                     let error_text = e.to_string();
                     self.completions.push(Completion {
                         handle: m.handle,
                         priority: m.priority,
+                        tenant: m.tenant,
                         submitted_at: m.arrival,
                         started_at: at,
                         finished_at: at,
@@ -1179,7 +1456,15 @@ impl<'d, 't> DeviceQueue<'d, 't> {
                 runner = Some(run);
             }
             latest_eligible = latest_eligible.max(m.eligible);
-            meta.push((m.handle, m.priority, m.arrival, m.eligible, m.attempt));
+            self.advance_virtual_clock(m.vstart);
+            meta.push(MemberMeta {
+                handle: m.handle,
+                priority: m.priority,
+                tenant: m.tenant,
+                arrival: m.arrival,
+                attempt: m.attempt,
+                weight: m.weight,
+            });
         }
         let n = meta.len();
         let Some(run) = runner else {
@@ -1207,36 +1492,39 @@ impl<'d, 't> DeviceQueue<'d, 't> {
         let report = self.failed_report(snap);
         let (start, finish, cores) =
             self.occupy(report.cores_used, latest_eligible, report.duration);
+        let total_weight: u64 = meta.iter().map(|m| m.weight).sum();
         let dispatch = self.next_dispatch;
         self.next_dispatch += 1;
         self.stats.dispatches += 1;
-        self.stats.dispatched_tasks += n as u64;
-        self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
+        self.stats.dispatched_tasks += total_weight;
+        self.stats.max_batch_size = self.stats.max_batch_size.max(total_weight);
         self.stats.busy += report.duration * cores.len() as u32;
         self.stats.makespan = self.stats.makespan.max(finish);
-        let handles: Vec<TaskHandle> = meta.iter().map(|&(h, ..)| h).collect();
+        let handles: Vec<TaskHandle> = meta.iter().map(|m| m.handle).collect();
         self.emit_dispatch(
             dispatch,
             start,
             finish,
             &cores,
             &handles,
-            n as u64,
+            total_weight,
             Some(head_key),
         );
-        for (handle, priority, arrival, _eligible, attempt) in meta {
-            self.stats.failed += 1;
-            self.emit_retire(handle, dispatch, finish, Some(e.to_string()));
+        for m in meta {
+            self.stats.failed += m.weight;
+            self.book_tenant_failure(m.tenant, m.weight);
+            self.emit_retire(m.handle, dispatch, finish, Some(e.to_string()));
             self.completions.push(Completion {
-                handle,
-                priority,
-                submitted_at: arrival,
+                handle: m.handle,
+                priority: m.priority,
+                tenant: m.tenant,
+                submitted_at: m.arrival,
                 started_at: start,
                 finished_at: finish,
-                batch_size: n,
+                batch_size: total_weight as usize,
                 dispatch: Some(dispatch),
                 batch_key: Some(head_key),
-                attempts: attempt + 1,
+                attempts: m.attempt + 1,
                 report: report.clone(),
                 outcome: TaskOutcome::Failed(e.clone()),
             });
@@ -1250,66 +1538,69 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// its siblings succeed.
     fn book_batch(
         &mut self,
-        meta: &[(TaskHandle, Priority, Duration, Duration, u32)],
+        meta: &[MemberMeta],
         head_key: BatchKey,
         latest_eligible: Duration,
         report: TaskReport,
         outputs: Vec<BatchOutput>,
     ) {
-        let n = meta.len();
         // One device dispatch for the whole batch; it cannot start
         // before its last member became eligible.
         let (start, finish, cores) =
             self.occupy(report.cores_used, latest_eligible, report.duration);
+        let total_weight: u64 = meta.iter().map(|m| m.weight).sum();
         let dispatch = self.next_dispatch;
         self.next_dispatch += 1;
         self.stats.dispatches += 1;
-        self.stats.dispatched_tasks += n as u64;
-        self.stats.max_batch_size = self.stats.max_batch_size.max(n as u64);
+        self.stats.dispatched_tasks += total_weight;
+        self.stats.max_batch_size = self.stats.max_batch_size.max(total_weight);
         self.stats.busy += report.duration * cores.len() as u32;
         self.stats.makespan = self.stats.makespan.max(finish);
-        let handles: Vec<TaskHandle> = meta.iter().map(|&(h, ..)| h).collect();
+        let handles: Vec<TaskHandle> = meta.iter().map(|m| m.handle).collect();
         self.emit_dispatch(
             dispatch,
             start,
             finish,
             &cores,
             &handles,
-            n as u64,
+            total_weight,
             Some(head_key),
         );
 
         // Fan the completions back out: each member keeps its own
         // arrival and is charged the shared start/finish.
-        for (&(handle, priority, arrival, _eligible, attempt), output) in meta.iter().zip(outputs) {
+        for (m, output) in meta.iter().zip(outputs) {
             let outcome = match output {
                 Ok(value) => {
-                    self.stats.completed += 1;
-                    self.stats.total_wait += start - arrival;
-                    self.stats.total_service += report.duration;
-                    let latency = finish - arrival;
-                    self.stats.total_latency += latency;
-                    self.stats.latency_samples.push(latency);
-                    self.book_stages(start - arrival, report.duration, &report.stats, 1);
-                    self.emit_retire(handle, dispatch, finish, None);
+                    self.book_success(
+                        m.tenant,
+                        start - m.arrival,
+                        report.duration,
+                        finish - m.arrival,
+                        &report.stats,
+                        m.weight,
+                    );
+                    self.emit_retire(m.handle, dispatch, finish, None);
                     TaskOutcome::Ok(value)
                 }
                 Err(e) => {
-                    self.stats.failed += 1;
-                    self.emit_retire(handle, dispatch, finish, Some(e.to_string()));
+                    self.stats.failed += m.weight;
+                    self.book_tenant_failure(m.tenant, m.weight);
+                    self.emit_retire(m.handle, dispatch, finish, Some(e.to_string()));
                     TaskOutcome::Failed(e)
                 }
             };
             self.completions.push(Completion {
-                handle,
-                priority,
-                submitted_at: arrival,
+                handle: m.handle,
+                priority: m.priority,
+                tenant: m.tenant,
+                submitted_at: m.arrival,
                 started_at: start,
                 finished_at: finish,
-                batch_size: n,
+                batch_size: total_weight as usize,
                 dispatch: Some(dispatch),
                 batch_key: Some(head_key),
-                attempts: attempt + 1,
+                attempts: m.attempt + 1,
                 report: report.clone(),
                 outcome,
             });
@@ -1385,7 +1676,7 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .unwrap();
         let done = q.wait(h).unwrap();
         assert!(done.report.cycles.get() > 0);
@@ -1402,10 +1693,10 @@ mod tests {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let lo = q
-            .submit_kernel(Priority::Low, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Low))
             .unwrap();
         let hi = q
-            .submit_kernel(Priority::High, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::High))
             .unwrap();
         let done = q.drain().unwrap();
         let pos = |h: TaskHandle| done.iter().position(|c| c.handle == h).unwrap();
@@ -1422,7 +1713,7 @@ mod tests {
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let handles: Vec<TaskHandle> = (0..4)
             .map(|_| {
-                q.submit_kernel(Priority::Normal, charge_kernel(VecOp::Or16))
+                q.submit(TaskSpec::kernel(charge_kernel(VecOp::Or16)).priority(Priority::Normal))
                     .unwrap()
             })
             .collect();
@@ -1441,23 +1732,18 @@ mod tests {
         // Second task arrives late; the queue idles until its arrival.
         let late = Duration::from_millis(10);
         let a = q
-            .submit_at(
-                Priority::Normal,
-                Duration::ZERO,
-                Box::new(|dev: &mut ApuDevice| {
-                    let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
-                    Ok((r, Box::new(()) as Box<dyn Any>))
-                }),
-            )
+            .submit(TaskSpec::job(Box::new(|dev: &mut ApuDevice| {
+                let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+                Ok((r, Box::new(()) as Box<dyn Any>))
+            })))
             .unwrap();
         let b = q
-            .submit_at(
-                Priority::Normal,
-                late,
-                Box::new(|dev: &mut ApuDevice| {
+            .submit(
+                TaskSpec::job(Box::new(|dev: &mut ApuDevice| {
                     let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
                     Ok((r, Box::new(()) as Box<dyn Any>))
-                }),
+                }))
+                .at(late),
             )
             .unwrap();
         let done = q.drain().unwrap();
@@ -1472,11 +1758,11 @@ mod tests {
     fn queue_full_rejects_and_counts() {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_pending(2));
-        q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+        q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .unwrap();
-        q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+        q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .unwrap();
-        let r = q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16));
+        let r = q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal));
         assert!(matches!(
             r,
             Err(Error::QueueFull {
@@ -1488,7 +1774,7 @@ mod tests {
         // Draining frees capacity.
         q.drain().unwrap();
         assert!(q
-            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .is_ok());
     }
 
@@ -1497,10 +1783,9 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit(
-                Priority::Normal,
-                Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
-            )
+            .submit(TaskSpec::job(Box::new(|_dev| {
+                Err(Error::TaskFailed("boom".into()))
+            })))
             .unwrap();
         // The failure is contained: waiting on the handle yields an
         // error completion instead of erroring the queue.
@@ -1520,10 +1805,9 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit(
-                Priority::Normal,
-                Box::new(|_dev| Err(Error::TaskFailed("boom".into()))),
-            )
+            .submit(TaskSpec::job(Box::new(|_dev| {
+                Err(Error::TaskFailed("boom".into()))
+            })))
             .unwrap();
         q.step().unwrap();
         // Already retired: a second wait still finds the completion.
@@ -1537,14 +1821,11 @@ mod tests {
     fn failed_jobs_still_consume_device_time() {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
-        q.submit(
-            Priority::Normal,
-            Box::new(|dev: &mut ApuDevice| {
-                // Burn real device cycles, then fail.
-                dev.run_task(charge_kernel(VecOp::AddU16))?;
-                Err(Error::TaskFailed("late failure".into()))
-            }),
-        )
+        q.submit(TaskSpec::job(Box::new(|dev: &mut ApuDevice| {
+            // Burn real device cycles, then fail.
+            dev.run_task(charge_kernel(VecOp::AddU16))?;
+            Err(Error::TaskFailed("late failure".into()))
+        })))
         .unwrap();
         let done = q.drain().unwrap();
         assert_eq!(done.len(), 1);
@@ -1566,26 +1847,19 @@ mod tests {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20).with_cores(1));
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         // A long head job pushes the horizon past the second task's TTL.
-        q.submit_weighted(
-            Priority::Normal,
-            Duration::ZERO,
-            1,
-            Box::new(|dev: &mut ApuDevice| {
-                let mut r = dev.run_task(charge_kernel(VecOp::AddU16))?;
-                r.duration = Duration::from_millis(50);
-                Ok((r, Box::new(()) as Box<dyn Any>))
-            }),
-        )
+        q.submit(TaskSpec::job(Box::new(|dev: &mut ApuDevice| {
+            let mut r = dev.run_task(charge_kernel(VecOp::AddU16))?;
+            r.duration = Duration::from_millis(50);
+            Ok((r, Box::new(()) as Box<dyn Any>))
+        })))
         .unwrap();
         let ttl = Duration::from_millis(1);
         let h = q
-            .submit_with_ttl(
-                Priority::Normal,
-                Duration::ZERO,
-                ttl,
-                Box::new(|_dev: &mut ApuDevice| {
+            .submit(
+                TaskSpec::job(Box::new(|_dev: &mut ApuDevice| {
                     panic!("an expired task must never dispatch");
-                }),
+                }))
+                .ttl(ttl),
             )
             .unwrap();
         let done = q.drain().unwrap();
@@ -1613,7 +1887,7 @@ mod tests {
             dev.inject_faults(FaultPlan::new(7).fail_every_kth_task(1));
             let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_retry(policy));
             let h = q
-                .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+                .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
                 .unwrap();
             let done = q.wait(h).unwrap();
             (
@@ -1649,7 +1923,7 @@ mod tests {
             }),
         );
         let h = q
-            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .unwrap();
         let done = q.wait(h).unwrap();
         // With 32 retries against a 0.9 fault rate, the task eventually
@@ -1667,7 +1941,7 @@ mod tests {
         let mut dev = device();
         let cores = dev.config().cores;
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
-        q.submit_job(Priority::Normal, Duration::ZERO, move |dev| {
+        q.submit(TaskSpec::typed(move |dev| {
             let tasks: Vec<crate::CoreTask<'_>> = (0..cores)
                 .map(|_| {
                     Box::new(|ctx: &mut ApuContext<'_>| {
@@ -1678,7 +1952,7 @@ mod tests {
                 .collect();
             let r = dev.run_parallel(tasks)?;
             Ok((r, ()))
-        })
+        }))
         .unwrap();
         let done = q.drain().unwrap();
         assert_eq!(done[0].report.cores_used, cores);
@@ -1690,14 +1964,12 @@ mod tests {
     fn weighted_submission_counts_batches() {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
-        q.submit_weighted(
-            Priority::Normal,
-            Duration::ZERO,
-            8,
-            Box::new(|dev: &mut ApuDevice| {
+        q.submit(
+            TaskSpec::job(Box::new(|dev: &mut ApuDevice| {
                 let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
                 Ok((r, Box::new(()) as Box<dyn Any>))
-            }),
+            }))
+            .weight(8),
         )
         .unwrap();
         q.drain().unwrap();
@@ -1711,12 +1983,7 @@ mod tests {
         );
         assert_eq!(s.latency_samples.len(), 8);
         assert!(q
-            .submit_weighted(
-                Priority::Normal,
-                Duration::ZERO,
-                0,
-                Box::new(|_: &mut ApuDevice| unreachable!()),
-            )
+            .submit(TaskSpec::job(Box::new(|_: &mut ApuDevice| unreachable!())).weight(0))
             .is_err());
     }
 
@@ -1725,10 +1992,10 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit_job(Priority::Normal, Duration::ZERO, |dev| {
+            .submit(TaskSpec::typed(|dev| {
                 let r = dev.run_task(charge_kernel(VecOp::AddU16))?;
                 Ok((r, vec![1u32, 2, 3]))
-            })
+            }))
             .unwrap();
         q.wait(h).unwrap();
         let done = q.drain().unwrap();
@@ -1741,7 +2008,7 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            .submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
             .unwrap();
         q.drain().unwrap();
         // Handle retired and drained away: no longer known.
@@ -1764,12 +2031,10 @@ mod tests {
         key: BatchKey,
         tag: u32,
     ) -> TaskHandle {
-        q.submit_batchable(
-            priority,
-            arrival,
-            key,
-            Box::new(tag),
-            echo_runner(VecOp::AddU16),
+        q.submit(
+            TaskSpec::batch(key, Box::new(tag), echo_runner(VecOp::AddU16))
+                .priority(priority)
+                .at(arrival),
         )
         .unwrap()
     }
@@ -1891,13 +2156,11 @@ mod tests {
         for i in 0..3 {
             submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, i);
         }
-        let r = q.submit_batchable(
-            Priority::Normal,
-            Duration::ZERO,
+        let r = q.submit(TaskSpec::batch(
             key,
             Box::new(3u32),
             echo_runner(VecOp::AddU16),
-        );
+        ));
         assert!(matches!(
             r,
             Err(Error::QueueFull {
@@ -1912,13 +2175,11 @@ mod tests {
         assert_eq!(q.stats().dispatches, 1);
         assert_eq!(q.stats().max_batch_size, 3);
         assert!(q
-            .submit_batchable(
-                Priority::Normal,
-                Duration::ZERO,
+            .submit(TaskSpec::batch(
                 key,
                 Box::new(4u32),
-                echo_runner(VecOp::AddU16),
-            )
+                echo_runner(VecOp::AddU16)
+            ))
             .is_ok());
     }
 
@@ -1931,8 +2192,7 @@ mod tests {
             let report = dev.run_task(charge_kernel(VecOp::AddU16))?;
             Ok((report, Vec::new())) // wrong: drops every output
         });
-        q.submit_batchable(Priority::Normal, Duration::ZERO, key, Box::new(0u32), bad)
-            .unwrap();
+        q.submit(TaskSpec::batch(key, Box::new(0u32), bad)).unwrap();
         submit_echo(&mut q, Priority::Normal, Duration::ZERO, key, 1);
         // The malformed dispatch is contained: both members retire as
         // failed completions instead of aborting the drain.
@@ -1966,7 +2226,7 @@ mod tests {
         let mut dev = device();
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         for _ in 0..4 {
-            q.submit_kernel(Priority::Normal, charge_kernel(VecOp::AddU16))
+            q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).priority(Priority::Normal))
                 .unwrap();
         }
         q.drain().unwrap();
@@ -1976,5 +2236,127 @@ mod tests {
         assert!(s.occupancy() > 0.0 && s.occupancy() <= 1.0);
         assert!(s.mean_latency() > Duration::ZERO);
         assert!(s.latency_percentile(0.5) <= s.latency_percentile(0.99));
+    }
+
+    #[test]
+    fn slo_scheduler_interleaves_tenants_by_fair_share_weight() {
+        let heavy = TenantId::new(1);
+        let light = TenantId::new(2);
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default()
+                .with_scheduler(SchedPolicy::SloAware)
+                .with_tenant_weight(heavy, 3)
+                .with_tenant_weight(light, 1),
+        );
+        for _ in 0..4 {
+            q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).tenant(heavy))
+                .unwrap();
+        }
+        for _ in 0..4 {
+            q.submit(TaskSpec::kernel(charge_kernel(VecOp::AddU16)).tenant(light))
+                .unwrap();
+        }
+        let done = q.drain().unwrap();
+        // Start-time fair queueing: the 3:1 weight ratio shows up in the
+        // dispatch order — of the first four dispatches, three go to the
+        // heavy tenant and one to the light tenant (not four-and-zero as
+        // FIFO-by-submission would give, since all heavy work arrived
+        // first).
+        let first_four: Vec<u64> = done.iter().take(4).map(|c| c.tenant.get()).collect();
+        assert_eq!(
+            first_four.iter().filter(|&&t| t == heavy.get()).count(),
+            3,
+            "heavy tenant should win 3 of the first 4 slots, order {first_four:?}"
+        );
+        assert_eq!(
+            first_four.iter().filter(|&&t| t == light.get()).count(),
+            1,
+            "light tenant must not be starved out of the first round"
+        );
+        let s = q.stats();
+        assert_eq!(s.per_tenant[&heavy.get()].completed, 4);
+        assert_eq!(s.per_tenant[&light.get()].completed, 4);
+    }
+
+    #[test]
+    fn admission_control_sheds_lowest_class_newest_first() {
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default().with_admission(AdmissionControl::new(1, 2)),
+        );
+        let spec = |p: Priority, t: u64| {
+            TaskSpec::kernel(charge_kernel(VecOp::AddU16))
+                .priority(p)
+                .tenant(TenantId::new(t))
+        };
+        q.submit(spec(Priority::Low, 10)).unwrap();
+        q.submit(spec(Priority::Low, 10)).unwrap();
+        q.submit(spec(Priority::Normal, 20)).unwrap();
+        q.submit(spec(Priority::Normal, 20)).unwrap();
+        q.submit(spec(Priority::High, 30)).unwrap();
+        let done = q.drain().unwrap();
+        assert_eq!(done.len(), 5);
+        // Backlog of 5 over the upper watermark (2): both Low tasks shed
+        // first, then one Normal, leaving a backlog of 2 to dispatch.
+        let shed: Vec<_> = done
+            .iter()
+            .filter(|c| matches!(c.error(), Some(Error::AdmissionShed { .. })))
+            .collect();
+        assert_eq!(shed.len(), 3);
+        assert!(shed.iter().all(|c| c.priority != Priority::High));
+        assert_eq!(
+            shed.iter().filter(|c| c.priority == Priority::Low).count(),
+            2,
+            "both Low tasks go before any second Normal is considered"
+        );
+        let s = q.stats();
+        assert_eq!(s.shed_admission, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.per_tenant[&10].shed, 2);
+        assert_eq!(s.per_tenant[&20].shed, 1);
+        assert_eq!(s.per_tenant[&30].completed, 1);
+        // Admission shedding is a terminal load-control decision, not a
+        // fault worth retrying.
+        assert!(!shed[0].error().unwrap().is_transient());
+    }
+
+    #[test]
+    fn slo_batches_coalesce_earliest_deadline_first() {
+        let ms = Duration::from_millis;
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default()
+                .with_scheduler(SchedPolicy::SloAware)
+                .with_max_batch(2),
+        );
+        let key = BatchKey::new(9);
+        let submit = |q: &mut DeviceQueue<'_, '_>, tag: u32, deadline: Duration| {
+            q.submit(
+                TaskSpec::batch(key, Box::new(tag), echo_runner(VecOp::AddU16))
+                    .deadline_at(deadline),
+            )
+            .unwrap()
+        };
+        let slack = submit(&mut q, 0, ms(30_000));
+        let urgent = submit(&mut q, 1, ms(10_000));
+        let middling = submit(&mut q, 2, ms(20_000));
+        let done = q.drain().unwrap();
+        assert_eq!(done.len(), 3);
+        // With room for two members, the coalescer takes the two
+        // earliest deadlines (urgent + middling) even though the slack
+        // task was submitted first; FIFO would have paired slack+urgent.
+        let first_dispatch = done.iter().filter_map(|c| c.dispatch).min().unwrap();
+        let first_batch: Vec<TaskHandle> = done
+            .iter()
+            .filter(|c| c.dispatch == Some(first_dispatch))
+            .map(|c| c.handle)
+            .collect();
+        assert_eq!(first_batch.len(), 2);
+        assert!(first_batch.contains(&urgent) && first_batch.contains(&middling));
+        assert!(!first_batch.contains(&slack));
     }
 }

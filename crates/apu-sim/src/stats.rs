@@ -157,7 +157,7 @@ pub const DEFAULT_RESERVOIR_CAP: usize = 4096;
 /// a uniformly chosen slot with probability `cap / seen`, driven by a
 /// fixed-seed SplitMix64 stream so runs are reproducible. Memory stays
 /// `O(cap)` no matter how many completions a serving run retires.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyReservoir {
     cap: usize,
     seen: u64,
@@ -328,7 +328,80 @@ pub fn stage_split(service: Duration, stats: &VcuStats) -> (Duration, Duration, 
 /// [`QueueStats::failed`] / [`QueueStats::expired`], and the device time
 /// a failed job consumed is still booked on the virtual timeline (it
 /// shows up in [`QueueStats::busy`], `makespan`, and later tasks' waits).
-#[derive(Debug, Clone, Default)]
+/// Per-tenant slice of the queue counters, keyed by the raw
+/// [`crate::TenantId`] in [`QueueStats::per_tenant`]. Follows the same
+/// conventions as the queue-wide block: the wait/latency/stage
+/// accumulators cover **successful** completions only, while shed and
+/// failed work is visible through its own counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tasks this tenant submitted (accepted by admission).
+    pub submitted: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Tasks retired with an error completion (excludes deadline and
+    /// admission shedding).
+    pub failed: u64,
+    /// Tasks shed because their deadline passed before dispatch.
+    pub expired: u64,
+    /// Tasks shed by cluster-level admission control (backlog over the
+    /// watermark; see [`crate::AdmissionControl`]).
+    pub shed: u64,
+    /// Accumulated queueing delay over successful completions.
+    pub total_wait: Duration,
+    /// Accumulated end-to-end latency over successful completions.
+    pub total_latency: Duration,
+    /// Accumulated command-issue stage over successful completions.
+    pub stage_dispatch: Duration,
+    /// Accumulated DMA stage over successful completions.
+    pub stage_dma: Duration,
+    /// Accumulated device (compute/PIO/lookup) stage over successful
+    /// completions.
+    pub stage_device: Duration,
+}
+
+impl TenantStats {
+    /// Mean end-to-end latency over this tenant's completions.
+    pub fn mean_latency(&self) -> Duration {
+        if self.completed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.completed as u32
+        }
+    }
+
+    /// Per-stage latency totals for this tenant (queue wait plus the
+    /// three service stages), mirroring [`QueueStats::stage_totals`].
+    pub fn stage_totals(&self) -> StageBreakdown {
+        StageBreakdown {
+            queue_wait: self.total_wait,
+            dispatch: self.stage_dispatch,
+            dma: self.stage_dma,
+            device: self.stage_device,
+        }
+    }
+
+    /// Folds another tenant block into this one (cluster roll-up).
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.expired += other.expired;
+        self.shed += other.shed;
+        self.total_wait += other.total_wait;
+        self.total_latency += other.total_latency;
+        self.stage_dispatch += other.stage_dispatch;
+        self.stage_dma += other.stage_dma;
+        self.stage_device += other.stage_device;
+    }
+}
+
+/// Aggregate serving statistics of a [`crate::DeviceQueue`]: admission,
+/// dispatch, batching, shedding, and latency counters, plus per-tenant
+/// slices. Comparable with `==` (the reservoir compares its retained
+/// samples), which the API-compat tests use to prove the deprecated
+/// `submit_*` shims and the [`crate::TaskSpec`] path book identically.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueueStats {
     /// Tasks accepted by `submit`.
     pub submitted: u64,
@@ -341,6 +414,9 @@ pub struct QueueStats {
     pub failed: u64,
     /// Tasks shed because their deadline passed before dispatch.
     pub expired: u64,
+    /// Tasks shed by cluster-level admission control (backlog over the
+    /// configured watermark; see [`crate::AdmissionControl`]).
+    pub shed_admission: u64,
     /// Re-dispatch attempts made by the bounded retry policy.
     pub retries: u64,
     /// Multi-query batch jobs dispatched (see `submit_weighted`).
@@ -378,6 +454,9 @@ pub struct QueueStats {
     pub makespan: Duration,
     /// Number of device cores the queue schedules over.
     pub cores: usize,
+    /// Per-tenant counter slices, keyed by raw [`crate::TenantId`].
+    /// Tasks submitted without an explicit tenant land under tenant 0.
+    pub per_tenant: BTreeMap<u64, TenantStats>,
 }
 
 impl QueueStats {
@@ -463,6 +542,7 @@ impl QueueStats {
         self.completed += other.completed;
         self.failed += other.failed;
         self.expired += other.expired;
+        self.shed_admission += other.shed_admission;
         self.retries += other.retries;
         self.batches += other.batches;
         self.batched_tasks += other.batched_tasks;
@@ -482,6 +562,9 @@ impl QueueStats {
         self.busy += other.busy;
         self.makespan = self.makespan.max(other.makespan);
         self.cores += other.cores;
+        for (tenant, stats) in &other.per_tenant {
+            self.per_tenant.entry(*tenant).or_default().merge(stats);
+        }
     }
 }
 

@@ -767,6 +767,59 @@ pub fn prometheus_text(queue: &QueueStats, vcu: Option<&VcuStats>) -> String {
         "# HELP apu_queue_throughput_tasks_per_second Sustained completions per second\n# TYPE apu_queue_throughput_tasks_per_second gauge\napu_queue_throughput_tasks_per_second {:.6}",
         queue.throughput()
     );
+    if !queue.per_tenant.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP apu_tenant_tasks_total Logical task units by tenant and disposition"
+        );
+        let _ = writeln!(out, "# TYPE apu_tenant_tasks_total counter");
+        for (tenant, t) in &queue.per_tenant {
+            for (state, value) in [
+                ("submitted", t.submitted),
+                ("completed", t.completed),
+                ("failed", t.failed),
+                ("expired", t.expired),
+                ("shed", t.shed),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "apu_tenant_tasks_total{{tenant=\"{tenant}\",state=\"{state}\"}} {value}"
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP apu_tenant_stage_seconds_total Accumulated per-stage latency by tenant"
+        );
+        let _ = writeln!(out, "# TYPE apu_tenant_stage_seconds_total counter");
+        for (tenant, t) in &queue.per_tenant {
+            let stages = t.stage_totals();
+            for (stage, d) in [
+                ("queue_wait", stages.queue_wait),
+                ("dispatch", stages.dispatch),
+                ("dma", stages.dma),
+                ("device", stages.device),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "apu_tenant_stage_seconds_total{{tenant=\"{tenant}\",stage=\"{stage}\"}} {:.9}",
+                    d.as_secs_f64()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP apu_tenant_latency_seconds_total Accumulated end-to-end latency by tenant"
+        );
+        let _ = writeln!(out, "# TYPE apu_tenant_latency_seconds_total counter");
+        for (tenant, t) in &queue.per_tenant {
+            let _ = writeln!(
+                out,
+                "apu_tenant_latency_seconds_total{{tenant=\"{tenant}\"}} {:.9}",
+                t.total_latency.as_secs_f64()
+            );
+        }
+    }
     if let Some(v) = vcu {
         counter(
             "apu_vcu_commands_total",
@@ -941,17 +994,29 @@ mod tests {
 
     #[test]
     fn prometheus_text_renders_counters_and_stages() {
-        let stats = QueueStats {
+        let mut stats = QueueStats {
             submitted: 5,
             completed: 4,
             failed: 1,
             ..QueueStats::default()
         };
+        let tenant = stats.per_tenant.entry(7).or_default();
+        tenant.submitted = 5;
+        tenant.completed = 4;
+        tenant.shed = 1;
+        tenant.total_latency = std::time::Duration::from_millis(250);
         let text = prometheus_text(&stats, Some(&VcuStats::default()));
         assert!(text.contains("apu_queue_submitted_total 5"));
         assert!(text.contains("apu_queue_completed_total 4"));
         assert!(text.contains("apu_queue_stage_seconds_total{stage=\"dma\"}"));
         assert!(text.contains("apu_vcu_cycles_total{class=\"compute\"} 0"));
+        assert!(text.contains("apu_tenant_tasks_total{tenant=\"7\",state=\"completed\"} 4"));
+        assert!(text.contains("apu_tenant_tasks_total{tenant=\"7\",state=\"shed\"} 1"));
+        assert!(text.contains("apu_tenant_stage_seconds_total{tenant=\"7\",stage=\"queue_wait\"}"));
+        assert!(text.contains("apu_tenant_latency_seconds_total{tenant=\"7\"} 0.250000000"));
+        // Queues that never saw tenant-tagged work emit no tenant series.
+        let untagged = prometheus_text(&QueueStats::default(), None);
+        assert!(!untagged.contains("apu_tenant_"));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "line: {line}");

@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use apu_sim::{
     ApuDevice, BatchKey, Cycles, DeviceCluster, DeviceQueue, DeviceTiming, ExecMode, FaultPlan,
-    Priority, QueueConfig, RetryPolicy, RoutePolicy, SimConfig, TraceRecorder, VecOp, Vmr,
+    Priority, QueueConfig, RetryPolicy, RoutePolicy, SimConfig, TaskSpec, TraceRecorder, VecOp,
+    Vmr,
 };
 
 /// Table 5 measured column (cycles per 32K-element vector command).
@@ -109,10 +110,10 @@ fn queue_dispatch_charges_calibrated_op_costs() {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         let h = q
-            .submit_kernel(Priority::Normal, move |ctx| {
+            .submit(TaskSpec::kernel(move |ctx| {
                 ctx.core_mut().charge(op);
                 Ok(())
-            })
+            }))
             .expect("submission");
         let done = q.wait(h).expect("dispatch");
         assert_eq!(
@@ -134,9 +135,7 @@ fn batched_dispatch_charges_the_same_cycles_as_single() {
         let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(max_batch));
         for _ in 0..3 {
-            q.submit_batchable(
-                Priority::Normal,
-                Duration::ZERO,
+            q.submit(TaskSpec::batch(
                 apu_sim::BatchKey::new(1),
                 Box::new(()),
                 Box::new(
@@ -148,7 +147,7 @@ fn batched_dispatch_charges_the_same_cycles_as_single() {
                         Ok((report, payloads.into_iter().map(Ok).collect()))
                     },
                 ),
-            )
+            ))
             .expect("submission");
         }
         let done = q.drain().expect("drain");
@@ -223,20 +222,21 @@ fn run_cluster_workload(mode: ExecMode) -> ClusterGolden {
 
     for i in 0..12u64 {
         cluster
-            .submit_batchable(
-                Priority::Normal,
-                Duration::from_micros(10 * i),
-                BatchKey::new(i % 5 + 1),
-                Box::new(i),
-                Box::new(
-                    |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
-                        let report = dev.run_task(|ctx| {
-                            ctx.core_mut().charge(VecOp::MulS16);
-                            Ok(())
-                        })?;
-                        Ok((report, payloads.into_iter().map(Ok).collect()))
-                    },
-                ),
+            .submit(
+                TaskSpec::batch(
+                    BatchKey::new(i % 5 + 1),
+                    Box::new(i),
+                    Box::new(
+                        |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                            let report = dev.run_task(|ctx| {
+                                ctx.core_mut().charge(VecOp::MulS16);
+                                Ok(())
+                            })?;
+                            Ok((report, payloads.into_iter().map(Ok).collect()))
+                        },
+                    ),
+                )
+                .at(Duration::from_micros(10 * i)),
             )
             .expect("submission");
     }
@@ -321,10 +321,8 @@ fn tracing_adds_zero_virtual_time() {
         let n = dev.config().vr_len;
         let mut q = DeviceQueue::new(&mut dev, QueueConfig::default());
         for i in 0..4u64 {
-            q.submit_job(
-                Priority::Normal,
-                Duration::from_micros(30 * i),
-                move |dev| {
+            q.submit(
+                TaskSpec::typed(move |dev: &mut ApuDevice| {
                     let h = dev.alloc_u16(2 * n)?;
                     let r = dev.run_task(|ctx| {
                         let t0 = ctx.dma_l4_to_l1_async(Vmr::new(0), h)?;
@@ -337,7 +335,8 @@ fn tracing_adds_zero_virtual_time() {
                         Ok(())
                     })?;
                     Ok((r, i))
-                },
+                })
+                .at(Duration::from_micros(30 * i)),
             )
             .expect("submission");
         }

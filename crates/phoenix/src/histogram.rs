@@ -212,10 +212,13 @@ pub fn enqueue<'t>(
     data: &'t [u8],
     opts: OptConfig,
 ) -> Result<TaskHandle> {
-    queue.submit_job(priority, std::time::Duration::ZERO, move |dev| {
-        let (hist, report) = apu(dev, data, opts)?;
-        Ok((report, hist))
-    })
+    queue.submit(
+        apu_sim::TaskSpec::typed(move |dev: &mut apu_sim::ApuDevice| {
+            let (hist, report) = apu(dev, data, opts)?;
+            Ok((report, hist))
+        })
+        .priority(priority),
+    )
 }
 
 /// Analytical-framework twin of the all-opts kernel (used for Table 7).

@@ -139,15 +139,14 @@ impl RagPipeline {
                     let k = self.k;
                     let hbm_cell = std::cell::RefCell::new(&mut *hbm);
                     let mut queue = DeviceQueue::new(&mut *dev, QueueConfig::default());
-                    let handle = queue.submit_job(
-                        Priority::High,
-                        std::time::Duration::ZERO,
-                        |dev: &mut ApuDevice| {
+                    let handle = queue.submit(
+                        apu_sim::TaskSpec::typed(|dev: &mut ApuDevice| {
                             let mut hbm = hbm_cell.borrow_mut();
                             let (hits, breakdown, report) =
                                 retriever.retrieve(dev, &mut hbm, store, query, k)?;
                             Ok((report.clone(), (hits, breakdown, report)))
-                        },
+                        })
+                        .priority(Priority::High),
                     )?;
                     queue.wait(handle)?;
                     let done = queue

@@ -35,7 +35,7 @@ use apu_sim::trace::prometheus_text;
 use apu_sim::{
     chrome_trace_json_grouped, ApuDevice, ChromeTraceSink, Completion, DeviceCluster, DeviceQueue,
     Error, FaultPlan, Priority, QueueConfig, QueueStats, RetryPolicy, RoutePolicy, SimConfig,
-    StageBreakdown, TaskHandle, TraceEvent,
+    StageBreakdown, TaskHandle, TaskSpec, TenantId, TraceEvent,
 };
 use hbm_sim::{DramSpec, MemorySystem};
 
@@ -61,10 +61,23 @@ pub struct ServeConfig {
     /// Per-query time-to-live: a query that cannot start within `ttl`
     /// of its arrival is shed as `DeadlineExceeded` without dispatching
     /// (graceful degradation under overload). `None` disables shedding.
+    /// A per-query TTL ([`QuerySpec::ttl`]) overrides this default.
     pub ttl: Option<Duration>,
     /// Bounded retry-with-backoff for transiently faulted queries.
     /// `None` disables retries.
     pub retry: Option<RetryPolicy>,
+    /// Tail-latency hedging on a [`ShardedRagServer`]: when set, every
+    /// shard fan-out task gets a speculative **hedge copy** submitted
+    /// this long after the primary's arrival at [`Priority::High`] with
+    /// the *primary's* deadline. Per `(query, shard)` the first
+    /// successful copy wins the merge, so a shard whose primary is stuck
+    /// behind a deep backlog answers from the hedge instead. Served
+    /// queries that used at least one hedge copy are flagged via
+    /// [`QueryCompletion::hedged`]. Hedge copies are extra shard-tasks:
+    /// they inflate the queue counters but never the query count. A
+    /// single-device [`RagServer`] ignores this (one queue — a duplicate
+    /// would race itself).
+    pub hedge: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -77,7 +90,59 @@ impl Default for ServeConfig {
             priority: Priority::Normal,
             ttl: None,
             retry: None,
+            hedge: None,
         }
+    }
+}
+
+/// Submission parameters of one query: arrival time plus optional
+/// tenant tag, per-query priority, and per-query TTL (overriding the
+/// server-wide [`ServeConfig`] defaults). Build with [`QuerySpec::new`]
+/// and pass to [`RagServer::submit_query`] /
+/// [`ShardedRagServer::submit_query`].
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    arrival: Duration,
+    tenant: TenantId,
+    priority: Option<Priority>,
+    ttl: Option<Duration>,
+    query: Vec<i16>,
+}
+
+impl QuerySpec {
+    /// A query arriving at `arrival` on the virtual timeline, with the
+    /// server-wide defaults for everything else.
+    pub fn new(arrival: Duration, query: Vec<i16>) -> Self {
+        QuerySpec {
+            arrival,
+            tenant: TenantId::default(),
+            priority: None,
+            ttl: None,
+            query,
+        }
+    }
+
+    /// Tags the query with a tenant for fair-share scheduling and
+    /// per-tenant accounting (see [`apu_sim::SchedPolicy::SloAware`]).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Overrides the server-wide submission priority for this query.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Overrides the server-wide TTL for this query: it is shed unless
+    /// it can start within `ttl` of its arrival.
+    #[must_use]
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
     }
 }
 
@@ -100,6 +165,9 @@ impl QueryTicket {
 pub struct QueryCompletion {
     /// Ticket returned at submission.
     pub ticket: QueryTicket,
+    /// Tenant the query was submitted under ([`QuerySpec::tenant`];
+    /// default tenant 0).
+    pub tenant: TenantId,
     /// The query's own arrival time.
     pub arrival: Duration,
     /// Dispatch time of the batch that carried it (shed queries reuse
@@ -122,6 +190,10 @@ pub struct QueryCompletion {
     pub shards_ok: usize,
     /// How many corpus shards the query was fanned out to.
     pub shards_total: usize,
+    /// Whether at least one shard served this query from its hedge copy
+    /// rather than the primary (see [`ServeConfig::hedge`]). Always
+    /// `false` without hedging.
+    pub hedged: bool,
     /// Top-k hits — identical to the synchronous
     /// [`crate::batch::retrieve_batch`] path — or the retirement error.
     pub outcome: std::result::Result<Vec<Hit>, Error>,
@@ -262,8 +334,7 @@ impl ServeReport {
 
 struct PendingQuery {
     ticket: QueryTicket,
-    arrival: Duration,
-    query: Vec<i16>,
+    spec: QuerySpec,
 }
 
 /// An online RAG retrieval server over one device.
@@ -304,7 +375,9 @@ impl<'a> RagServer<'a> {
         self.pending.len()
     }
 
-    /// Accepts one query arriving at `arrival` on the virtual timeline.
+    /// Accepts one query arriving at `arrival` on the virtual timeline,
+    /// with the server-wide tenant/priority/TTL defaults (shorthand for
+    /// [`RagServer::submit_query`] with a bare [`QuerySpec`]).
     ///
     /// # Errors
     ///
@@ -312,6 +385,17 @@ impl<'a> RagServer<'a> {
     /// admission bound, or [`Error::InvalidArg`] for a bad dimension
     /// (checked later by the batch kernel as well).
     pub fn submit(&mut self, arrival: Duration, query: Vec<i16>) -> Result<QueryTicket> {
+        self.submit_query(QuerySpec::new(arrival, query))
+    }
+
+    /// Accepts one query with explicit per-query submission parameters
+    /// (tenant tag, priority, TTL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog exceeds the queue's
+    /// admission bound.
+    pub fn submit_query(&mut self, spec: QuerySpec) -> Result<QueryTicket> {
         if self.pending.len() >= self.cfg.queue.max_pending {
             return Err(Error::QueueFull {
                 pending: self.pending.len(),
@@ -320,11 +404,7 @@ impl<'a> RagServer<'a> {
         }
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push(PendingQuery {
-            ticket,
-            arrival,
-            query,
-        });
+        self.pending.push(PendingQuery { ticket, spec });
         Ok(ticket)
     }
 
@@ -341,7 +421,7 @@ impl<'a> RagServer<'a> {
     /// are consumed either way.
     pub fn drain(&mut self) -> Result<ServeReport> {
         let mut queries = std::mem::take(&mut self.pending);
-        queries.sort_by_key(|p| (p.arrival, p.ticket.0));
+        queries.sort_by_key(|p| (p.spec.arrival, p.ticket.0));
 
         let store = self.store;
         let k = self.cfg.k;
@@ -356,7 +436,6 @@ impl<'a> RagServer<'a> {
         if let Some(policy) = self.cfg.retry {
             queue_cfg = queue_cfg.with_retry(policy);
         }
-        let ttl = self.cfg.ttl;
         let mut queue = DeviceQueue::new(&mut *self.dev, queue_cfg);
         let mut tickets: HashMap<TaskHandle, (QueryTicket, Duration)> = HashMap::new();
         for p in queries {
@@ -365,19 +444,16 @@ impl<'a> RagServer<'a> {
                 let mut hbm = hbm.borrow_mut();
                 run_boxed_batch(dev, &mut hbm, store, payloads, k)
             });
-            let payload = Box::new(p.query);
-            let handle = match ttl {
-                Some(ttl) => queue.submit_batchable_with_ttl(
-                    self.cfg.priority,
-                    p.arrival,
-                    ttl,
-                    key,
-                    payload,
-                    run,
-                ),
-                None => queue.submit_batchable(self.cfg.priority, p.arrival, key, payload, run),
-            }?;
-            tickets.insert(handle, (p.ticket, p.arrival));
+            let arrival = p.spec.arrival;
+            let mut task = TaskSpec::batch(key, Box::new(p.spec.query), run)
+                .priority(p.spec.priority.unwrap_or(self.cfg.priority))
+                .at(arrival)
+                .tenant(p.spec.tenant);
+            if let Some(ttl) = p.spec.ttl.or(self.cfg.ttl) {
+                task = task.ttl(ttl);
+            }
+            let handle = queue.submit(task)?;
+            tickets.insert(handle, (p.ticket, arrival));
         }
 
         let mut completions = Vec::new();
@@ -387,10 +463,12 @@ impl<'a> RagServer<'a> {
                 .expect("every completion maps to a submitted query");
             let (started_at, finished_at) = (done.started_at, done.finished_at);
             let (batch_size, attempts) = (done.batch_size, done.attempts);
+            let tenant = done.tenant;
             let stages = done.stage_breakdown();
             let outcome = done.into_output();
             completions.push(QueryCompletion {
                 ticket,
+                tenant,
                 arrival,
                 started_at,
                 finished_at,
@@ -399,6 +477,7 @@ impl<'a> RagServer<'a> {
                 stages,
                 shards_ok: usize::from(outcome.is_ok()),
                 shards_total: 1,
+                hedged: false,
                 outcome,
             });
         }
@@ -585,7 +664,9 @@ impl ShardedRagServer {
         Some(chrome_trace_json_grouped(&groups, clock))
     }
 
-    /// Accepts one query arriving at `arrival` on the virtual timeline.
+    /// Accepts one query arriving at `arrival` on the virtual timeline,
+    /// with the server-wide tenant/priority/TTL defaults (shorthand for
+    /// [`ShardedRagServer::submit_query`] with a bare [`QuerySpec`]).
     ///
     /// # Errors
     ///
@@ -593,6 +674,18 @@ impl ShardedRagServer {
     /// admission bound (applied to queries, before the per-shard
     /// fan-out).
     pub fn submit(&mut self, arrival: Duration, query: Vec<i16>) -> Result<QueryTicket> {
+        self.submit_query(QuerySpec::new(arrival, query))
+    }
+
+    /// Accepts one query with explicit per-query submission parameters
+    /// (tenant tag, priority, TTL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the backlog exceeds the queue's
+    /// admission bound (applied to queries, before the per-shard
+    /// fan-out).
+    pub fn submit_query(&mut self, spec: QuerySpec) -> Result<QueryTicket> {
         if self.pending.len() >= self.cfg.queue.max_pending {
             return Err(Error::QueueFull {
                 pending: self.pending.len(),
@@ -601,11 +694,7 @@ impl ShardedRagServer {
         }
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push(PendingQuery {
-            ticket,
-            arrival,
-            query,
-        });
+        self.pending.push(PendingQuery { ticket, spec });
         Ok(ticket)
     }
 
@@ -629,7 +718,7 @@ impl ShardedRagServer {
     /// are consumed either way.
     pub fn drain(&mut self) -> Result<ServeReport> {
         let mut queries = std::mem::take(&mut self.pending);
-        queries.sort_by_key(|p| (p.arrival, p.ticket.0));
+        queries.sort_by_key(|p| (p.spec.arrival, p.ticket.0));
 
         let k = self.cfg.k;
         let n_shards = self.shards.len();
@@ -642,7 +731,7 @@ impl ShardedRagServer {
         if let Some(policy) = self.cfg.retry {
             queue_cfg = queue_cfg.with_retry(policy);
         }
-        let ttl = self.cfg.ttl;
+        let hedge = self.cfg.hedge;
 
         // Borrow order matters: the per-shard closures capture these
         // cells, so they must outlive the cluster that owns the closures.
@@ -661,35 +750,39 @@ impl ShardedRagServer {
             RoutePolicy::RoundRobin,
         )?;
 
-        let mut tickets: HashMap<(usize, TaskHandle), (QueryTicket, Duration)> = HashMap::new();
+        // Value: (ticket, arrival, is_hedge_copy).
+        let mut tickets: HashMap<(usize, TaskHandle), (QueryTicket, Duration, bool)> =
+            HashMap::new();
         for p in queries {
+            let arrival = p.spec.arrival;
+            let priority = p.spec.priority.unwrap_or(self.cfg.priority);
+            let ttl = p.spec.ttl.or(self.cfg.ttl);
             for (s, shard) in shards.iter().enumerate() {
-                let hbm = &hbm_cells[s];
-                let run = Box::new(move |dev: &mut ApuDevice, payloads| {
-                    let mut hbm = hbm.borrow_mut();
-                    run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
-                });
-                let payload = Box::new(p.query.clone());
-                let handle = match ttl {
-                    Some(ttl) => cluster.submit_batchable_with_ttl_to(
-                        s,
-                        self.cfg.priority,
-                        p.arrival,
-                        ttl,
-                        keys[s],
-                        payload,
-                        run,
-                    ),
-                    None => cluster.submit_batchable_to(
-                        s,
-                        self.cfg.priority,
-                        p.arrival,
-                        keys[s],
-                        payload,
-                        run,
-                    ),
-                }?;
-                tickets.insert((handle.shard(), handle.task()), (p.ticket, p.arrival));
+                let make_task = |at: Duration, priority: Priority| {
+                    let hbm = &hbm_cells[s];
+                    let run = Box::new(move |dev: &mut ApuDevice, payloads| {
+                        let mut hbm = hbm.borrow_mut();
+                        run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
+                    });
+                    let mut task = TaskSpec::batch(keys[s], Box::new(p.spec.query.clone()), run)
+                        .priority(priority)
+                        .at(at)
+                        .tenant(p.spec.tenant)
+                        .on_shard(s);
+                    if let Some(ttl) = ttl {
+                        // Primary and hedge share the primary's deadline:
+                        // the hedge races the same SLO, it does not
+                        // extend it.
+                        task = task.deadline_at(arrival + ttl);
+                    }
+                    task
+                };
+                let handle = cluster.submit(make_task(arrival, priority))?;
+                tickets.insert((handle.shard(), handle.task()), (p.ticket, arrival, false));
+                if let Some(delay) = hedge {
+                    let h = cluster.submit(make_task(arrival + delay, Priority::High))?;
+                    tickets.insert((h.shard(), h.task()), (p.ticket, arrival, true));
+                }
             }
         }
 
@@ -697,35 +790,59 @@ impl ShardedRagServer {
         let queue = cluster_report.merged_stats();
         let mut shard_stats = Vec::with_capacity(n_shards);
         // Gather each query's per-shard completions, in shard order
-        // (shards drain in order, so pushing preserves it).
-        let mut gathered: HashMap<u64, (Duration, Vec<Completion>)> = HashMap::new();
+        // (shards drain in order, so pushing preserves it). With hedging
+        // a shard contributes two copies per query; the merge below
+        // keeps one winner per (query, shard).
+        type Gathered = (Duration, Vec<(usize, bool, Completion)>);
+        let mut gathered: HashMap<u64, Gathered> = HashMap::new();
         for drained in cluster_report.shards {
             let shard = drained.shard;
             shard_stats.push(drained.stats);
             for done in drained.completions {
-                let (ticket, arrival) = tickets
+                let (ticket, arrival, is_hedge) = tickets
                     .remove(&(shard, done.handle))
                     .expect("every completion maps to a submitted query");
                 gathered
                     .entry(ticket.0)
                     .or_insert_with(|| (arrival, Vec::new()))
                     .1
-                    .push(done);
+                    .push((shard, is_hedge, done));
             }
         }
 
+        let copies = 1 + usize::from(hedge.is_some());
         let mut completions = Vec::with_capacity(gathered.len());
-        for (ticket, (arrival, parts)) in gathered {
-            debug_assert_eq!(parts.len(), n_shards);
-            let started_at = parts.iter().map(|c| c.started_at).min().unwrap_or_default();
+        for (ticket, (arrival, mut copies_by_shard)) in gathered {
+            debug_assert_eq!(copies_by_shard.len(), n_shards * copies);
+            // Winner per shard: the first successful copy (the answer a
+            // client would act on), falling back to the primary's error
+            // when every copy failed.
+            copies_by_shard
+                .sort_by_key(|(shard, is_hedge, c)| (*shard, !c.is_ok(), c.finished_at, *is_hedge));
+            let mut parts: Vec<(bool, Completion)> = Vec::with_capacity(n_shards);
+            for (shard, is_hedge, c) in copies_by_shard {
+                match parts.len() {
+                    n if n == shard => parts.push((is_hedge, c)),
+                    n if n > shard => {} // a winner for this shard exists
+                    _ => unreachable!("shards gather in order"),
+                }
+            }
+            let hedged = parts.iter().any(|(h, c)| *h && c.is_ok());
+            let started_at = parts
+                .iter()
+                .map(|(_, c)| c.started_at)
+                .min()
+                .unwrap_or_default();
             let finished_at = parts
                 .iter()
-                .map(|c| c.finished_at)
+                .map(|(_, c)| c.finished_at)
                 .max()
                 .unwrap_or_default();
-            let attempts = parts.iter().map(|c| c.attempts).max().unwrap_or(1);
+            let attempts = parts.iter().map(|(_, c)| c.attempts).max().unwrap_or(1);
+            let tenant = parts.first().map(|(_, c)| c.tenant).unwrap_or_default();
             let critical = parts
                 .iter()
+                .map(|(_, c)| c)
                 .max_by_key(|c| c.finished_at)
                 .expect("a query fans out to at least one shard");
             let stages = critical.stage_breakdown();
@@ -734,7 +851,7 @@ impl ShardedRagServer {
             let mut hits = Vec::new();
             let mut shards_ok = 0;
             let mut first_err = None;
-            for done in parts {
+            for (_, done) in parts {
                 match done.into_output::<Vec<Hit>>() {
                     Ok(shard_hits) => {
                         shards_ok += 1;
@@ -753,6 +870,7 @@ impl ShardedRagServer {
             };
             completions.push(QueryCompletion {
                 ticket: QueryTicket(ticket),
+                tenant,
                 arrival,
                 started_at,
                 finished_at,
@@ -761,6 +879,7 @@ impl ShardedRagServer {
                 stages,
                 shards_ok,
                 shards_total,
+                hedged,
                 outcome,
             });
         }

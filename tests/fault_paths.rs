@@ -15,8 +15,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use apu_sim::{
-    ApuDevice, DeviceQueue, Error, ExecMode, FaultPlan, Priority, QueueConfig, RetryPolicy,
-    SimConfig, VecOp,
+    ApuDevice, DeviceQueue, Error, ExecMode, FaultPlan, QueueConfig, RetryPolicy, SimConfig,
+    TaskSpec, VecOp,
 };
 use hbm_sim::{DramSpec, MemorySystem};
 use rag::{CorpusSpec, EmbeddingStore, Hit, RagServer, ServeConfig, ServeReport, ShardedRagServer};
@@ -81,18 +81,17 @@ fn single_task_failure_is_isolated() {
     let mut handles = Vec::new();
     for i in 0..10u32 {
         let h = if i == 4 {
-            q.submit(
-                Priority::Normal,
-                Box::new(|_dev| Err(Error::TaskFailed("injected kernel failure".into()))),
-            )
+            q.submit(TaskSpec::job(Box::new(|_dev: &mut ApuDevice| {
+                Err(Error::TaskFailed("injected kernel failure".into()))
+            })))
         } else {
-            q.submit_job(Priority::Normal, Duration::ZERO, move |dev| {
+            q.submit(TaskSpec::typed(move |dev: &mut ApuDevice| {
                 let r = dev.run_task(|ctx| {
                     ctx.core_mut().charge(VecOp::AddU16);
                     Ok(())
                 })?;
                 Ok((r, i))
-            })
+            }))
         }
         .expect("submission");
         handles.push(h);

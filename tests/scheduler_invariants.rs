@@ -21,7 +21,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use apu_sim::{
-    ApuDevice, BatchKey, Completion, DeviceQueue, Error, Priority, QueueConfig, SimConfig, VecOp,
+    ApuDevice, BatchKey, Completion, DeviceQueue, Error, Priority, QueueConfig, SimConfig,
+    TaskSpec, VecOp,
 };
 use hbm_sim::{DramSpec, MemorySystem};
 use rag::{ApuRetriever, CorpusSpec, EmbeddingStore, RagServer, RagVariant, ServeConfig};
@@ -35,20 +36,22 @@ fn submit_echo(
     key: u64,
     tag: u32,
 ) -> apu_sim::TaskHandle {
-    q.submit_batchable(
-        priority,
-        arrival,
-        BatchKey::new(key),
-        Box::new(tag),
-        Box::new(
-            |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
-                let report = dev.run_task(|ctx| {
-                    ctx.core_mut().charge(VecOp::MulS16);
-                    Ok(())
-                })?;
-                Ok((report, payloads.into_iter().map(Ok).collect()))
-            },
-        ),
+    q.submit(
+        TaskSpec::batch(
+            BatchKey::new(key),
+            Box::new(tag),
+            Box::new(
+                |dev: &mut ApuDevice, payloads: Vec<Box<dyn std::any::Any>>| {
+                    let report = dev.run_task(|ctx| {
+                        ctx.core_mut().charge(VecOp::MulS16);
+                        Ok(())
+                    })?;
+                    Ok((report, payloads.into_iter().map(Ok).collect()))
+                },
+            ),
+        )
+        .priority(priority)
+        .at(arrival),
     )
     .expect("submission under capacity")
 }
@@ -241,9 +244,7 @@ fn queue_full_fires_at_exactly_max_pending() {
     // All four pending jobs would fold into ONE dispatch, but admission
     // is by submission count: the fifth submit must be rejected.
     let err = q
-        .submit_batchable(
-            Priority::Normal,
-            Duration::ZERO,
+        .submit(TaskSpec::batch(
             BatchKey::new(1),
             Box::new(4u32),
             Box::new(
@@ -252,7 +253,7 @@ fn queue_full_fires_at_exactly_max_pending() {
                     Ok((report, payloads.into_iter().map(Ok).collect()))
                 },
             ),
-        )
+        ))
         .expect_err("fifth submission must be rejected");
     match err {
         Error::QueueFull { pending, capacity } => {

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use apu_sim::{ApuDevice, DeviceQueue, Priority, QueueConfig, SimConfig, VcuStats};
+use apu_sim::{ApuDevice, DeviceQueue, Priority, QueueConfig, SimConfig, TaskSpec, VcuStats};
 use hbm_sim::{DramSpec, MemorySystem};
 use phoenix::{histogram, OptConfig};
 use rag::{retrieve_batch, CorpusSpec, EmbeddingStore, Hit, RagServer, ServeConfig};
@@ -41,11 +41,14 @@ fn mixed_rag_and_phoenix_tasks_share_the_queue() {
         let q = queries.clone();
         let st = &store;
         let h_rag = queue
-            .submit_job(Priority::High, Duration::ZERO, move |dev| {
-                let mut hbm = hbm_cell.borrow_mut();
-                let r = retrieve_batch(dev, &mut hbm, st, &q, 5)?;
-                Ok((r.report.clone(), r.hits))
-            })
+            .submit(
+                TaskSpec::typed(move |dev: &mut ApuDevice| {
+                    let mut hbm = hbm_cell.borrow_mut();
+                    let r = retrieve_batch(dev, &mut hbm, st, &q, 5)?;
+                    Ok((r.report.clone(), r.hits))
+                })
+                .priority(Priority::High),
+            )
             .expect("rag submission");
 
         let done = queue.drain().expect("mixed drain");

@@ -1,0 +1,292 @@
+//! Property tests for the SLO-aware traffic engine: weighted fair-share
+//! scheduling never starves a tenant and tracks the configured shares;
+//! EDF-ordered batch coalescing preserves the sharded-vs-flat retrieval
+//! exactness of `tests/sharding_props.rs`; and the workload-trace
+//! generator is a pure function of its seed.
+
+use std::time::Duration;
+
+use apu_sim::{
+    ApuDevice, ArrivalProcess, DeviceQueue, ExecMode, Priority, QueueConfig, SchedPolicy,
+    SimConfig, TaskSpec, TenantId, TenantTraffic, TrafficSpec, VecOp,
+};
+use hbm_sim::{DramSpec, MemorySystem};
+use proptest::prelude::*;
+use rag::{retrieve_batch, CorpusSpec, EmbeddingStore, QuerySpec, ServeConfig, ShardedRagServer};
+
+fn device() -> ApuDevice {
+    ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20))
+}
+
+fn charge_spec(tenant: TenantId) -> TaskSpec<'static> {
+    TaskSpec::kernel(|ctx: &mut apu_sim::ApuContext<'_>| {
+        ctx.core_mut().charge(VecOp::AddU16);
+        Ok(())
+    })
+    .tenant(tenant)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No starvation: with every tenant backlogged from t=0 at one
+    /// priority, each tenant's FIRST task dispatches within the first
+    /// `tenants` dispatches — regardless of how skewed the fair-share
+    /// weights are and which tenant submitted first. (Start-time fair
+    /// queueing tags a tenant's first admission with the current virtual
+    /// time, so no weight assignment can push it behind another tenant's
+    /// whole backlog.)
+    #[test]
+    fn fair_share_never_starves_a_tenant(
+        weights in proptest::collection::vec(1u64..=9, 2..=4),
+        per_tenant in 2usize..=5,
+        rotate in 0usize..4,
+    ) {
+        let tenants = weights.len();
+        let mut dev = device();
+        let mut cfg = QueueConfig::default().with_scheduler(SchedPolicy::SloAware);
+        for (i, &w) in weights.iter().enumerate() {
+            cfg = cfg.with_tenant_weight(TenantId::new(i as u64), w);
+        }
+        let mut q = DeviceQueue::new(&mut dev, cfg);
+        // Submission order rotates so the starved-candidate tenant is
+        // not always the last submitter.
+        for j in 0..per_tenant {
+            for t in 0..tenants {
+                let t = (t + rotate) % tenants;
+                q.submit(charge_spec(TenantId::new(t as u64))).unwrap();
+                let _ = j;
+            }
+        }
+        let done = q.drain().unwrap();
+        prop_assert_eq!(done.len(), tenants * per_tenant);
+        for t in 0..tenants as u64 {
+            let first = done
+                .iter()
+                .position(|c| c.tenant.get() == t)
+                .expect("every tenant completes");
+            prop_assert!(
+                first < tenants,
+                "tenant {} first served at dispatch {} (weights {:?})",
+                t, first, &weights
+            );
+        }
+        // Bounded wait in aggregate: every tenant finishes all its work.
+        let s = q.stats();
+        for t in 0..tenants as u64 {
+            prop_assert_eq!(s.per_tenant[&t].completed, per_tenant as u64);
+        }
+    }
+
+    /// Weighted share: two backlogged tenants split the first `n`
+    /// dispatches in proportion to their configured weights, within a
+    /// ±2 discretization tolerance.
+    #[test]
+    fn fair_share_tracks_the_configured_ratio(
+        w_heavy in 1u64..=6,
+        w_light in 1u64..=6,
+        n in 4usize..=10,
+    ) {
+        let heavy = TenantId::new(1);
+        let light = TenantId::new(2);
+        let mut dev = device();
+        let mut q = DeviceQueue::new(
+            &mut dev,
+            QueueConfig::default()
+                .with_scheduler(SchedPolicy::SloAware)
+                .with_tenant_weight(heavy, w_heavy)
+                .with_tenant_weight(light, w_light),
+        );
+        for _ in 0..12 {
+            q.submit(charge_spec(heavy)).unwrap();
+        }
+        for _ in 0..12 {
+            q.submit(charge_spec(light)).unwrap();
+        }
+        let done = q.drain().unwrap();
+        let got = done
+            .iter()
+            .take(n)
+            .filter(|c| c.tenant == heavy)
+            .count() as f64;
+        let expected = n as f64 * w_heavy as f64 / (w_heavy + w_light) as f64;
+        prop_assert!(
+            (got - expected).abs() <= 2.0,
+            "heavy got {} of first {} dispatches, expected ~{:.2} (weights {}:{})",
+            got, n, expected, w_heavy, w_light
+        );
+    }
+
+    /// The trace generator is a pure function of (spec, seed, horizon):
+    /// two generations agree event-for-event, events are sorted, and
+    /// every deadline is exactly the arrival plus the tenant's SLO.
+    #[test]
+    fn workload_traces_are_seed_deterministic(
+        seed in any::<u64>(),
+        rate in 50.0f64..3000.0,
+        horizon_ms in 5u64..=100,
+    ) {
+        let slo = Duration::from_millis(4);
+        let spec = TrafficSpec::new(vec![
+            TenantTraffic::new(TenantId::new(1), ArrivalProcess::Poisson { rate_qps: rate })
+                .slo(slo),
+            TenantTraffic::new(
+                TenantId::new(2),
+                ArrivalProcess::Burst {
+                    base_qps: rate / 4.0,
+                    burst_qps: rate * 2.0,
+                    period: Duration::from_millis(10),
+                    burst_len: Duration::from_millis(2),
+                },
+            )
+            .priority(Priority::Low),
+        ]);
+        let horizon = Duration::from_millis(horizon_ms);
+        let a = spec.generate(seed, horizon);
+        let b = spec.generate(seed, horizon);
+        prop_assert_eq!(&a.events, &b.events, "same seed, same trace");
+        for w in a.events.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "events sorted by arrival");
+        }
+        for e in &a.events {
+            prop_assert!(e.at < horizon);
+            match e.tenant.get() {
+                1 => prop_assert_eq!(e.deadline, Some(e.at + slo)),
+                _ => prop_assert_eq!(e.deadline, None),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// EDF-within-batch-key under the SLO-aware scheduler preserves the
+    /// sharded-vs-flat exactness property: deadline-tagged, tenant-tagged
+    /// queries served by a sharded SLO-aware cluster return exactly the
+    /// hits of the synchronous single-device kernel — reordering batch
+    /// membership by deadline must never change retrieval results.
+    #[test]
+    fn slo_scheduling_preserves_sharded_retrieval_exactness(
+        chunks in 64usize..=512,
+        k in 1usize..=6,
+        shards in 1usize..=6,
+        nq in 2usize..=4,
+    ) {
+        let st = EmbeddingStore::materialized(
+            CorpusSpec { corpus_bytes: 0, chunks },
+            77,
+        );
+        let queries: Vec<Vec<i16>> = (0..nq as u64).map(|i| st.query(i)).collect();
+
+        let mut dev = ApuDevice::new(
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+        );
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let reference = retrieve_batch(&mut dev, &mut hbm, &st, &queries, k)
+            .expect("reference retrieval");
+
+        let mut server = ShardedRagServer::new(
+            &st,
+            shards,
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+            ServeConfig {
+                k,
+                queue: QueueConfig::default()
+                    .with_scheduler(SchedPolicy::SloAware)
+                    .with_tenant_weight(TenantId::new(1), 4),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("cluster construction");
+        for (i, q) in queries.iter().enumerate() {
+            server
+                .submit_query(
+                    QuerySpec::new(Duration::from_micros(10 * i as u64), q.clone())
+                        .tenant(TenantId::new(1 + (i as u64 % 2)))
+                        // Staggered SLOs give EDF a real ordering choice;
+                        // generous enough that nothing sheds.
+                        .ttl(Duration::from_secs(2 + (nq - i) as u64)),
+                )
+                .expect("submit");
+        }
+        let report = server.drain().expect("drain");
+
+        prop_assert_eq!(report.served(), nq);
+        prop_assert_eq!(report.degraded(), 0);
+        for done in &report.completions {
+            prop_assert_eq!(
+                done.hits().expect("served"),
+                &reference.hits[done.ticket.id() as usize][..],
+                "query {} diverged: chunks={} shards={} k={}",
+                done.ticket.id(), chunks, shards, k
+            );
+        }
+        // Per-tenant accounting fans out with the queries.
+        let per_tenant = &report.queue.per_tenant;
+        let tasks: u64 = per_tenant.values().map(|t| t.submitted).sum();
+        prop_assert_eq!(tasks, (nq * shards) as u64);
+    }
+}
+
+/// Hedged fan-out on a healthy cluster stays exact: every (query, shard)
+/// pair gets a primary and a hedge copy, the merge keeps one winner per
+/// shard, and the hits still match the synchronous single-device kernel.
+#[test]
+fn hedged_fanout_preserves_exactness_and_doubles_shard_tasks() {
+    let st = EmbeddingStore::materialized(
+        CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 600,
+        },
+        77,
+    );
+    let queries: Vec<Vec<i16>> = (0..3u64).map(|i| st.query(i)).collect();
+    let sim = SimConfig::default()
+        .with_exec_mode(ExecMode::Functional)
+        .with_l4_bytes(8 << 20);
+
+    let mut dev = ApuDevice::new(sim.clone());
+    let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+    let reference = retrieve_batch(&mut dev, &mut hbm, &st, &queries, 5).expect("reference");
+
+    let shards = 3;
+    let mut server = ShardedRagServer::new(
+        &st,
+        shards,
+        sim,
+        ServeConfig {
+            hedge: Some(Duration::from_micros(200)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("cluster construction");
+    for (i, q) in queries.iter().enumerate() {
+        server
+            .submit(Duration::from_micros(5 * i as u64), q.clone())
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+
+    assert_eq!(report.completions.len(), queries.len());
+    assert_eq!(report.served(), queries.len());
+    for done in &report.completions {
+        assert_eq!((done.shards_ok, done.shards_total), (shards, shards));
+        assert_eq!(
+            done.hits().expect("served"),
+            &reference.hits[done.ticket.id() as usize][..],
+            "query {}",
+            done.ticket.id()
+        );
+    }
+    // Queue counters see both copies; the query count does not.
+    assert_eq!(
+        report.queue.submitted,
+        (queries.len() * shards * 2) as u64,
+        "hedging doubles shard-tasks"
+    );
+}

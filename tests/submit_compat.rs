@@ -1,0 +1,352 @@
+//! API-compatibility tests for the 0.6.0 submission redesign: every
+//! deprecated `submit_*` shim must book the **identical** schedule and
+//! counters as the [`TaskSpec`] builder path it forwards to. The legs
+//! run the same workload on fresh devices and compare [`QueueStats`]
+//! with `==` plus the per-completion timeline, so any divergence —
+//! ordering, batching, TTL handling, per-tenant booking — fails loudly.
+//!
+//! This is the only file in the workspace allowed to call the
+//! deprecated variants (the CI audit greps for strays elsewhere).
+#![allow(deprecated)]
+
+use std::any::Any;
+use std::time::Duration;
+
+use apu_sim::queue::BatchRunner;
+use apu_sim::{
+    ApuDevice, BatchKey, DeviceCluster, DeviceQueue, Priority, QueueConfig, QueueStats,
+    RoutePolicy, SimConfig, TaskSpec, VecOp,
+};
+
+fn device() -> ApuDevice {
+    ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20))
+}
+
+fn echo_runner<'t>() -> BatchRunner<'t> {
+    Box::new(|dev: &mut ApuDevice, payloads: Vec<Box<dyn Any>>| {
+        let report = dev.run_task(|ctx| {
+            ctx.core_mut().charge(VecOp::MulS16);
+            Ok(())
+        })?;
+        Ok((report, payloads.into_iter().map(Ok).collect()))
+    })
+}
+
+fn charge_job(ops: u32) -> apu_sim::queue::Job<'static> {
+    Box::new(move |dev: &mut ApuDevice| {
+        let r = dev.run_task(|ctx| {
+            for _ in 0..ops {
+                ctx.core_mut().charge(VecOp::AddU16);
+            }
+            Ok(())
+        })?;
+        Ok((r, Box::new(()) as Box<dyn Any>))
+    })
+}
+
+/// (handle, started, finished, attempts, batch, ok) — the observable
+/// schedule of one completion.
+type Timeline = Vec<(u64, Duration, Duration, u32, usize, bool)>;
+
+fn timeline(done: &[apu_sim::Completion]) -> Timeline {
+    done.iter()
+        .map(|c| {
+            (
+                c.handle.id(),
+                c.started_at,
+                c.finished_at,
+                c.attempts,
+                c.batch_size,
+                c.is_ok(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the mixed workload through one `DeviceQueue`, via either the
+/// deprecated shims or the `TaskSpec` builders.
+fn run_queue_leg(use_shims: bool) -> (QueueStats, Timeline) {
+    let us = Duration::from_micros;
+    let mut dev = device();
+    let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(4));
+    let key = BatchKey::new(3);
+    if use_shims {
+        // Four long jobs saturate every core so the 1µs-TTL task below
+        // cannot start in time and must shed.
+        for _ in 0..4 {
+            q.submit_at(Priority::High, Duration::ZERO, charge_job(20_000))
+                .unwrap();
+        }
+        q.submit_at(Priority::Normal, us(10), charge_job(2))
+            .unwrap();
+        q.submit_weighted(Priority::Low, us(20), 3, charge_job(4))
+            .unwrap();
+        // A 1µs TTL this deep in the backlog expires: the shed path must
+        // agree between the legs too.
+        q.submit_with_ttl(Priority::Low, us(30), us(1), charge_job(1))
+            .unwrap();
+        q.submit_batchable(Priority::Normal, us(40), key, Box::new(0u32), echo_runner())
+            .unwrap();
+        q.submit_batchable_with_ttl(
+            Priority::Normal,
+            us(41),
+            Duration::from_millis(40),
+            key,
+            Box::new(1u32),
+            echo_runner(),
+        )
+        .unwrap();
+        q.submit_kernel(Priority::High, |ctx| {
+            ctx.core_mut().charge(VecOp::AddU16);
+            Ok(())
+        })
+        .unwrap();
+        q.submit_job(Priority::Normal, us(50), |dev: &mut ApuDevice| {
+            let r = dev.run_task(|ctx| {
+                ctx.core_mut().charge(VecOp::AddU16);
+                Ok(())
+            })?;
+            Ok((r, 7u64))
+        })
+        .unwrap();
+    } else {
+        for _ in 0..4 {
+            q.submit(TaskSpec::job(charge_job(20_000)).priority(Priority::High))
+                .unwrap();
+        }
+        q.submit(TaskSpec::job(charge_job(2)).at(us(10))).unwrap();
+        q.submit(
+            TaskSpec::job(charge_job(4))
+                .priority(Priority::Low)
+                .at(us(20))
+                .weight(3),
+        )
+        .unwrap();
+        q.submit(
+            TaskSpec::job(charge_job(1))
+                .priority(Priority::Low)
+                .at(us(30))
+                .ttl(us(1)),
+        )
+        .unwrap();
+        q.submit(TaskSpec::batch(key, Box::new(0u32), echo_runner()).at(us(40)))
+            .unwrap();
+        q.submit(
+            TaskSpec::batch(key, Box::new(1u32), echo_runner())
+                .at(us(41))
+                .ttl(Duration::from_millis(40)),
+        )
+        .unwrap();
+        q.submit(
+            TaskSpec::kernel(|ctx: &mut apu_sim::ApuContext<'_>| {
+                ctx.core_mut().charge(VecOp::AddU16);
+                Ok(())
+            })
+            .priority(Priority::High),
+        )
+        .unwrap();
+        q.submit(
+            TaskSpec::typed(|dev: &mut ApuDevice| {
+                let r = dev.run_task(|ctx| {
+                    ctx.core_mut().charge(VecOp::AddU16);
+                    Ok(())
+                })?;
+                Ok((r, 7u64))
+            })
+            .at(us(50)),
+        )
+        .unwrap();
+    }
+    let done = q.drain().unwrap();
+    (q.stats().clone(), timeline(&done))
+}
+
+#[test]
+fn queue_shims_book_identically_to_the_builder_path() {
+    let (shim_stats, shim_timeline) = run_queue_leg(true);
+    let (spec_stats, spec_timeline) = run_queue_leg(false);
+    // QueueStats derives PartialEq over every counter, the per-tenant
+    // map, and the latency reservoirs — one comparison covers them all.
+    assert_eq!(shim_stats, spec_stats);
+    assert_eq!(shim_timeline, spec_timeline);
+    // The workload really exercised the interesting paths.
+    assert!(shim_stats.expired >= 1, "TTL leg must shed");
+    assert!(shim_stats.batches >= 1, "weighted leg must book a batch");
+    assert_eq!(shim_stats.submitted, 11);
+}
+
+/// Runs the mixed workload through a 3-shard `DeviceCluster`, via
+/// either the deprecated shims or the `TaskSpec` builders.
+fn run_cluster_leg(use_shims: bool) -> (QueueStats, Vec<QueueStats>) {
+    let us = Duration::from_micros;
+    let mut devices: Vec<ApuDevice> = (0..3).map(|_| device()).collect();
+    let mut cluster = DeviceCluster::new(
+        devices.iter_mut().collect(),
+        QueueConfig::default().with_max_batch(4),
+        RoutePolicy::RoundRobin,
+    )
+    .unwrap();
+    let key = BatchKey::new(5);
+    if use_shims {
+        // Saturate shard 1's cores so its 1µs-TTL task below must shed.
+        for _ in 0..4 {
+            cluster
+                .submit_to(1, Priority::High, Duration::ZERO, charge_job(20_000))
+                .unwrap();
+        }
+        cluster
+            .submit_at(Priority::Normal, us(5), charge_job(1))
+            .unwrap();
+        cluster
+            .submit_to(2, Priority::High, us(6), charge_job(2))
+            .unwrap();
+        cluster
+            .submit_with_ttl_to(1, Priority::Low, us(7), us(1), charge_job(1))
+            .unwrap();
+        cluster
+            .submit_job(Priority::Normal, us(8), |dev: &mut ApuDevice| {
+                let r = dev.run_task(|ctx| {
+                    ctx.core_mut().charge(VecOp::AddU16);
+                    Ok(())
+                })?;
+                Ok((r, 1u8))
+            })
+            .unwrap();
+        cluster
+            .submit_batchable(Priority::Normal, us(9), key, Box::new(0u32), echo_runner())
+            .unwrap();
+        cluster
+            .submit_batchable_to(
+                0,
+                Priority::Normal,
+                us(10),
+                key,
+                Box::new(1u32),
+                echo_runner(),
+            )
+            .unwrap();
+        cluster
+            .submit_batchable_with_ttl_to(
+                0,
+                Priority::Normal,
+                us(11),
+                Duration::from_millis(40),
+                key,
+                Box::new(2u32),
+                echo_runner(),
+            )
+            .unwrap();
+    } else {
+        for _ in 0..4 {
+            cluster
+                .submit(
+                    TaskSpec::job(charge_job(20_000))
+                        .priority(Priority::High)
+                        .on_shard(1),
+                )
+                .unwrap();
+        }
+        cluster
+            .submit(TaskSpec::job(charge_job(1)).at(us(5)))
+            .unwrap();
+        cluster
+            .submit(
+                TaskSpec::job(charge_job(2))
+                    .priority(Priority::High)
+                    .at(us(6))
+                    .on_shard(2),
+            )
+            .unwrap();
+        cluster
+            .submit(
+                TaskSpec::job(charge_job(1))
+                    .priority(Priority::Low)
+                    .at(us(7))
+                    .ttl(us(1))
+                    .on_shard(1),
+            )
+            .unwrap();
+        cluster
+            .submit(
+                TaskSpec::typed(|dev: &mut ApuDevice| {
+                    let r = dev.run_task(|ctx| {
+                        ctx.core_mut().charge(VecOp::AddU16);
+                        Ok(())
+                    })?;
+                    Ok((r, 1u8))
+                })
+                .at(us(8)),
+            )
+            .unwrap();
+        cluster
+            .submit(TaskSpec::batch(key, Box::new(0u32), echo_runner()).at(us(9)))
+            .unwrap();
+        cluster
+            .submit(
+                TaskSpec::batch(key, Box::new(1u32), echo_runner())
+                    .at(us(10))
+                    .on_shard(0),
+            )
+            .unwrap();
+        cluster
+            .submit(
+                TaskSpec::batch(key, Box::new(2u32), echo_runner())
+                    .at(us(11))
+                    .ttl(Duration::from_millis(40))
+                    .on_shard(0),
+            )
+            .unwrap();
+    }
+    let report = cluster.drain().unwrap();
+    let per_shard: Vec<QueueStats> = report.shards.iter().map(|s| s.stats.clone()).collect();
+    (report.merged_stats(), per_shard)
+}
+
+#[test]
+fn cluster_shims_book_identically_to_the_builder_path() {
+    let (shim_merged, shim_shards) = run_cluster_leg(true);
+    let (spec_merged, spec_shards) = run_cluster_leg(false);
+    assert_eq!(shim_merged, spec_merged);
+    // Placement must agree shard by shard, not just in aggregate — a
+    // routing divergence that happens to balance would slip through the
+    // merged comparison.
+    assert_eq!(shim_shards, spec_shards);
+    assert_eq!(shim_merged.submitted, 11);
+    assert!(shim_merged.expired >= 1, "TTL leg must shed");
+}
+
+/// The option-gap fix: every (weight, TTL, batchable) combination is
+/// expressible through one builder chain — combinations the old
+/// `submit_*` family had no method for.
+#[test]
+fn builder_expresses_combinations_the_shim_family_could_not() {
+    let us = Duration::from_micros;
+    let mut dev = device();
+    let mut q = DeviceQueue::new(&mut dev, QueueConfig::default().with_max_batch(8));
+    let key = BatchKey::new(2);
+    // Weighted + TTL + batchable: no deprecated variant took all three.
+    q.submit(
+        TaskSpec::batch(key, Box::new(0u32), echo_runner())
+            .priority(Priority::Low)
+            .at(us(1))
+            .weight(5)
+            .ttl(Duration::from_millis(80)),
+    )
+    .unwrap();
+    // Weighted + TTL single job: also previously inexpressible.
+    q.submit(
+        TaskSpec::job(charge_job(1))
+            .at(us(2))
+            .weight(2)
+            .ttl(Duration::from_millis(80)),
+    )
+    .unwrap();
+    let done = q.drain().unwrap();
+    assert_eq!(done.len(), 2);
+    assert!(done.iter().all(|c| c.is_ok()));
+    let s = q.stats();
+    // Batch-weight semantics: the batchable task carries weight 5, the
+    // single task weight 2.
+    assert_eq!(s.dispatched_tasks, 7);
+    assert_eq!(s.max_batch_size, 5);
+}

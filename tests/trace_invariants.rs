@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use apu_sim::{
     ApuDevice, Cycles, DeviceQueue, ExecMode, FaultPlan, Priority, QueueConfig, RetryPolicy,
-    SimConfig, TraceEvent, TraceEventKind, TraceRecorder, VecOp, Vmr,
+    SimConfig, TaskSpec, TraceEvent, TraceEventKind, TraceRecorder, VecOp, Vmr,
 };
 use hbm_sim::{DramSpec, MemorySystem};
 use proptest::prelude::*;
@@ -373,12 +373,13 @@ proptest! {
         for &(arrival_us, has_ttl, ttl_us, prio, ops) in &tasks {
             let priority = [Priority::Low, Priority::Normal, Priority::High][prio as usize];
             let arrival = Duration::from_micros(arrival_us);
-            if has_ttl == 1 {
-                queue.submit_with_ttl(priority, arrival, Duration::from_micros(ttl_us), charge_job(ops))
+            let spec = TaskSpec::job(charge_job(ops)).priority(priority).at(arrival);
+            let spec = if has_ttl == 1 {
+                spec.ttl(Duration::from_micros(ttl_us))
             } else {
-                queue.submit_at(priority, arrival, charge_job(ops))
-            }
-            .expect("submission under capacity");
+                spec
+            };
+            queue.submit(spec).expect("submission under capacity");
         }
         let done = queue.drain().expect("drain never aborts");
         prop_assert_eq!(done.len(), n, "every handle retires");
