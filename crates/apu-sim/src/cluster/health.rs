@@ -1,0 +1,149 @@
+//! Replica health tracking: marks devices down after consecutive
+//! device-attributable failures so the router steers reads around them.
+//!
+//! Only *device-attributable* outcomes feed the tracker — injected
+//! faults and task failures ([`Error::is_transient`](crate::Error::is_transient)).
+//! Deadline expiry and admission shedding say nothing about replica
+//! health (the device was merely busy or the SLO lapsed), so callers
+//! must not record them here; [`DeviceCluster::record_outcome`]
+//! (see [`super::DeviceCluster`]) enforces that convention.
+//!
+//! A successful completion always revives a replica: serving a request
+//! is the definitive health probe on the virtual timeline.
+
+/// Per-device health state machine for a replicated cluster.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    down_after: u32,
+    states: Vec<ReplicaState>,
+    transitions: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReplicaState {
+    consecutive: u32,
+    down: bool,
+    failures: u64,
+    successes: u64,
+}
+
+impl HealthTracker {
+    /// Tracker over `devices` replicas that marks a device down after a
+    /// single device-attributable failure (threshold 1).
+    pub fn new(devices: usize) -> Self {
+        Self::with_threshold(devices, 1)
+    }
+
+    /// Tracker that tolerates `down_after - 1` consecutive failures
+    /// before marking a device down. A threshold of 0 is clamped to 1.
+    pub fn with_threshold(devices: usize, down_after: u32) -> Self {
+        HealthTracker {
+            down_after: down_after.max(1),
+            states: vec![ReplicaState::default(); devices],
+            transitions: 0,
+        }
+    }
+
+    /// Number of devices tracked.
+    pub fn devices(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether `device` is currently considered servable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn is_up(&self, device: usize) -> bool {
+        !self.states[device].down
+    }
+
+    /// Records a successful completion: resets the failure streak and
+    /// revives the device if it was down.
+    pub fn record_success(&mut self, device: usize) {
+        let st = &mut self.states[device];
+        st.consecutive = 0;
+        st.down = false;
+        st.successes += 1;
+    }
+
+    /// Records a device-attributable failure. Returns `true` exactly
+    /// when this failure transitions the device from up to down.
+    pub fn record_failure(&mut self, device: usize) -> bool {
+        let st = &mut self.states[device];
+        st.failures += 1;
+        st.consecutive += 1;
+        if !st.down && st.consecutive >= self.down_after {
+            st.down = true;
+            self.transitions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Administratively revives a device (elastic re-add / repair).
+    pub fn revive(&mut self, device: usize) {
+        let st = &mut self.states[device];
+        st.consecutive = 0;
+        st.down = false;
+    }
+
+    /// Devices currently marked down, in index order.
+    pub fn down_devices(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.down)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Total up→down transitions observed over the tracker's lifetime
+    /// (exported as `apu_replica_down_total`).
+    pub fn down_transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Lifetime `(successes, failures)` recorded for `device`.
+    pub fn totals(&self, device: usize) -> (u64, u64) {
+        let st = &self.states[device];
+        (st.successes, st.failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_failure_downs_at_the_default_threshold() {
+        let mut h = HealthTracker::new(2);
+        assert!(h.is_up(0) && h.is_up(1));
+        assert!(h.record_failure(0));
+        assert!(!h.is_up(0));
+        assert!(h.is_up(1));
+        assert_eq!(h.down_devices(), vec![0]);
+        assert_eq!(h.down_transitions(), 1);
+    }
+
+    #[test]
+    fn a_success_revives_and_resets_the_streak() {
+        let mut h = HealthTracker::with_threshold(1, 2);
+        assert!(!h.record_failure(0));
+        h.record_success(0);
+        assert!(!h.record_failure(0)); // streak restarted
+        assert!(h.record_failure(0));
+        assert!(!h.is_up(0));
+        h.record_success(0);
+        assert!(h.is_up(0));
+        assert_eq!(h.totals(0), (2, 3));
+    }
+
+    #[test]
+    fn repeat_failures_while_down_do_not_retransition() {
+        let mut h = HealthTracker::new(1);
+        assert!(h.record_failure(0));
+        assert!(!h.record_failure(0));
+        assert_eq!(h.down_transitions(), 1);
+    }
+}

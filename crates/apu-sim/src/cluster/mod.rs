@@ -31,10 +31,35 @@
 //! aggregation — [`ClusterReport`] keeps the per-shard
 //! [`QueueStats`] and [`QueueStats::merge`] folds them into one block
 //! for fleet-level metrics.
+//!
+//! # Replication
+//!
+//! A cluster can optionally carry a [`Placement`]
+//! ([`DeviceCluster::set_placement`]) mapping *logical* shards onto
+//! replica sets of device queues. Three primitives then implement
+//! replicated reads on top of the plain submission API:
+//!
+//! * [`DeviceCluster::route_replica`] — read load-balancing: pick the
+//!   least-outstanding *healthy* member of a shard's replica set
+//!   (excluding already-tried devices on the failover path),
+//! * [`DeviceCluster::record_outcome`] — feed the [`HealthTracker`]
+//!   with device-attributable outcomes; an up→down transition emits a
+//!   [`TraceEventKind::ReplicaDown`] event on that device's sink,
+//! * [`DeviceCluster::submit_failover`] — resubmit a failed task on
+//!   another replica, stamping a [`TraceEventKind::FailoverIssued`]
+//!   event on the target's timeline.
+//!
+//! The cluster never fails over on its own: callers own the retry loop
+//! (see `rag`'s `ShardedRagServer`), because only they know which
+//! completions belong to one logical request.
 
+mod health;
+mod placement;
 mod report;
 mod routing;
 
+pub use health::HealthTracker;
+pub use placement::{key_shard, Placement};
 pub use report::{ClusterHandle, ClusterReport, ShardDrain};
 pub use routing::RoutePolicy;
 
@@ -46,6 +71,7 @@ use crate::error::Error;
 use crate::queue::{BatchKey, BatchRunner, Completion, DeviceQueue, Job, Priority, QueueConfig};
 use crate::spec::TaskSpec;
 use crate::stats::QueueStats;
+use crate::trace::{TraceEvent, TraceEventKind};
 use crate::Result;
 
 use routing::{jump_hash, mix64};
@@ -89,6 +115,8 @@ pub struct DeviceCluster<'d, 't> {
     nodes: Vec<DeviceQueue<'d, 't>>,
     policy: RoutePolicy,
     rr_next: usize,
+    placement: Option<Placement>,
+    health: HealthTracker,
 }
 
 impl<'d, 't> DeviceCluster<'d, 't> {
@@ -108,14 +136,17 @@ impl<'d, 't> DeviceCluster<'d, 't> {
                 "a device cluster needs at least one device".into(),
             ));
         }
-        let nodes = devices
+        let nodes: Vec<DeviceQueue<'d, 't>> = devices
             .into_iter()
             .map(|dev| DeviceQueue::new(dev, cfg.clone()))
             .collect();
+        let health = HealthTracker::new(nodes.len());
         Ok(DeviceCluster {
             nodes,
             policy,
             rr_next: 0,
+            placement: None,
+            health,
         })
     }
 
@@ -185,6 +216,148 @@ impl<'d, 't> DeviceCluster<'d, 't> {
             total.merge(n.stats());
         }
         total
+    }
+
+    /// Installs a replica placement mapping logical shards onto device
+    /// queues (see the [module documentation](self), *Replication*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] when the placement was built over a
+    /// different device-pool size than this cluster.
+    pub fn set_placement(&mut self, placement: Placement) -> Result<()> {
+        if placement.devices() != self.nodes.len() {
+            return Err(Error::InvalidArg(format!(
+                "placement spans {} devices but the cluster has {}",
+                placement.devices(),
+                self.nodes.len()
+            )));
+        }
+        self.placement = Some(placement);
+        Ok(())
+    }
+
+    /// The installed replica placement, if any.
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
+    }
+
+    /// The per-device health tracker.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The per-device health tracker, mutably (e.g. to
+    /// [`HealthTracker::revive`] a repaired device).
+    pub fn health_mut(&mut self) -> &mut HealthTracker {
+        &mut self.health
+    }
+
+    /// Read load-balancing across a logical shard's replica set: picks
+    /// the least-outstanding healthy replica of `shard` not listed in
+    /// `exclude` (ties go to the lowest device index). When every
+    /// non-excluded replica is marked down the health filter is dropped
+    /// — a down replica might still answer, and guessing beats refusing.
+    /// Returns `None` only when every replica is excluded (the failover
+    /// path has exhausted the set) or `shard` is out of range.
+    ///
+    /// Without a [`Placement`] the replica set of shard `s` is just
+    /// device `s`, so the method degenerates to the identity routing the
+    /// unreplicated scatter-gather callers already use.
+    pub fn route_replica(&self, shard: usize, exclude: &[usize]) -> Option<usize> {
+        let identity = [shard];
+        let group: &[usize] = match &self.placement {
+            Some(p) => {
+                if shard >= p.shards() {
+                    return None;
+                }
+                p.replicas(shard)
+            }
+            None => {
+                if shard >= self.nodes.len() {
+                    return None;
+                }
+                &identity
+            }
+        };
+        let pick = |healthy_only: bool| {
+            group
+                .iter()
+                .copied()
+                .filter(|d| !exclude.contains(d))
+                .filter(|&d| !healthy_only || self.health.is_up(d))
+                .min_by_key(|&d| (self.nodes[d].pending(), d))
+        };
+        pick(true).or_else(|| pick(false))
+    }
+
+    /// Feeds the health tracker with a completion outcome observed at
+    /// virtual time `at` on `device`. Callers must only report
+    /// *device-attributable* failures (`ok == false` for faults and task
+    /// failures, [`Error::is_transient`]); deadline expiry and admission
+    /// shedding say nothing about replica health and must not be
+    /// recorded. An up→down transition emits a
+    /// [`TraceEventKind::ReplicaDown`] event on the device's trace sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range device index.
+    pub fn record_outcome(&mut self, device: usize, ok: bool, at: Duration) {
+        if ok {
+            self.health.record_success(device);
+        } else if self.health.record_failure(device) {
+            let (_, failures) = self.health.totals(device);
+            self.emit_on(device, at, TraceEventKind::ReplicaDown { device, failures });
+        }
+    }
+
+    /// Failover resubmission: submits a *pinned* spec (the caller picks
+    /// the target replica, typically via [`DeviceCluster::route_replica`]
+    /// with the already-tried devices excluded) and stamps a
+    /// [`TraceEventKind::FailoverIssued`] event at virtual time `at` on
+    /// the target's timeline. Resubmitting with the **original** arrival
+    /// keeps stage accounting exact: the elapsed failover delay lands in
+    /// the new attempt's queue-wait stage, so its stage sum still equals
+    /// the end-to-end latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArg`] for an unpinned spec or a bad
+    /// device index, or [`Error::QueueFull`] when the target's backlog
+    /// bound is hit.
+    pub fn submit_failover(
+        &mut self,
+        spec: TaskSpec<'t>,
+        from_device: usize,
+        at: Duration,
+    ) -> Result<ClusterHandle> {
+        let Some(target) = spec.shard else {
+            return Err(Error::InvalidArg(
+                "a failover spec must be pinned to its target replica".into(),
+            ));
+        };
+        self.check_shard(target)?;
+        self.check_shard(from_device)?;
+        let task = self.nodes[target].submit(spec)?;
+        self.emit_on(
+            target,
+            at,
+            TraceEventKind::FailoverIssued {
+                handle: task.id(),
+                from_device,
+                to_device: target,
+            },
+        );
+        Ok(ClusterHandle::new(target, task))
+    }
+
+    /// Emits a cluster-level event on one device's trace sink, if any.
+    fn emit_on(&mut self, device: usize, at: Duration, kind: TraceEventKind) {
+        let dev = self.nodes[device].device_mut();
+        if let Some(sink) = dev.trace() {
+            let ts = dev.config().clock.secs_to_cycles(at.as_secs_f64());
+            sink.record(TraceEvent { ts, kind });
+        }
     }
 
     /// Picks the shard for a router-placed submission.
@@ -684,6 +857,98 @@ mod tests {
         assert_eq!(merged.completed, 2);
         assert_eq!(merged.failed, 2);
         assert_eq!(merged.cores, report.shards[0].stats.cores * 2);
+    }
+
+    #[test]
+    fn replica_routing_balances_excludes_and_routes_around_down_devices() {
+        let mut devs = devices(4);
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        // Mismatched pool size is rejected; the right one installs.
+        assert!(cluster
+            .set_placement(Placement::new(2, 2, 3).unwrap())
+            .is_err());
+        cluster
+            .set_placement(Placement::new(2, 2, 4).unwrap())
+            .unwrap();
+        // Shard 0 lives on devices {0, 1}: idle cluster ties to the
+        // lowest index, backlog shifts the pick, exclusion walks the
+        // set, exhaustion yields None.
+        assert_eq!(cluster.route_replica(0, &[]), Some(0));
+        cluster
+            .submit(TaskSpec::job(charge_job(1)).on_shard(0))
+            .unwrap();
+        assert_eq!(cluster.route_replica(0, &[]), Some(1));
+        assert_eq!(cluster.route_replica(0, &[1]), Some(0));
+        assert_eq!(cluster.route_replica(0, &[0, 1]), None);
+        assert_eq!(cluster.route_replica(9, &[]), None);
+        // A down replica is avoided while an up one remains…
+        cluster.record_outcome(1, false, Duration::ZERO);
+        assert!(!cluster.health().is_up(1));
+        cluster
+            .submit(TaskSpec::job(charge_job(2)).on_shard(0))
+            .unwrap();
+        assert_eq!(
+            cluster.route_replica(0, &[]),
+            Some(0),
+            "device 0 is busier but device 1 is down"
+        );
+        // …and the health filter drops when the whole set is down.
+        cluster.record_outcome(0, false, Duration::ZERO);
+        assert_eq!(cluster.route_replica(0, &[]), Some(1));
+        // A success revives.
+        cluster.record_outcome(1, true, Duration::ZERO);
+        assert!(cluster.health().is_up(1));
+        assert_eq!(cluster.health().down_transitions(), 2);
+    }
+
+    #[test]
+    fn failover_resubmission_retires_on_the_surviving_replica() {
+        let mut devs = devices(2);
+        devs[0].inject_faults(crate::FaultPlan::new(3).fail_every_kth_task(1));
+        let mut cluster = DeviceCluster::new(
+            devs.iter_mut().collect(),
+            QueueConfig::default(),
+            RoutePolicy::RoundRobin,
+        )
+        .unwrap();
+        cluster
+            .set_placement(Placement::new(1, 2, 2).unwrap())
+            .unwrap();
+        let primary = cluster.route_replica(0, &[]).unwrap();
+        assert_eq!(primary, 0);
+        let h = cluster
+            .submit(TaskSpec::job(charge_job(7)).on_shard(primary))
+            .unwrap();
+        let report = cluster.drain().unwrap();
+        let failed = &report.shards[0].completions[0];
+        assert!(!failed.is_ok());
+        assert_eq!(failed.handle, h.task());
+        let observed = failed.finished_at;
+        cluster.record_outcome(primary, false, observed);
+        // Unpinned failover specs are rejected; a pinned one lands on
+        // the surviving replica and succeeds.
+        assert!(matches!(
+            cluster.submit_failover(TaskSpec::job(charge_job(7)), primary, observed),
+            Err(Error::InvalidArg(_))
+        ));
+        let next = cluster.route_replica(0, &[primary]).unwrap();
+        assert_eq!(next, 1);
+        let h2 = cluster
+            .submit_failover(
+                TaskSpec::job(charge_job(7)).on_shard(next),
+                primary,
+                observed,
+            )
+            .unwrap();
+        assert_eq!(h2.shard(), 1);
+        let done = cluster.wait(h2).unwrap();
+        assert!(done.is_ok());
+        assert_eq!(done.output::<u32>(), Some(&7));
     }
 
     #[test]

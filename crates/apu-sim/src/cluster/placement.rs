@@ -1,0 +1,194 @@
+//! Replica placement: mapping logical corpus shards onto replica sets
+//! of device queues.
+//!
+//! A [`Placement`] answers "which devices hold a copy of shard `s`?".
+//! [`DeviceCluster::set_placement`](super::DeviceCluster::set_placement)
+//! installs one on a cluster, after which
+//! [`route_replica`](super::DeviceCluster::route_replica) load-balances
+//! reads across the healthy members of each replica set and failover
+//! resubmission ([`submit_failover`](super::DeviceCluster::submit_failover))
+//! walks the remaining members.
+//!
+//! Key-to-shard assignment uses the same consistent hash as
+//! [`RoutePolicy::ConsistentHash`](super::RoutePolicy) (a SplitMix64
+//! finalizer feeding Lamping & Veach jump hashing), exposed here as
+//! [`key_shard`] so that elastic resharding N → N±1 provably moves only
+//! ~`keys / max(N, N±1)` keys (`tests/failover_props.rs` bounds it).
+
+use super::routing::{jump_hash, mix64};
+use crate::error::Error;
+use crate::Result;
+
+/// Maps each logical shard to the set of device-queue indices holding a
+/// replica of that shard's data.
+///
+/// Construction is deterministic: replicas are dealt round-robin over
+/// the device pool, so equal inputs always produce equal placements and
+/// groups are disjoint whenever the pool is large enough
+/// (`devices >= shards * replicas`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    groups: Vec<Vec<usize>>,
+    devices: usize,
+}
+
+impl Placement {
+    /// Builds a placement of `shards` logical shards, each replicated
+    /// `replicas` times, over `devices` device queues.
+    ///
+    /// Replicas of one shard land on distinct devices whenever capacity
+    /// allows; when `devices < replicas` the group is clamped to
+    /// `devices` members rather than placing two copies on one device.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArg`] if any of the three counts is zero.
+    pub fn new(shards: usize, replicas: usize, devices: usize) -> Result<Self> {
+        if shards == 0 || replicas == 0 || devices == 0 {
+            return Err(Error::InvalidArg(format!(
+                "placement needs non-zero shards/replicas/devices, got {shards}/{replicas}/{devices}"
+            )));
+        }
+        let width = replicas.min(devices);
+        let mut cursor = 0usize;
+        let groups = (0..shards)
+            .map(|_| {
+                let mut group = Vec::with_capacity(width);
+                while group.len() < width {
+                    let d = cursor % devices;
+                    cursor += 1;
+                    if !group.contains(&d) {
+                        group.push(d);
+                    }
+                }
+                group
+            })
+            .collect();
+        Ok(Placement { groups, devices })
+    }
+
+    /// Number of logical shards.
+    pub fn shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Size of the device pool the placement was built over.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Replicas per shard actually placed (`min(replicas, devices)`).
+    pub fn width(&self) -> usize {
+        self.groups.first().map_or(0, Vec::len)
+    }
+
+    /// Device indices holding a replica of `shard`, in placement order
+    /// (index 0 is the "first" replica, used by single-replica APIs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn replicas(&self, shard: usize) -> &[usize] {
+        &self.groups[shard]
+    }
+
+    /// Locates `device` in the placement, returning the first
+    /// `(shard, replica_index)` that maps to it, if any.
+    pub fn locate(&self, device: usize) -> Option<(usize, usize)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .find_map(|(s, g)| g.iter().position(|&d| d == device).map(|r| (s, r)))
+    }
+
+    /// Rebuilds the placement for a new logical shard count over the
+    /// same device pool — the elastic scale-up/down path. Key-to-shard
+    /// assignment under the new count is given by [`key_shard`]; the
+    /// consistent hash guarantees only ~`keys / max(old, new)` keys
+    /// change shards on an N → N±1 resize.
+    pub fn resized(&self, shards: usize) -> Result<Self> {
+        Placement::new(shards, self.width().max(1), self.devices)
+    }
+}
+
+/// Consistent-hash assignment of a key to one of `shards` logical
+/// shards — the stable mapping used for elastic resharding.
+///
+/// Identical to what [`RoutePolicy::ConsistentHash`](super::RoutePolicy)
+/// computes inside the cluster router: growing or shrinking the shard
+/// count by one remaps only the minimal ~`1 / max(N, N±1)` fraction of
+/// keys (Lamping & Veach).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn key_shard(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "key_shard needs at least one shard");
+    jump_hash(mix64(key), shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_contiguous_groups_when_capacity_allows() {
+        let p = Placement::new(3, 2, 6).unwrap();
+        assert_eq!(p.replicas(0), &[0, 1]);
+        assert_eq!(p.replicas(1), &[2, 3]);
+        assert_eq!(p.replicas(2), &[4, 5]);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.locate(3), Some((1, 1)));
+        assert_eq!(p.locate(6), None);
+    }
+
+    #[test]
+    fn small_pools_share_devices_but_never_within_a_group() {
+        let p = Placement::new(3, 2, 3).unwrap();
+        for s in 0..3 {
+            let g = p.replicas(s);
+            assert_eq!(g.len(), 2);
+            assert_ne!(g[0], g[1]);
+        }
+    }
+
+    #[test]
+    fn replica_width_clamps_to_the_pool() {
+        let p = Placement::new(2, 5, 3).unwrap();
+        assert_eq!(p.width(), 3);
+        for s in 0..2 {
+            let mut g = p.replicas(s).to_vec();
+            g.sort_unstable();
+            g.dedup();
+            assert_eq!(g.len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        assert!(Placement::new(0, 1, 1).is_err());
+        assert!(Placement::new(1, 0, 1).is_err());
+        assert!(Placement::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn key_shard_is_stable_and_in_range() {
+        for key in 0..512u64 {
+            let s = key_shard(key, 7);
+            assert!(s < 7);
+            assert_eq!(s, key_shard(key, 7));
+        }
+    }
+
+    #[test]
+    fn resizing_by_one_moves_few_keys() {
+        let keys: Vec<u64> = (0..1024).map(|i| i * 2654435761).collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| key_shard(k, 4) != key_shard(k, 5))
+            .count();
+        // Expected movement is keys/5 ≈ 205; anything under a third is
+        // far from the rehash-everything failure mode.
+        assert!(moved < keys.len() / 3, "moved {moved} of {}", keys.len());
+    }
+}

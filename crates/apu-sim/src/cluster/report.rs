@@ -30,6 +30,10 @@ impl ClusterHandle {
 
 /// One shard's drained output: its retired completions (in retire order)
 /// and its queue counters.
+///
+/// Under a replica [`Placement`](crate::Placement) the cluster's queues
+/// are *devices*, not logical shards — `shard` is then the cluster-wide
+/// device index, and the placement maps logical shards onto these.
 #[derive(Debug)]
 pub struct ShardDrain {
     /// The shard index within the cluster.
@@ -75,6 +79,15 @@ impl ClusterReport {
             .iter()
             .position(|c| c.handle == handle.task())?;
         Some(shard.completions.remove(at))
+    }
+
+    /// The per-queue cumulative counters in queue (device) order.
+    ///
+    /// Queue counters are cumulative across drains, so in a multi-round
+    /// failover drain the **last** report's entries are the totals — do
+    /// not sum entries across rounds.
+    pub fn device_stats(&self) -> Vec<QueueStats> {
+        self.shards.iter().map(|s| s.stats.clone()).collect()
     }
 
     /// Folds the per-shard counters into one cluster-wide block (see

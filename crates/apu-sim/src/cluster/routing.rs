@@ -18,7 +18,9 @@ pub enum RoutePolicy {
     /// Map each [`crate::BatchKey`] to a stable shard (jump consistent
     /// hash), so same-key submissions coalesce on one device.
     /// Non-batchable submissions carry no key and fall back to
-    /// round-robin.
+    /// round-robin. The same hash is exposed as [`crate::key_shard`]
+    /// for elastic resharding, so key→shard assignment and routing
+    /// never disagree.
     ConsistentHash,
 }
 

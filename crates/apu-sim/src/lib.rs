@@ -88,7 +88,10 @@ pub mod trace;
 pub mod workload;
 
 pub use clock::{Cycles, Frequency};
-pub use cluster::{ClusterHandle, ClusterReport, DeviceCluster, RoutePolicy, ShardDrain};
+pub use cluster::{
+    key_shard, ClusterHandle, ClusterReport, DeviceCluster, HealthTracker, Placement, RoutePolicy,
+    ShardDrain,
+};
 pub use config::{ExecMode, SimConfig};
 pub use core::{ApuCore, Marker, Vmr, Vr};
 pub use device::{ApuContext, ApuDevice, CoreTask, TaskReport};

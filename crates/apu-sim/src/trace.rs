@@ -183,6 +183,24 @@ pub enum TraceEventKind {
         /// (matches [`crate::FaultCounts`]).
         seq: u64,
     },
+    /// Cluster health tracking marked this device's replica down;
+    /// replica routing steers reads around it until it serves again.
+    ReplicaDown {
+        /// Cluster-wide device index of the downed replica.
+        device: usize,
+        /// Lifetime device-attributable failures recorded for it.
+        failures: u64,
+    },
+    /// A failed task was transparently resubmitted on another replica
+    /// of the same logical shard.
+    FailoverIssued {
+        /// Submission handle of the new attempt on the target device.
+        handle: u64,
+        /// Device whose failure triggered the failover.
+        from_device: usize,
+        /// Device the work was resubmitted on (the event's timeline).
+        to_device: usize,
+    },
 }
 
 impl TraceEvent {
@@ -236,6 +254,14 @@ impl TraceEvent {
             } => format!("dma-issued core={core} engine={engine} bytes={bytes}"),
             DmaWaited { core, engine, .. } => format!("dma-waited core={core} engine={engine}"),
             FaultInjected { scope, seq } => format!("fault scope={scope:?} seq={seq}"),
+            ReplicaDown { device, failures } => {
+                format!("replica-down device={device} failures={failures}")
+            }
+            FailoverIssued {
+                handle,
+                from_device,
+                to_device,
+            } => format!("failover h={handle} from={from_device} to={to_device}"),
         }
     }
 }
@@ -626,6 +652,22 @@ pub fn chrome_trace_json_grouped(groups: &[(&str, &[TraceEvent])], clock: Freque
                     ts,
                     TID_QUEUE,
                     format!(r#""scope":"{scope:?}","seq":{seq}"#),
+                )),
+                ReplicaDown { device, failures } => rows.push(instant(
+                    &format!("replica down d{device}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""device":{device},"failures":{failures}"#),
+                )),
+                FailoverIssued {
+                    handle,
+                    from_device,
+                    to_device,
+                } => rows.push(instant(
+                    &format!("failover d{from_device}→d{to_device}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(r#""handle":{handle},"from":{from_device},"to":{to_device}"#),
                 )),
             }
         }

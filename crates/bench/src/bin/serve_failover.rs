@@ -1,0 +1,180 @@
+//! Failover study: serving a query stream through a replica fault,
+//! unreplicated vs. replicated, on one seed-deterministic open-loop
+//! trace.
+//!
+//! A sharded cluster has one replica of shard 0 killed outright (a
+//! [`apu_sim::FaultPlan`] failing every task it receives) before the
+//! stream starts. The same stream is then served through two arms of a
+//! [`rag::ShardedRagServer`]:
+//!
+//! * **flat** — `replicas = 1`: the dead device *is* shard 0, so every
+//!   query loses that shard's partial result and completes degraded
+//!   (merged from the surviving shards only);
+//! * **replicated** — `replicas = 2`: the scatter layer marks the dead
+//!   replica down after its first device-attributable failure, re-issues
+//!   the lost shard-0 attempts on the surviving replica at their
+//!   *original* arrival times, and every query stays exact — served,
+//!   not degraded, straight through the fault window.
+//!
+//! The replicated arm runs twice at the same seed and the binary
+//! asserts the runs agree completion-for-completion, then prints the
+//! `apu_replica_*` Prometheus series. `--smoke` reduces the stream for
+//! CI; `--shards N` (default 2, minimum 2) sets the shard-group count.
+
+use std::time::Duration;
+
+use apu_sim::{ExecMode, FaultPlan, SimConfig};
+use cis_bench::table::{print_table, section};
+use rag::corpus::EMBED_DIM;
+use rag::{CorpusSpec, EmbeddingStore, ServeConfig, ServeReport, ShardedRagServer};
+
+fn main() {
+    let cfg = cis_bench::parse_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let corpus_bytes = if smoke {
+        128.0e6 as u64
+    } else {
+        (10.0e9 * cfg.scale).max(512.0e6) as u64
+    };
+    let store = EmbeddingStore::size_only(CorpusSpec::from_corpus_bytes(corpus_bytes), cfg.seed);
+    let shards = cfg.shards.max(2);
+    let queries = if smoke { 60 } else { 240 };
+
+    section(&format!(
+        "failover study: {} corpus, {shards} shard group(s), {queries} queries, \
+         replica 0 of shard 0 dead (timing-only)",
+        cis_bench::fmt_bytes(corpus_bytes),
+    ));
+
+    let flat = run_arm(&store, shards, 1, queries);
+    let repl_a = run_arm(&store, shards, 2, queries);
+    let repl_b = run_arm(&store, shards, 2, queries);
+    assert_eq!(
+        outcomes(&repl_a),
+        outcomes(&repl_b),
+        "two replicated runs at one seed must agree completion-for-completion"
+    );
+
+    // The flat arm has no spare copy of shard 0: everything it serves is
+    // degraded. The replicated arm must serve the whole stream exactly.
+    assert_eq!(flat.served(), queries, "degraded queries still serve");
+    assert_eq!(
+        flat.degraded(),
+        queries,
+        "without replication every query loses shard 0"
+    );
+    assert_eq!(
+        repl_a.served(),
+        queries,
+        "failover must keep the stream whole"
+    );
+    assert_eq!(repl_a.degraded(), 0, "failover must keep every query exact");
+    assert!(
+        repl_a.replica.failovers >= 1,
+        "the dead replica must have been hit at least once"
+    );
+    assert!(
+        repl_a.replica.failover_served >= 1,
+        "some query must be served by a failover re-issue"
+    );
+    assert_eq!(repl_a.replica.down, 1, "exactly one replica goes down");
+
+    let mut rows = Vec::new();
+    for (arm, run) in [("flat", &flat), ("replicated", &repl_a)] {
+        rows.push(vec![
+            arm.to_string(),
+            format!("{}", run.completions.len()),
+            format!("{}", run.served()),
+            format!("{}", run.degraded()),
+            format!("{}", run.replica.failovers),
+            format!("{}", run.replica.failover_served),
+            format!("{}", run.replica.down),
+            format!("{:.2}", run.latency_percentile(0.50).as_secs_f64() * 1e3),
+            format!("{:.2}", run.latency_percentile(0.99).as_secs_f64() * 1e3),
+        ]);
+    }
+    print_table(
+        &[
+            "arm",
+            "offered",
+            "served",
+            "degraded",
+            "failovers",
+            "fo-served",
+            "down",
+            "p50 (ms)",
+            "p99 (ms)",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("Replica series from the replicated arm's Prometheus export:");
+    for line in repl_a
+        .prometheus_text()
+        .lines()
+        .filter(|l| l.starts_with("apu_replica_"))
+    {
+        println!("  {line}");
+    }
+    println!();
+    println!("The flat arm keeps serving through the fault but every answer is");
+    println!("missing shard 0's candidates - degraded, silently wrong for any");
+    println!("query whose true top-k intersects the lost shard. The replicated");
+    println!("arm routes around the dead device: its first failure marks it");
+    println!("down, the lost attempts re-issue on the surviving replica at the");
+    println!("original arrival times, and the merged top-k stays exact for the");
+    println!("whole stream; the price is the extra queue time visible in p99.");
+}
+
+/// Serves the fixed stream through one `(shards, replicas)` arm with
+/// replica 0 of shard 0 killed.
+fn run_arm(store: &EmbeddingStore, shards: usize, replicas: usize, queries: usize) -> ServeReport {
+    let mut server = ShardedRagServer::new(
+        store,
+        shards,
+        sim(),
+        ServeConfig {
+            replicas,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("cluster construction");
+    server.inject_faults_replica(0, 0, FaultPlan::new(13).fail_every_kth_task(1));
+    for i in 0..queries {
+        server
+            .submit(Duration::from_micros(40 * i as u64), query(i))
+            .expect("submit");
+    }
+    server.drain().expect("drain")
+}
+
+/// The determinism projection: per-query outcome and timing.
+fn outcomes(report: &ServeReport) -> Vec<(u64, bool, bool, u32, Duration)> {
+    let mut rows: Vec<_> = report
+        .completions
+        .iter()
+        .map(|c| {
+            (
+                c.ticket.id(),
+                c.is_ok(),
+                c.is_degraded(),
+                c.failovers,
+                c.latency(),
+            )
+        })
+        .collect();
+    rows.sort_by_key(|&(id, ..)| id);
+    rows
+}
+
+fn sim() -> SimConfig {
+    SimConfig::default()
+        .with_l4_bytes(1 << 20)
+        .with_exec_mode(ExecMode::TimingOnly)
+}
+
+fn query(i: usize) -> Vec<i16> {
+    vec![(i as i16 % 7) - 3; EMBED_DIM]
+}

@@ -39,7 +39,8 @@ pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};
 pub use pipeline::{EndToEnd, Platform, RagPipeline};
 pub use serve::{
-    QueryCompletion, QuerySpec, QueryTicket, RagServer, ServeConfig, ServeReport, ShardedRagServer,
+    QueryCompletion, QuerySpec, QueryTicket, RagServer, ReplicaStats, ServeConfig, ServeReport,
+    ShardedRagServer,
 };
 
 pub(crate) use apu::{inject_l2 as apu_inject_l2, tile_top_k as apu_tile_top_k};

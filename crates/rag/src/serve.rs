@@ -24,6 +24,17 @@
 //! shard *degrades* the queries it drops — they still serve from the
 //! healthy shards, flagged via [`QueryCompletion::is_degraded`] —
 //! instead of failing them.
+//!
+//! With [`ServeConfig::replicas`] ≥ 2 every corpus shard is held by a
+//! *replica set* of devices (an [`apu_sim::Placement`] over
+//! `shards × replicas` device queues). Reads load-balance across the
+//! healthy members of each set; when a replica faults, the drain loop
+//! transparently resubmits the lost `(query, shard)` pieces on the
+//! surviving members ([`DeviceCluster::submit_failover`]) with the
+//! query's **original arrival**, so the failover delay is charged to
+//! queue wait and stage sums stay exact. A single replica fault
+//! therefore yields the *exact*, non-degraded top-k; a query degrades
+//! only when a **whole** replica set is down.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -34,8 +45,8 @@ use apu_sim::queue::percentile;
 use apu_sim::trace::prometheus_text;
 use apu_sim::{
     chrome_trace_json_grouped, ApuDevice, ChromeTraceSink, Completion, DeviceCluster, DeviceQueue,
-    Error, FaultPlan, Priority, QueueConfig, QueueStats, RetryPolicy, RoutePolicy, SimConfig,
-    StageBreakdown, TaskHandle, TaskSpec, TenantId, TraceEvent,
+    Error, FaultPlan, Placement, Priority, QueueConfig, QueueStats, RetryPolicy, RoutePolicy,
+    SimConfig, StageBreakdown, TaskHandle, TaskSpec, TenantId, TraceEvent,
 };
 use hbm_sim::{DramSpec, MemorySystem};
 
@@ -76,8 +87,17 @@ pub struct ServeConfig {
     /// [`QueryCompletion::hedged`]. Hedge copies are extra shard-tasks:
     /// they inflate the queue counters but never the query count. A
     /// single-device [`RagServer`] ignores this (one queue — a duplicate
-    /// would race itself).
+    /// would race itself). With replication the hedge copy goes to a
+    /// *different* replica than the primary whenever one exists.
     pub hedge: Option<Duration>,
+    /// Replicas per corpus shard on a [`ShardedRagServer`]: the server
+    /// builds `shards × replicas` devices, load-balances each query's
+    /// shard reads across its replica set, and transparently fails a
+    /// lost read over to a surviving replica, so any single-replica
+    /// fault still yields the exact, non-degraded top-k. `1` (or `0`,
+    /// clamped) disables replication and is byte-identical to the
+    /// unreplicated server. A single-device [`RagServer`] ignores this.
+    pub replicas: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +111,7 @@ impl Default for ServeConfig {
             ttl: None,
             retry: None,
             hedge: None,
+            replicas: 1,
         }
     }
 }
@@ -194,6 +215,12 @@ pub struct QueryCompletion {
     /// rather than the primary (see [`ServeConfig::hedge`]). Always
     /// `false` without hedging.
     pub hedged: bool,
+    /// Failover resubmissions this query consumed across its shard
+    /// reads (see [`ServeConfig::replicas`]). Always 0 without
+    /// replication. The failed attempts behind this count never book
+    /// latency or stage time — only the winning copy does, and its
+    /// stage sum still equals [`QueryCompletion::latency`].
+    pub failovers: u32,
     /// Top-k hits — identical to the synchronous
     /// [`crate::batch::retrieve_batch`] path — or the retirement error.
     pub outcome: std::result::Result<Vec<Hit>, Error>,
@@ -240,6 +267,23 @@ impl QueryCompletion {
     }
 }
 
+/// Replication counters of a serve run (the `apu_replica_*` series in
+/// [`ServeReport::prometheus_text`]). All zeros — except one group of
+/// one replica — on an unreplicated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Logical shard groups served (the corpus shard count).
+    pub groups: usize,
+    /// Replicas per shard group ([`ServeConfig::replicas`], clamped).
+    pub per_shard: usize,
+    /// Failover resubmissions issued across the run.
+    pub failovers: u64,
+    /// Up→down replica health transitions observed.
+    pub down: u64,
+    /// Queries whose final answer used at least one failover copy.
+    pub failover_served: u64,
+}
+
 /// Outcome of serving a drained query stream.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -252,9 +296,16 @@ pub struct ServeReport {
     /// [`ServeReport::served`] / [`ServeReport::failed`] for query-level
     /// accounting.
     pub queue: QueueStats,
-    /// Per-shard queue counters, in shard order. A single-device
-    /// [`RagServer`] reports one entry (equal to `queue`).
+    /// Per-queue counters. A single-device [`RagServer`] reports one
+    /// entry (equal to `queue`); an unreplicated [`ShardedRagServer`]
+    /// one entry per corpus shard, in shard order. With replication
+    /// ([`ServeConfig::replicas`] ≥ 2) entry `i` is **device** `i` of
+    /// the `shards × replicas` pool — replica `r` of shard `s` is entry
+    /// `s * replicas + r`.
     pub shards: Vec<QueueStats>,
+    /// Replication counters (placement shape, failovers, health
+    /// transitions).
+    pub replica: ReplicaStats,
 }
 
 impl ServeReport {
@@ -265,7 +316,11 @@ impl ServeReport {
     /// — an empty report, or one whose queries all failed (shed,
     /// faulted, or rejected). Callers gating on a latency objective
     /// should check [`ServeReport::served`] first: an all-failed run
-    /// trivially "meets" any percentile target.
+    /// trivially "meets" any percentile target. A whole replica set
+    /// going down is one way to get here: once every replica of some
+    /// shard has failed a query, the query retires failed (not
+    /// degraded) and contributes no latency sample — failover attempts
+    /// are never ranked, only winning copies are.
     pub fn latency_percentile(&self, q: f64) -> Duration {
         let samples: Vec<Duration> = self
             .completions
@@ -314,11 +369,51 @@ impl ServeReport {
         self.queue.stage_totals()
     }
 
-    /// The run's queue counters, stage totals, and latency quantiles in
-    /// the Prometheus text exposition format, ready to serve from a
-    /// `/metrics` endpoint or dump next to a bench log.
+    /// The run's queue counters, stage totals, latency quantiles, and
+    /// replication counters (`apu_replica_*`) in the Prometheus text
+    /// exposition format, ready to serve from a `/metrics` endpoint or
+    /// dump next to a bench log.
     pub fn prometheus_text(&self) -> String {
-        prometheus_text(&self.queue, None)
+        let mut out = prometheus_text(&self.queue, None);
+        let r = &self.replica;
+        let series: [(&str, &str, &str, u64); 5] = [
+            (
+                "apu_replica_groups",
+                "gauge",
+                "Logical shard groups served by the run.",
+                r.groups as u64,
+            ),
+            (
+                "apu_replica_per_shard",
+                "gauge",
+                "Replicas per shard group.",
+                r.per_shard as u64,
+            ),
+            (
+                "apu_replica_failovers_total",
+                "counter",
+                "Failover resubmissions issued.",
+                r.failovers,
+            ),
+            (
+                "apu_replica_down_total",
+                "counter",
+                "Replica up->down health transitions observed.",
+                r.down,
+            ),
+            (
+                "apu_replica_failover_served_total",
+                "counter",
+                "Queries whose final answer used a failover copy.",
+                r.failover_served,
+            ),
+        ];
+        for (name, kind, help, value) in series {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        out
     }
 
     /// Mean batch size over served queries.
@@ -478,6 +573,7 @@ impl<'a> RagServer<'a> {
                 shards_ok: usize::from(outcome.is_ok()),
                 shards_total: 1,
                 hedged: false,
+                failovers: 0,
                 outcome,
             });
         }
@@ -486,6 +582,11 @@ impl<'a> RagServer<'a> {
             completions,
             shards: vec![stats.clone()],
             queue: stats,
+            replica: ReplicaStats {
+                groups: 1,
+                per_shard: 1,
+                ..ReplicaStats::default()
+            },
         })
     }
 }
@@ -543,6 +644,8 @@ pub struct ShardedRagServer {
     devices: Vec<ApuDevice>,
     hbms: Vec<MemorySystem>,
     shards: Vec<CorpusShard>,
+    placement: Placement,
+    replicas: usize,
     cfg: ServeConfig,
     pending: Vec<PendingQuery>,
     next_ticket: u64,
@@ -550,8 +653,10 @@ pub struct ShardedRagServer {
 }
 
 impl ShardedRagServer {
-    /// Builds a cluster of `shards` simulated devices, each configured
-    /// from `sim` and holding one contiguous shard of `store`.
+    /// Builds a cluster of `shards × max(cfg.replicas, 1)` simulated
+    /// devices, each configured from `sim`; replica `r` of shard `s`
+    /// holds a copy of shard `s`'s contiguous slice of `store` on its
+    /// own device + off-chip memory.
     ///
     /// # Errors
     ///
@@ -568,10 +673,13 @@ impl ShardedRagServer {
                 "a sharded server needs at least one shard".into(),
             ));
         }
+        let replicas = cfg.replicas.max(1);
         let shards = store.shards(shards);
-        let mut devices = Vec::with_capacity(shards.len());
-        let mut hbms = Vec::with_capacity(shards.len());
-        for _ in &shards {
+        let n_devices = shards.len() * replicas;
+        let placement = Placement::new(shards.len(), replicas, n_devices)?;
+        let mut devices = Vec::with_capacity(n_devices);
+        let mut hbms = Vec::with_capacity(n_devices);
+        for _ in 0..n_devices {
             devices.push(ApuDevice::try_new(sim.clone())?);
             hbms.push(MemorySystem::new(DramSpec::hbm2e_16gb()));
         }
@@ -579,6 +687,8 @@ impl ShardedRagServer {
             devices,
             hbms,
             shards,
+            placement,
+            replicas,
             cfg,
             pending: Vec::new(),
             next_ticket: 0,
@@ -586,9 +696,19 @@ impl ShardedRagServer {
         })
     }
 
-    /// Number of corpus shards (= devices).
+    /// Number of corpus shards (logical shard groups).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Replicas per corpus shard (1 without replication).
+    pub fn replica_count(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total devices in the pool (`shards × replicas`).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
     }
 
     /// The corpus shards, in shard order.
@@ -601,24 +721,50 @@ impl ShardedRagServer {
         self.pending.len()
     }
 
-    /// Direct access to one shard's device — e.g. to reconfigure or
-    /// inspect it between drains.
+    /// Direct access to the device of a shard's **first** replica —
+    /// e.g. to reconfigure or inspect it between drains. Without
+    /// replication this is simply shard `shard`'s device. Use
+    /// [`ShardedRagServer::replica_device_mut`] to address a specific
+    /// replica.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn device_mut(&mut self, shard: usize) -> &mut ApuDevice {
-        &mut self.devices[shard]
+        self.replica_device_mut(shard, 0)
     }
 
-    /// Arms fault injection on one shard's device; the other shards are
-    /// unaffected (failure containment is per device).
+    /// Direct access to the device holding replica `replica` of shard
+    /// `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `replica` is out of range.
+    pub fn replica_device_mut(&mut self, shard: usize, replica: usize) -> &mut ApuDevice {
+        let device = self.placement.replicas(shard)[replica];
+        &mut self.devices[device]
+    }
+
+    /// Arms fault injection on the device of a shard's **first**
+    /// replica; all other devices are unaffected (failure containment
+    /// is per device). Without replication this is the shard's only
+    /// device.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn inject_faults(&mut self, shard: usize, plan: FaultPlan) {
-        self.devices[shard].inject_faults(plan);
+        self.inject_faults_replica(shard, 0, plan);
+    }
+
+    /// Arms fault injection on one specific replica of one shard — the
+    /// kill-a-replica harness entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `replica` is out of range.
+    pub fn inject_faults_replica(&mut self, shard: usize, replica: usize, plan: FaultPlan) {
+        self.replica_device_mut(shard, replica).inject_faults(plan);
     }
 
     /// Installs a Chrome trace sink on every shard's device. Idempotent;
@@ -639,8 +785,9 @@ impl ShardedRagServer {
 
     /// Detaches the trace sinks and renders the accumulated events as
     /// one Chrome `chrome://tracing` / Perfetto JSON document with a
-    /// separate process-level track group per shard ("shard 0",
-    /// "shard 1", …). Returns `None` when tracing was never enabled.
+    /// separate process-level track group per device ("shard 0",
+    /// "shard 1", … unreplicated; "shard 0 replica 0", … with
+    /// replication). Returns `None` when tracing was never enabled.
     pub fn take_chrome_trace(&mut self) -> Option<String> {
         let shared = self.traces.take()?;
         for dev in &mut self.devices {
@@ -655,7 +802,19 @@ impl ShardedRagServer {
                     .into_inner()
             })
             .collect();
-        let names: Vec<String> = (0..sinks.len()).map(|i| format!("shard {i}")).collect();
+        let names: Vec<String> = (0..sinks.len())
+            .map(|d| {
+                if self.replicas == 1 {
+                    format!("shard {d}")
+                } else {
+                    let (s, r) = self
+                        .placement
+                        .locate(d)
+                        .expect("every device holds a replica");
+                    format!("shard {s} replica {r}")
+                }
+            })
+            .collect();
         let groups: Vec<(&str, &[TraceEvent])> = names
             .iter()
             .zip(&sinks)
@@ -698,19 +857,32 @@ impl ShardedRagServer {
         Ok(ticket)
     }
 
-    /// Fans every pending query out to all shards, runs each shard's
-    /// command queue to completion, and merges the per-shard top-k into
-    /// per-query global completions.
+    /// Fans every pending query out to all shards — one replica per
+    /// shard, picked by read load-balancing over the shard's replica
+    /// set — runs the device command queues to completion, transparently
+    /// fails lost reads over to surviving replicas, and merges the
+    /// per-shard top-k into per-query global completions.
     ///
     /// Merge semantics per query: `started_at` is the earliest shard
     /// dispatch and `finished_at` the latest shard retire; the *critical
     /// shard* (the one retiring last) supplies the stage breakdown —
-    /// every shard sees the same arrival, so the critical shard's stages
-    /// still sum exactly to the merged latency — plus `batch_size` and
-    /// `attempts` is the worst case over shards. Hits from shards that
-    /// answered are merged with [`top_k`]; `shards_ok < shards_total`
-    /// marks the result degraded. A query fails only when every shard
-    /// dropped it, with the first failing shard's error.
+    /// every copy of the query keeps the same arrival (failover
+    /// resubmissions included), so the critical shard's stages still sum
+    /// exactly to the merged latency — plus `batch_size`, and `attempts`
+    /// is the worst case over shards. Hits from shards that answered are
+    /// merged with [`top_k`]; `shards_ok < shards_total` marks the
+    /// result degraded. A query fails only when every shard dropped it,
+    /// with the earliest-observed failing copy's error.
+    ///
+    /// Failover semantics per `(query, shard)` read: after each drain
+    /// round, a read whose every copy so far failed with a
+    /// *device-attributable* error ([`Error::is_transient`] — injected
+    /// faults and kernel failures, **not** deadline expiry or admission
+    /// shedding) is resubmitted on the least-loaded untried replica with
+    /// the query's original arrival and deadline. The loop ends when no
+    /// read has both a fresh failure and an untried replica, so it runs
+    /// at most `replicas` rounds. Failed attempts never book latency or
+    /// stage time ([`QueueStats`] books successes only).
     ///
     /// # Errors
     ///
@@ -722,6 +894,7 @@ impl ShardedRagServer {
 
         let k = self.cfg.k;
         let n_shards = self.shards.len();
+        let n_devices = self.devices.len();
         let mut queue_cfg = self
             .cfg
             .queue
@@ -732,6 +905,36 @@ impl ShardedRagServer {
             queue_cfg = queue_cfg.with_retry(policy);
         }
         let hedge = self.cfg.hedge;
+        let default_priority = self.cfg.priority;
+        let default_ttl = self.cfg.ttl;
+
+        // Per-query submission parameters, in (arrival, ticket) order —
+        // kept for the whole drain so failover rounds can rebuild a
+        // query's shard task from its original parameters.
+        struct QInfo {
+            ticket: u64,
+            arrival: Duration,
+            tenant: TenantId,
+            priority: Priority,
+            ttl: Option<Duration>,
+            query: Vec<i16>,
+        }
+        let infos: Vec<QInfo> = queries
+            .into_iter()
+            .map(|p| QInfo {
+                ticket: p.ticket.0,
+                arrival: p.spec.arrival,
+                tenant: p.spec.tenant,
+                priority: p.spec.priority.unwrap_or(default_priority),
+                ttl: p.spec.ttl.or(default_ttl),
+                query: p.spec.query,
+            })
+            .collect();
+        let index_of: HashMap<u64, usize> = infos
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.ticket, i))
+            .collect();
 
         // Borrow order matters: the per-shard closures capture these
         // cells, so they must outlive the cluster that owns the closures.
@@ -745,104 +948,202 @@ impl ShardedRagServer {
         let mut cluster = DeviceCluster::new(
             self.devices.iter_mut().collect(),
             queue_cfg,
-            // Scatter-gather pins every submission to its shard; the
+            // Scatter-gather pins every submission to its device; the
             // router is not consulted.
             RoutePolicy::RoundRobin,
         )?;
+        cluster.set_placement(self.placement.clone())?;
 
-        // Value: (ticket, arrival, is_hedge_copy).
-        let mut tickets: HashMap<(usize, TaskHandle), (QueryTicket, Duration, bool)> =
-            HashMap::new();
-        for p in queries {
-            let arrival = p.spec.arrival;
-            let priority = p.spec.priority.unwrap_or(self.cfg.priority);
-            let ttl = p.spec.ttl.or(self.cfg.ttl);
-            for (s, shard) in shards.iter().enumerate() {
-                let make_task = |at: Duration, priority: Priority| {
-                    let hbm = &hbm_cells[s];
-                    let run = Box::new(move |dev: &mut ApuDevice, payloads| {
-                        let mut hbm = hbm.borrow_mut();
-                        run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
-                    });
-                    let mut task = TaskSpec::batch(keys[s], Box::new(p.spec.query.clone()), run)
-                        .priority(priority)
-                        .at(at)
-                        .tenant(p.spec.tenant)
-                        .on_shard(s);
-                    if let Some(ttl) = ttl {
-                        // Primary and hedge share the primary's deadline:
-                        // the hedge races the same SLO, it does not
-                        // extend it.
-                        task = task.deadline_at(arrival + ttl);
-                    }
-                    task
-                };
-                let handle = cluster.submit(make_task(arrival, priority))?;
-                tickets.insert((handle.shard(), handle.task()), (p.ticket, arrival, false));
+        // Builds the shard-`s` copy of a query, pinned to `device`
+        // (some replica of `s`). Every copy — primary, hedge, failover —
+        // carries the primary's deadline: redundancy races the SLO, it
+        // never extends it.
+        let make_task = |info: &QInfo, s: usize, device: usize, at: Duration, prio: Priority| {
+            let hbm = &hbm_cells[device];
+            let shard = &shards[s];
+            let run = Box::new(move |dev: &mut ApuDevice, payloads| {
+                let mut hbm = hbm.borrow_mut();
+                run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
+            });
+            let mut task = TaskSpec::batch(keys[s], Box::new(info.query.clone()), run)
+                .priority(prio)
+                .at(at)
+                .tenant(info.tenant)
+                .on_shard(device);
+            if let Some(ttl) = info.ttl {
+                task = task.deadline_at(info.arrival + ttl);
+            }
+            task
+        };
+
+        // One slot per (query ticket, logical shard): the replicas tried
+        // so far and every retired copy (device, is_hedge, round).
+        struct SlotState {
+            tried: Vec<usize>,
+            copies: Vec<(usize, bool, u32, Completion)>,
+        }
+        let mut slots: HashMap<(u64, usize), SlotState> = HashMap::new();
+        // Value: (ticket, shard, is_hedge_copy, failover_round).
+        let mut tickets: HashMap<(usize, TaskHandle), (u64, usize, bool, u32)> = HashMap::new();
+
+        for info in &infos {
+            for s in 0..n_shards {
+                let primary = cluster
+                    .route_replica(s, &[])
+                    .expect("every shard has at least one replica");
+                let handle =
+                    cluster.submit(make_task(info, s, primary, info.arrival, info.priority))?;
+                tickets.insert((handle.shard(), handle.task()), (info.ticket, s, false, 0));
+                let mut tried = vec![primary];
                 if let Some(delay) = hedge {
-                    let h = cluster.submit(make_task(arrival + delay, Priority::High))?;
-                    tickets.insert((h.shard(), h.task()), (p.ticket, arrival, true));
+                    // The hedge goes to a different replica when one
+                    // exists (same device otherwise — the single-replica
+                    // behavior).
+                    let hd = cluster.route_replica(s, &tried).unwrap_or(primary);
+                    let h = cluster.submit(make_task(
+                        info,
+                        s,
+                        hd,
+                        info.arrival + delay,
+                        Priority::High,
+                    ))?;
+                    tickets.insert((h.shard(), h.task()), (info.ticket, s, true, 0));
+                    if hd != primary {
+                        tried.push(hd);
+                    }
                 }
+                slots.insert(
+                    (info.ticket, s),
+                    SlotState {
+                        tried,
+                        copies: Vec::new(),
+                    },
+                );
             }
         }
 
-        let cluster_report = cluster.drain()?;
-        let queue = cluster_report.merged_stats();
-        let mut shard_stats = Vec::with_capacity(n_shards);
-        // Gather each query's per-shard completions, in shard order
-        // (shards drain in order, so pushing preserves it). With hedging
-        // a shard contributes two copies per query; the merge below
-        // keeps one winner per (query, shard).
-        type Gathered = (Duration, Vec<(usize, bool, Completion)>);
-        let mut gathered: HashMap<u64, Gathered> = HashMap::new();
-        for drained in cluster_report.shards {
-            let shard = drained.shard;
-            shard_stats.push(drained.stats);
-            for done in drained.completions {
-                let (ticket, arrival, is_hedge) = tickets
-                    .remove(&(shard, done.handle))
-                    .expect("every completion maps to a submitted query");
-                gathered
-                    .entry(ticket.0)
-                    .or_insert_with(|| (arrival, Vec::new()))
-                    .1
-                    .push((shard, is_hedge, done));
-            }
-        }
-
-        let copies = 1 + usize::from(hedge.is_some());
-        let mut completions = Vec::with_capacity(gathered.len());
-        for (ticket, (arrival, mut copies_by_shard)) in gathered {
-            debug_assert_eq!(copies_by_shard.len(), n_shards * copies);
-            // Winner per shard: the first successful copy (the answer a
-            // client would act on), falling back to the primary's error
-            // when every copy failed.
-            copies_by_shard
-                .sort_by_key(|(shard, is_hedge, c)| (*shard, !c.is_ok(), c.finished_at, *is_hedge));
-            let mut parts: Vec<(bool, Completion)> = Vec::with_capacity(n_shards);
-            for (shard, is_hedge, c) in copies_by_shard {
-                match parts.len() {
-                    n if n == shard => parts.push((is_hedge, c)),
-                    n if n > shard => {} // a winner for this shard exists
-                    _ => unreachable!("shards gather in order"),
+        // Drain-and-failover loop: each round drains every device, feeds
+        // health tracking, then resubmits fully-failed reads on untried
+        // replicas. Bounded: each failover consumes an untried replica.
+        let mut failover_submissions: u64 = 0;
+        let mut round: u32 = 0;
+        loop {
+            let cluster_report = cluster.drain()?;
+            let mut touched: Vec<(u64, usize)> = Vec::new();
+            for drained in cluster_report.shards {
+                let device = drained.shard;
+                for done in drained.completions {
+                    let (ticket, s, is_hedge, rnd) = tickets
+                        .remove(&(device, done.handle))
+                        .expect("every completion maps to a submitted copy");
+                    // Health hears device-attributable outcomes only:
+                    // deadline expiry and admission shedding say nothing
+                    // about the replica.
+                    if done.is_ok() {
+                        cluster.record_outcome(device, true, done.finished_at);
+                    } else if done.error().is_some_and(Error::is_transient) {
+                        cluster.record_outcome(device, false, done.finished_at);
+                    }
+                    touched.push((ticket, s));
+                    slots
+                        .get_mut(&(ticket, s))
+                        .expect("every copy belongs to a slot")
+                        .copies
+                        .push((device, is_hedge, rnd, done));
                 }
             }
-            let hedged = parts.iter().any(|(h, c)| *h && c.is_ok());
+            touched.sort_unstable();
+            touched.dedup();
+            let mut resubmitted = false;
+            for (ticket, s) in touched {
+                let slot = slots.get_mut(&(ticket, s)).expect("touched slots exist");
+                if slot.copies.iter().any(|(_, _, _, c)| c.is_ok()) {
+                    continue;
+                }
+                // Fail over only pure device failures: an expired
+                // deadline or a shed copy means the SLO lapsed, and
+                // another replica cannot un-lapse it.
+                if !slot
+                    .copies
+                    .iter()
+                    .all(|(_, _, _, c)| c.error().is_some_and(Error::is_transient))
+                {
+                    continue;
+                }
+                let Some(next) = cluster.route_replica(s, &slot.tried) else {
+                    continue; // replica set exhausted: the slot stays failed
+                };
+                let info = &infos[index_of[&ticket]];
+                let (from, observed) = slot
+                    .copies
+                    .iter()
+                    .map(|(d, _, _, c)| (*d, c.finished_at))
+                    .max_by_key(|&(_, at)| at)
+                    .expect("a failed slot has at least one copy");
+                let spec = make_task(info, s, next, info.arrival, info.priority);
+                let h = cluster.submit_failover(spec, from, observed)?;
+                tickets.insert((h.shard(), h.task()), (ticket, s, false, round + 1));
+                slot.tried.push(next);
+                failover_submissions += 1;
+                resubmitted = true;
+            }
+            if !resubmitted {
+                break;
+            }
+            round += 1;
+        }
+        // Queue counters are cumulative across drain rounds, so one
+        // final per-device snapshot is the running total.
+        let shard_stats: Vec<QueueStats> =
+            (0..n_devices).map(|d| cluster.stats(d).clone()).collect();
+
+        let mut queue = QueueStats::default();
+        for st in &shard_stats {
+            queue.merge(st);
+        }
+
+        // Merge each query's slot winners into one global completion.
+        let mut completions = Vec::with_capacity(infos.len());
+        let mut failover_served = 0u64;
+        for info in &infos {
+            // Winner per shard slot: the first successful copy (the
+            // answer a client would act on), falling back to the
+            // earliest-observed failure when every copy failed.
+            // (is_hedge, failover_round, winner).
+            let mut parts: Vec<(bool, u32, Completion)> = Vec::with_capacity(n_shards);
+            let mut failovers = 0u32;
+            for s in 0..n_shards {
+                let slot = slots
+                    .remove(&(info.ticket, s))
+                    .expect("every slot was populated at submission");
+                failovers += slot.copies.iter().filter(|(_, _, r, _)| *r > 0).count() as u32;
+                let mut copies = slot.copies;
+                copies.sort_by_key(|(d, h, r, c)| (!c.is_ok(), c.finished_at, *h, *r, *d));
+                let (_, h, r, c) = copies
+                    .into_iter()
+                    .next()
+                    .expect("every slot retires at least one copy");
+                parts.push((h, r, c));
+            }
+            let hedged = parts.iter().any(|(h, _, c)| *h && c.is_ok());
+            if parts.iter().any(|(_, r, c)| *r > 0 && c.is_ok()) {
+                failover_served += 1;
+            }
             let started_at = parts
                 .iter()
-                .map(|(_, c)| c.started_at)
+                .map(|(_, _, c)| c.started_at)
                 .min()
                 .unwrap_or_default();
             let finished_at = parts
                 .iter()
-                .map(|(_, c)| c.finished_at)
+                .map(|(_, _, c)| c.finished_at)
                 .max()
                 .unwrap_or_default();
-            let attempts = parts.iter().map(|(_, c)| c.attempts).max().unwrap_or(1);
-            let tenant = parts.first().map(|(_, c)| c.tenant).unwrap_or_default();
+            let attempts = parts.iter().map(|(_, _, c)| c.attempts).max().unwrap_or(1);
+            let tenant = parts.first().map(|(_, _, c)| c.tenant).unwrap_or_default();
             let critical = parts
                 .iter()
-                .map(|(_, c)| c)
+                .map(|(_, _, c)| c)
                 .max_by_key(|c| c.finished_at)
                 .expect("a query fans out to at least one shard");
             let stages = critical.stage_breakdown();
@@ -851,7 +1152,7 @@ impl ShardedRagServer {
             let mut hits = Vec::new();
             let mut shards_ok = 0;
             let mut first_err = None;
-            for (_, done) in parts {
+            for (_, _, done) in parts {
                 match done.into_output::<Vec<Hit>>() {
                     Ok(shard_hits) => {
                         shards_ok += 1;
@@ -869,9 +1170,9 @@ impl ShardedRagServer {
                 _ => Ok(top_k(hits, k)),
             };
             completions.push(QueryCompletion {
-                ticket: QueryTicket(ticket),
+                ticket: QueryTicket(info.ticket),
                 tenant,
-                arrival,
+                arrival: info.arrival,
                 started_at,
                 finished_at,
                 batch_size,
@@ -880,14 +1181,23 @@ impl ShardedRagServer {
                 shards_ok,
                 shards_total,
                 hedged,
+                failovers,
                 outcome,
             });
         }
         completions.sort_by_key(|c| (c.finished_at, c.ticket.0));
+        let replica = ReplicaStats {
+            groups: n_shards,
+            per_shard: self.replicas,
+            failovers: failover_submissions,
+            down: cluster.health().down_transitions(),
+            failover_served,
+        };
         Ok(ServeReport {
             completions,
             queue,
             shards: shard_stats,
+            replica,
         })
     }
 }
@@ -1076,6 +1386,7 @@ mod tests {
             completions: Vec::new(),
             queue: QueueStats::default(),
             shards: Vec::new(),
+            replica: ReplicaStats::default(),
         };
         assert_eq!(empty.latency_percentile(0.5), Duration::ZERO);
         assert_eq!(empty.latency_percentile(0.99), Duration::ZERO);
@@ -1132,6 +1443,115 @@ mod tests {
         }
         assert_eq!(report.shards[1].failed, 4);
         assert_eq!(report.shards[0].failed + report.shards[2].failed, 0);
+    }
+
+    #[test]
+    fn a_killed_replica_fails_over_to_an_exact_result() {
+        let store = EmbeddingStore::materialized(
+            CorpusSpec {
+                corpus_bytes: 0,
+                chunks: 6_000,
+            },
+            77,
+        );
+        let queries: Vec<Vec<i16>> = (0..4).map(|i| store.query(i)).collect();
+        let single = {
+            let (mut dev, mut hbm, _) = setup(1);
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+            for q in &queries {
+                server.submit(Duration::ZERO, q.clone()).unwrap();
+            }
+            server.drain().unwrap()
+        };
+
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let cfg = ServeConfig {
+            replicas: 2,
+            ..ServeConfig::default()
+        };
+        let mut sharded = ShardedRagServer::new(&store, 2, sim, cfg).unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(sharded.replica_count(), 2);
+        assert_eq!(sharded.device_count(), 4);
+        // Kill one replica of shard 0 outright; no retries configured.
+        sharded.inject_faults_replica(0, 0, FaultPlan::new(7).fail_every_kth_task(1));
+        for q in &queries {
+            sharded.submit(Duration::ZERO, q.clone()).unwrap();
+        }
+        let report = sharded.drain().unwrap();
+
+        assert_eq!(report.served(), 4);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.degraded(), 0, "a surviving replica means no loss");
+        let single_hits: HashMap<u64, &[Hit]> = single
+            .completions
+            .iter()
+            .map(|c| (c.ticket.id(), c.hits().expect("served")))
+            .collect();
+        for done in &report.completions {
+            assert_eq!((done.shards_ok, done.shards_total), (2, 2));
+            assert_eq!(
+                done.hits().expect("served"),
+                single_hits[&done.ticket.id()],
+                "query {}",
+                done.ticket.id()
+            );
+            assert_eq!(done.stages.total(), done.latency());
+        }
+        // Read load-balancing routed some primaries to the dead replica;
+        // those reads failed over and the health tracker downed it.
+        assert!(report.replica.failovers >= 1);
+        assert_eq!(report.replica.down, 1);
+        assert!(report.replica.failover_served >= 1);
+        assert_eq!(report.replica.groups, 2);
+        assert_eq!(report.replica.per_shard, 2);
+        assert!(report.completions.iter().any(|c| c.failovers > 0));
+        // Per-device stats: 4 devices, and the dead one booked failures.
+        assert_eq!(report.shards.len(), 4);
+        assert!(report.shards[0].failed >= 1);
+        let text = report.prometheus_text();
+        assert!(text.contains("apu_replica_per_shard 2"));
+        assert!(text.contains(&format!(
+            "apu_replica_failovers_total {}",
+            report.replica.failovers
+        )));
+    }
+
+    #[test]
+    fn a_whole_replica_set_down_degrades_not_fails() {
+        let store = EmbeddingStore::materialized(
+            CorpusSpec {
+                corpus_bytes: 0,
+                chunks: 6_000,
+            },
+            77,
+        );
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let cfg = ServeConfig {
+            replicas: 2,
+            ..ServeConfig::default()
+        };
+        let mut sharded = ShardedRagServer::new(&store, 2, sim, cfg).unwrap();
+        // Kill BOTH replicas of shard 1: failover has nowhere to go.
+        for r in 0..2 {
+            sharded.inject_faults_replica(1, r, FaultPlan::new(7).fail_every_kth_task(1));
+        }
+        for i in 0..3 {
+            sharded.submit(Duration::ZERO, store.query(i)).unwrap();
+        }
+        let report = sharded.drain().unwrap();
+        assert_eq!(report.served(), 3);
+        assert_eq!(report.degraded(), 3, "shard 1 is gone entirely");
+        let shard0: Vec<_> = sharded.shards()[0].range().collect();
+        for done in &report.completions {
+            assert_eq!((done.shards_ok, done.shards_total), (1, 2));
+            assert!(done.failovers >= 1, "the second replica was tried");
+            for h in done.hits().unwrap() {
+                assert!(shard0.contains(&h.chunk), "chunk {}", h.chunk);
+            }
+        }
+        assert_eq!(report.replica.down, 2);
+        assert_eq!(report.replica.failover_served, 0);
     }
 
     #[test]

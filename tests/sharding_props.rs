@@ -14,13 +14,20 @@
 //!   batching, scatter-gather merge — equals the synchronous
 //!   single-device [`retrieve_batch`] on the whole corpus.
 //!
+//! A third layer covers replication: the **kill-a-replica**
+//! differential. With every shard held by a replica group, killing any
+//! single replica must leave every query's top-k element-identical to
+//! the flat single-device scan — transparent failover, zero degraded
+//! answers. Only when a *whole* replica set is down may the answer
+//! degrade to the surviving shards.
+//!
 //! The CI shard axis (`APU_SIM_TEST_SHARDS`) picks the cluster width for
-//! the end-to-end case; the properties sweep shard counts 1..=8 on their
-//! own.
+//! the end-to-end case and `APU_SIM_TEST_REPLICAS` the replication
+//! factor; the properties sweep shard counts 1..=8 on their own.
 
 use std::time::Duration;
 
-use apu_sim::{ApuDevice, ExecMode, SimConfig};
+use apu_sim::{ApuDevice, ExecMode, FaultPlan, SimConfig};
 use hbm_sim::{DramSpec, MemorySystem};
 use proptest::prelude::*;
 use rag::cpu::{cpu_retrieve, top_k};
@@ -136,17 +143,159 @@ proptest! {
     }
 }
 
-/// End-to-end check on the CI shard axis: `APU_SIM_TEST_SHARDS` (default
-/// 3) sets the cluster width, `APU_SIM_TEST_MODE` the simulation mode.
-/// Scheduling/accounting assertions hold in both modes; hit equality is
-/// gated on functional execution.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Kill-a-replica differential: for any corpus, k, shard count, and
+    /// replication factor ≥ 2, kill one replica of one shard (every task
+    /// on it faults) and the replicated serve must still return, for
+    /// every query, exactly the hits of the synchronous single-device
+    /// scan — ids and scores intact, nothing degraded — while the report
+    /// shows real failovers happened.
+    #[test]
+    fn killing_one_replica_keeps_every_query_exact(
+        chunks in 64usize..=400,
+        k in 1usize..=6,
+        shards in 1usize..=3,
+        replicas in 2usize..=3,
+        victim in 0usize..64,
+    ) {
+        let st = store(chunks, 91);
+        let nq = 3usize; // ≥ replicas, so the victim serves at least one primary
+        let queries: Vec<Vec<i16>> = (0..nq as u64).map(|i| st.query(i)).collect();
+
+        // Synchronous single-device reference on the unsharded corpus.
+        let mut dev = ApuDevice::new(
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+        );
+        let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+        let reference = retrieve_batch(&mut dev, &mut hbm, &st, &queries, k)
+            .expect("reference retrieval");
+
+        let mut server = ShardedRagServer::new(
+            &st,
+            shards,
+            SimConfig::default()
+                .with_exec_mode(ExecMode::Functional)
+                .with_l4_bytes(8 << 20),
+            ServeConfig {
+                k,
+                replicas,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("cluster construction");
+
+        // Kill one arbitrary replica: every task it receives faults.
+        let (dead_shard, dead_replica) = (victim % shards, (victim / shards) % replicas);
+        server.inject_faults_replica(
+            dead_shard,
+            dead_replica,
+            FaultPlan::new(7).fail_every_kth_task(1),
+        );
+
+        for (i, q) in queries.iter().enumerate() {
+            server
+                .submit(Duration::from_micros(10 * i as u64), q.clone())
+                .expect("submit");
+        }
+        let report = server.drain().expect("drain");
+
+        prop_assert_eq!(report.completions.len(), nq);
+        prop_assert_eq!(report.served(), nq, "fault must be transparent");
+        prop_assert_eq!(report.degraded(), 0, "a healthy replica remained");
+        prop_assert!(
+            report.replica.failovers >= 1,
+            "the dead replica must have been hit at least once \
+             (shards={} replicas={} victim=({},{}))",
+            shards, replicas, dead_shard, dead_replica
+        );
+        prop_assert_eq!(report.shards.len(), shards * replicas);
+        for done in &report.completions {
+            prop_assert!(!done.is_degraded());
+            prop_assert_eq!((done.shards_ok, done.shards_total), (shards, shards));
+            prop_assert_eq!(done.stages.total(), done.latency());
+            prop_assert_eq!(
+                done.hits().expect("served"),
+                &reference.hits[done.ticket.id() as usize][..],
+                "query {} diverged: chunks={} shards={} replicas={} k={} victim=({},{})",
+                done.ticket.id(), chunks, shards, replicas, k, dead_shard, dead_replica
+            );
+        }
+    }
+}
+
+/// Degradation is reserved for total loss: killing *every* replica of
+/// one shard degrades the answers to the surviving shards (still
+/// served), while killing all-but-one leaves them exact.
+#[test]
+fn only_a_whole_dead_replica_set_degrades_answers() {
+    let st = store(300, 13);
+    let queries: Vec<Vec<i16>> = (0..3u64).map(|i| st.query(i)).collect();
+    let config = |replicas| ServeConfig {
+        k: 4,
+        replicas,
+        ..ServeConfig::default()
+    };
+    let sim = || {
+        SimConfig::default()
+            .with_exec_mode(ExecMode::Functional)
+            .with_l4_bytes(8 << 20)
+    };
+
+    // All but one replica of shard 1 dead: exact, nothing degraded.
+    let mut server = ShardedRagServer::new(&st, 2, sim(), config(3)).expect("cluster");
+    for r in 0..2 {
+        server.inject_faults_replica(1, r, FaultPlan::new(5).fail_every_kth_task(1));
+    }
+    for (i, q) in queries.iter().enumerate() {
+        server
+            .submit(Duration::from_micros(10 * i as u64), q.clone())
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+    assert_eq!(report.served(), queries.len());
+    assert_eq!(report.degraded(), 0);
+
+    // The whole replica set of shard 1 dead: served but degraded.
+    let mut server = ShardedRagServer::new(&st, 2, sim(), config(2)).expect("cluster");
+    for r in 0..2 {
+        server.inject_faults_replica(1, r, FaultPlan::new(5).fail_every_kth_task(1));
+    }
+    for (i, q) in queries.iter().enumerate() {
+        server
+            .submit(Duration::from_micros(10 * i as u64), q.clone())
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+    assert_eq!(report.served(), queries.len());
+    assert_eq!(report.degraded(), queries.len());
+    for done in &report.completions {
+        assert!(done.is_degraded());
+        assert_eq!((done.shards_ok, done.shards_total), (1, 2));
+    }
+}
+
+/// End-to-end check on the CI shard/replica axes: `APU_SIM_TEST_SHARDS`
+/// sets the cluster width (default 3), `APU_SIM_TEST_REPLICAS` the
+/// replication factor (default 1), `APU_SIM_TEST_MODE` the simulation
+/// mode. With replication a replica of shard 0 is killed outright, so
+/// the stream must be served *through* failover. Scheduling/accounting
+/// assertions hold in both modes; hit equality is gated on functional
+/// execution.
 #[test]
 fn ci_shard_axis_serves_the_full_stream() {
-    let shards: usize = std::env::var("APU_SIM_TEST_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(3);
+    let axis = |var: &str, default: usize| -> usize {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(default)
+    };
+    let shards = axis("APU_SIM_TEST_SHARDS", 3);
+    let replicas = axis("APU_SIM_TEST_REPLICAS", 1);
     let mode = ExecMode::from_env(ExecMode::Functional);
     let st = store(6_000, 42);
     let queries: Vec<Vec<i16>> = (0..12).map(|i| st.query(i)).collect();
@@ -157,9 +306,17 @@ fn ci_shard_axis_serves_the_full_stream() {
         SimConfig::default()
             .with_exec_mode(mode)
             .with_l4_bytes(8 << 20),
-        ServeConfig::default(),
+        ServeConfig {
+            replicas,
+            ..ServeConfig::default()
+        },
     )
     .expect("cluster construction");
+    if replicas >= 2 {
+        // Kill one replica of shard 0; failover must keep the stream
+        // exact and non-degraded.
+        server.inject_faults_replica(0, 0, FaultPlan::new(3).fail_every_kth_task(1));
+    }
     for (i, q) in queries.iter().enumerate() {
         server
             .submit(Duration::from_micros(25 * i as u64), q.clone())
@@ -169,10 +326,28 @@ fn ci_shard_axis_serves_the_full_stream() {
 
     assert_eq!(report.completions.len(), queries.len());
     assert_eq!(report.served(), queries.len());
-    assert_eq!(report.shards.len(), shards);
-    for shard_stats in &report.shards {
-        assert_eq!(shard_stats.submitted as usize, queries.len());
-        assert_eq!(shard_stats.completed as usize, queries.len());
+    assert_eq!(report.degraded(), 0);
+    assert_eq!(report.shards.len(), shards * replicas);
+    assert_eq!(report.replica.per_shard, replicas);
+    assert_eq!(report.replica.groups, shards);
+    // Each replica group serves the whole stream between its members
+    // (the dead replica's failed attempts re-land on its peers).
+    for group in 0..shards {
+        let served: u64 = (0..replicas)
+            .map(|r| report.shards[group * replicas + r].completed)
+            .sum();
+        assert!(
+            served as usize >= queries.len(),
+            "group {group} completed only {served} of {}",
+            queries.len()
+        );
+    }
+    if replicas >= 2 {
+        assert!(
+            report.replica.failovers >= 1,
+            "the dead replica was never hit"
+        );
+        assert!(report.replica.failover_served >= 1);
     }
     for done in &report.completions {
         assert_eq!((done.shards_ok, done.shards_total), (shards, shards));

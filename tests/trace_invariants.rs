@@ -17,7 +17,7 @@ use apu_sim::{
 };
 use hbm_sim::{DramSpec, MemorySystem};
 use proptest::prelude::*;
-use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig, ServeReport};
+use rag::{CorpusSpec, EmbeddingStore, RagServer, ServeConfig, ServeReport, ShardedRagServer};
 
 fn device() -> ApuDevice {
     ApuDevice::new(
@@ -395,4 +395,107 @@ proptest! {
         }
         prop_assert_eq!(queue.stats().stage_totals().total(), queue.stats().total_latency);
     }
+}
+
+/// Failover attempts never double-count stage time: a query that first
+/// lands on a dead replica and is re-issued elsewhere still satisfies
+/// `stages.total() == latency()` exactly — the failed attempt's device
+/// time is absorbed into `queue_wait` of the surviving attempt, not
+/// added on top — and the report-level stage totals stay consistent
+/// with the end-to-end latency sum.
+#[test]
+fn failover_attempts_do_not_double_count_stage_time() {
+    let st = store(2_048);
+    let mut server = ShardedRagServer::new(
+        &st,
+        2,
+        SimConfig::default()
+            .with_exec_mode(ExecMode::from_env(ExecMode::Functional))
+            .with_l4_bytes(8 << 20),
+        ServeConfig {
+            replicas: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("cluster construction");
+    server.inject_faults_replica(0, 0, FaultPlan::new(11).fail_every_kth_task(1));
+    for i in 0..4u64 {
+        server
+            .submit(Duration::from_micros(15 * i), st.query(i))
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+
+    assert_eq!(report.served(), 4);
+    assert_eq!(report.degraded(), 0);
+    assert!(
+        report.replica.failovers >= 1,
+        "the dead replica was never hit"
+    );
+    let mut failed_over = 0usize;
+    for done in &report.completions {
+        assert_eq!(
+            done.stages.total(),
+            done.latency(),
+            "query {} stage components must sum exactly to its latency \
+             even across {} failover attempt(s)",
+            done.ticket.id(),
+            done.failovers
+        );
+        failed_over += (done.failovers > 0) as usize;
+    }
+    assert!(failed_over >= 1, "some completion must carry a failover");
+    // Aggregated: the queue-level stage totals cover exactly the booked
+    // end-to-end latency (successful attempts only — failed attempts
+    // are never booked, so nothing is counted twice).
+    assert_eq!(
+        report.queue.stage_totals().total(),
+        report.queue.total_latency,
+        "report-level stage totals must not double-count failover attempts"
+    );
+    assert!(report.latency_percentile(0.5) > Duration::ZERO);
+}
+
+/// `latency_percentile` over a stream where *every* query failed (the
+/// whole cluster is dead — no replica to fail over to): percentiles rank
+/// only served completions, so the documented all-failed edge case must
+/// return `Duration::ZERO` rather than ranking failed attempts.
+#[test]
+fn latency_percentile_of_an_all_failed_stream_is_zero() {
+    let st = store(1_024);
+    let mut server = ShardedRagServer::new(
+        &st,
+        1,
+        SimConfig::default()
+            .with_exec_mode(ExecMode::from_env(ExecMode::Functional))
+            .with_l4_bytes(8 << 20),
+        ServeConfig {
+            replicas: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("cluster construction");
+    for r in 0..2 {
+        server.inject_faults_replica(0, r, FaultPlan::new(23).fail_every_kth_task(1));
+    }
+    for i in 0..3u64 {
+        server
+            .submit(Duration::from_micros(15 * i), st.query(i))
+            .expect("submit");
+    }
+    let report = server.drain().expect("drain");
+
+    assert_eq!(report.served(), 0, "the whole replica set is dead");
+    assert_eq!(report.failed(), 3);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(
+            report.latency_percentile(q),
+            Duration::ZERO,
+            "p{q} of an all-failed stream must be zero, not a ranked failure"
+        );
+    }
+    assert_eq!(
+        report.queue.stage_totals().total(),
+        report.queue.total_latency
+    );
 }
