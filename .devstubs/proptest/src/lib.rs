@@ -354,7 +354,7 @@ macro_rules! proptest {
 macro_rules! __proptest_items {
     ($cfg:expr; $(
         $(#[$meta:meta])*
-        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
     )*) => {$(
         $(#[$meta])*
         fn $name() {

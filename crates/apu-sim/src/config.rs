@@ -68,6 +68,15 @@ pub struct SimConfig {
     pub clock: Frequency,
     /// Latency calibration table.
     pub timing: DeviceTiming,
+    /// Opt-in timing fast-forward: lets [`crate::ApuDevice`] replay the
+    /// memoized cycle charge of a previously executed kernel signature
+    /// instead of re-walking its micro-ops. Only ever consulted in
+    /// timing-only mode with no fault plan and no trace sink installed,
+    /// so it cannot change any observable output — only wall-clock.
+    /// Defaults from the `APU_SIM_FAST_FORWARD` environment variable
+    /// (`1`/`true` to enable).
+    #[serde(default)]
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -85,12 +94,20 @@ impl SimConfig {
             l4_bytes: 256 * 1024 * 1024,
             clock: Frequency::LEDA_E,
             timing: DeviceTiming::leda_e(),
+            fast_forward: fast_forward_from_env(),
         }
     }
 
     /// Builder-style: set the execution mode.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// Builder-style: enable or disable timing fast-forward (see the
+    /// [`SimConfig::fast_forward`] field).
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
+        self.fast_forward = fast_forward;
         self
     }
 
@@ -155,6 +172,17 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig::leda_e()
     }
+}
+
+/// Resolves the default for [`SimConfig::fast_forward`] from the
+/// `APU_SIM_FAST_FORWARD` environment variable (`1` or `true` enables;
+/// anything else — including unset — disables). The CI matrix uses this
+/// to run the same suites with and without memoized timing replay.
+pub fn fast_forward_from_env() -> bool {
+    matches!(
+        std::env::var("APU_SIM_FAST_FORWARD").as_deref(),
+        Ok("1") | Ok("true")
+    )
 }
 
 #[cfg(test)]

@@ -92,9 +92,9 @@ pub use cluster::{
     key_shard, ClusterHandle, ClusterReport, DeviceCluster, HealthTracker, Placement, RoutePolicy,
     ShardDrain,
 };
-pub use config::{ExecMode, SimConfig};
+pub use config::{fast_forward_from_env, ExecMode, SimConfig};
 pub use core::{ApuCore, Marker, Vmr, Vr};
-pub use device::{ApuContext, ApuDevice, CoreTask, TaskReport};
+pub use device::{ApuContext, ApuDevice, CoreTask, MemoCounters, TaskReport};
 pub use dma_async::DmaTicket;
 pub use error::Error;
 pub use fault::{FaultCounts, FaultPlan};
@@ -108,8 +108,8 @@ pub use spec::{AdmissionControl, SchedPolicy, TaskSpec, TenantId};
 pub use stats::{LatencyReservoir, StageBreakdown, TenantStats, VcuStats};
 pub use timing::{DeviceTiming, VecOp};
 pub use trace::{
-    chrome_trace_json_grouped, ChromeTraceSink, FaultScope, SharedSink, TraceEvent, TraceEventKind,
-    TraceRecorder, TraceSink,
+    chrome_trace_json_grouped, label_escape, ChromeTraceSink, FaultScope, SharedSink, TraceEvent,
+    TraceEventKind, TraceRecorder, TraceSink,
 };
 pub use workload::{ArrivalEvent, ArrivalProcess, TenantTraffic, TrafficSpec, WorkloadTrace};
 

@@ -250,7 +250,10 @@ impl MicroState {
     }
 
     /// The value a bit processor at column `i` observes when reading
-    /// latch source `src`, as a packed 16-bit slice word.
+    /// latch source `src`, as a packed 16-bit slice word. Retained as
+    /// the scalar reference for the differential tests pinning the
+    /// vectorized [`MicroState::execute`] arms.
+    #[cfg(test)]
     fn latch_view(&self, src: LatchSrc, i: usize) -> u16 {
         match src {
             LatchSrc::Ghl => self.ghl,
@@ -289,94 +292,232 @@ impl MicroState {
     /// Panics if a referenced VR index is out of range or a VR length does
     /// not match the column count; the callers in [`crate::core`] validate
     /// indices before issue.
-    // Index loops stay: each arm writes `self.rl[i]` while reading
-    // `self.latch_view(..)`, which a zipped iterator cannot borrow-split.
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// Every arm runs over slices/zips the compiler can autovectorize.
+    /// The one true loop-carried case is a `RlWest` latch read: column
+    /// `i` observes its west neighbour's *already updated* RL, so a
+    /// value propagates eastward across the whole register within one
+    /// micro-op. That arm keeps a documented sequential loop
+    /// ([`Self::latch_west`]); `RlEast` reads the *old* neighbour value
+    /// (the sweep has not reached it yet), which an in-place forward
+    /// pass preserves.
     pub fn execute(&mut self, vrs: &mut [Vec<u16>], op: &MicroOp) {
-        let n = self.columns();
         match op {
             MicroOp::ReadVr { mask, vrs: srcs } => {
                 let m = mask.bits();
-                for i in 0..n {
-                    let mut v: u16 = 0xFFFF;
-                    for &s in srcs {
-                        v &= vrs[s][i];
+                match srcs.as_slice() {
+                    // An empty multi-read drives 0 onto the read latch.
+                    [] => {
+                        for r in &mut self.rl {
+                            *r &= !m;
+                        }
                     }
-                    if srcs.is_empty() {
-                        v = 0;
+                    [s] => {
+                        for (r, &v) in self.rl.iter_mut().zip(&vrs[*s]) {
+                            *r = (*r & !m) | (v & m);
+                        }
                     }
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
+                    [a, b] => {
+                        let (x, y) = (&vrs[*a], &vrs[*b]);
+                        for ((r, &xv), &yv) in self.rl.iter_mut().zip(x).zip(y) {
+                            *r = (*r & !m) | (xv & yv & m);
+                        }
+                    }
+                    srcs => {
+                        for (i, r) in self.rl.iter_mut().enumerate() {
+                            let mut v: u16 = 0xFFFF;
+                            for &s in srcs {
+                                v &= vrs[s][i];
+                            }
+                            *r = (*r & !m) | (v & m);
+                        }
+                    }
                 }
             }
             MicroOp::ReadLatch { mask, src } => {
-                let m = mask.bits();
-                for i in 0..n {
-                    let v = self.latch_view(*src, i);
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
-                }
+                self.combine_latch(mask.bits(), *src, |_cur, l| l);
             }
             MicroOp::ReadVrOpLatch { mask, vr, op, src } => {
-                let m = mask.bits();
-                for i in 0..n {
-                    let v = op.apply(vrs[*vr][i], self.latch_view(*src, i));
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
-                }
+                let op = *op;
+                self.combine_vr_latch(mask.bits(), &vrs[*vr], *src, move |_cur, x, l| {
+                    op.apply(x, l)
+                });
             }
             MicroOp::OpVr { mask, op, vr } => {
                 let m = mask.bits();
-                for i in 0..n {
-                    let v = op.apply(self.rl[i], vrs[*vr][i]);
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
+                let op = *op;
+                for (r, &v) in self.rl.iter_mut().zip(&vrs[*vr]) {
+                    *r = (*r & !m) | (op.apply(*r, v) & m);
                 }
             }
             MicroOp::OpLatch { mask, op, src } => {
-                let m = mask.bits();
-                for i in 0..n {
-                    let v = op.apply(self.rl[i], self.latch_view(*src, i));
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
-                }
+                let op = *op;
+                self.combine_latch(mask.bits(), *src, move |cur, l| op.apply(cur, l));
             }
             MicroOp::OpVrOpLatch { mask, op, vr, src } => {
-                let m = mask.bits();
-                for i in 0..n {
-                    let v = op.apply(self.rl[i], op.apply(vrs[*vr][i], self.latch_view(*src, i)));
-                    self.rl[i] = (self.rl[i] & !m) | (v & m);
-                }
+                let op = *op;
+                self.combine_vr_latch(mask.bits(), &vrs[*vr], *src, move |cur, x, l| {
+                    op.apply(cur, op.apply(x, l))
+                });
             }
             MicroOp::WriteVr { mask, vr, src } => {
                 let m = mask.bits();
-                for i in 0..n {
-                    let v = match src {
-                        WriteSrc::Rl => self.rl[i],
-                        WriteSrc::RlNeg => !self.rl[i],
-                        WriteSrc::Ghl => self.ghl,
-                        WriteSrc::Gvl => {
-                            if self.gvl[i] {
-                                0xFFFF
-                            } else {
-                                0
-                            }
+                let dst = &mut vrs[*vr];
+                match src {
+                    WriteSrc::Rl => {
+                        for (cell, &r) in dst.iter_mut().zip(&self.rl) {
+                            *cell = (*cell & !m) | (r & m);
                         }
-                    };
-                    let cell = &mut vrs[*vr][i];
-                    *cell = (*cell & !m) | (v & m);
+                    }
+                    WriteSrc::RlNeg => {
+                        for (cell, &r) in dst.iter_mut().zip(&self.rl) {
+                            *cell = (*cell & !m) | (!r & m);
+                        }
+                    }
+                    WriteSrc::Ghl => {
+                        let set = self.ghl & m;
+                        for cell in dst.iter_mut() {
+                            *cell = (*cell & !m) | set;
+                        }
+                    }
+                    WriteSrc::Gvl => {
+                        for (cell, &g) in dst.iter_mut().zip(&self.gvl) {
+                            let v = if g { m } else { 0 };
+                            *cell = (*cell & !m) | v;
+                        }
+                    }
                 }
             }
             MicroOp::LoadGhl { mask } => {
+                // The wired-OR spans every column regardless of the mask;
+                // the mask only gates which GHL slices latch the result.
                 let m = mask.bits();
-                let mut acc: u16 = 0;
-                for i in 0..n {
-                    acc |= self.rl[i];
-                }
+                let acc = self.rl.iter().fold(0u16, |a, &r| a | r);
                 self.ghl = (self.ghl & !m) | (acc & m);
             }
             MicroOp::LoadGvl { mask } => {
                 let m = mask.bits();
-                for i in 0..n {
-                    // AND across the masked slices of column i.
-                    self.gvl[i] = (self.rl[i] & m) == m;
+                for (g, &r) in self.gvl.iter_mut().zip(&self.rl) {
+                    // AND across the masked slices of the column.
+                    *g = (r & m) == m;
                 }
             }
+        }
+    }
+
+    /// Applies `f(current_rl, latch_view)` under slice mask `m` across
+    /// all columns, preserving the per-source neighbour semantics of the
+    /// scalar interpreter (see [`Self::latch_view`]).
+    fn combine_latch<F: Fn(u16, u16) -> u16>(&mut self, m: u16, src: LatchSrc, f: F) {
+        match src {
+            LatchSrc::Ghl => {
+                let g = self.ghl;
+                for r in &mut self.rl {
+                    *r = (*r & !m) | (f(*r, g) & m);
+                }
+            }
+            LatchSrc::Gvl => {
+                for (r, &g) in self.rl.iter_mut().zip(&self.gvl) {
+                    let l = if g { 0xFFFF } else { 0 };
+                    *r = (*r & !m) | (f(*r, l) & m);
+                }
+            }
+            LatchSrc::RlNorth => {
+                for r in &mut self.rl {
+                    *r = (*r & !m) | (f(*r, *r >> 1) & m);
+                }
+            }
+            LatchSrc::RlSouth => {
+                for r in &mut self.rl {
+                    *r = (*r & !m) | (f(*r, *r << 1) & m);
+                }
+            }
+            LatchSrc::RlEast => {
+                // Column i reads its east neighbour's OLD value: the
+                // forward pass writes rl[i] strictly before reading
+                // rl[i+1], so in-place iteration preserves it (only
+                // anti-dependences remain — autovectorizable).
+                let n = self.rl.len();
+                for i in 0..n.saturating_sub(1) {
+                    let l = self.rl[i + 1];
+                    self.rl[i] = (self.rl[i] & !m) | (f(self.rl[i], l) & m);
+                }
+                if let Some(last) = self.rl.last_mut() {
+                    *last = (*last & !m) | (f(*last, 0) & m);
+                }
+            }
+            LatchSrc::RlWest => self.latch_west(m, f),
+        }
+    }
+
+    /// [`Self::combine_latch`] with a VR operand:
+    /// `f(current_rl, vr_value, latch_view)` under slice mask `m`.
+    fn combine_vr_latch<F: Fn(u16, u16, u16) -> u16>(
+        &mut self,
+        m: u16,
+        vr: &[u16],
+        src: LatchSrc,
+        f: F,
+    ) {
+        match src {
+            LatchSrc::Ghl => {
+                let g = self.ghl;
+                for (r, &x) in self.rl.iter_mut().zip(vr) {
+                    *r = (*r & !m) | (f(*r, x, g) & m);
+                }
+            }
+            LatchSrc::Gvl => {
+                for ((r, &x), &g) in self.rl.iter_mut().zip(vr).zip(&self.gvl) {
+                    let l = if g { 0xFFFF } else { 0 };
+                    *r = (*r & !m) | (f(*r, x, l) & m);
+                }
+            }
+            LatchSrc::RlNorth => {
+                for (r, &x) in self.rl.iter_mut().zip(vr) {
+                    *r = (*r & !m) | (f(*r, x, *r >> 1) & m);
+                }
+            }
+            LatchSrc::RlSouth => {
+                for (r, &x) in self.rl.iter_mut().zip(vr) {
+                    *r = (*r & !m) | (f(*r, x, *r << 1) & m);
+                }
+            }
+            LatchSrc::RlEast => {
+                let n = self.rl.len();
+                // Neighbour access (`rl[i + 1]`) keeps this loop
+                // index-based.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n.saturating_sub(1) {
+                    let l = self.rl[i + 1];
+                    self.rl[i] = (self.rl[i] & !m) | (f(self.rl[i], vr[i], l) & m);
+                }
+                if let Some(i) = n.checked_sub(1) {
+                    self.rl[i] = (self.rl[i] & !m) | (f(self.rl[i], vr[i], 0) & m);
+                }
+            }
+            LatchSrc::RlWest => {
+                // Loop-carried like `latch_west`, but the combine also
+                // needs the VR operand for the same column.
+                let mut west: u16 = 0;
+                for (r, &x) in self.rl.iter_mut().zip(vr) {
+                    let v = f(*r, x, west);
+                    *r = (*r & !m) | (v & m);
+                    west = *r;
+                }
+            }
+        }
+    }
+
+    /// The genuinely loop-carried case: each column reads the *already
+    /// updated* RL of its west neighbour, so a full-mask read sweeps the
+    /// boundary value across the whole register within one micro-op.
+    /// This must stay a sequential scalar loop.
+    fn latch_west<F: Fn(u16, u16) -> u16>(&mut self, m: u16, f: F) {
+        let mut west: u16 = 0;
+        for r in &mut self.rl {
+            let v = f(*r, west);
+            *r = (*r & !m) | (v & m);
+            west = *r;
         }
     }
 }
@@ -690,5 +831,212 @@ mod tests {
         for i in 0..n {
             assert_eq!(vrs[3][i], a[i].wrapping_add(b[i]), "column {i}");
         }
+    }
+
+    /// The pre-vectorization per-element interpreter, kept verbatim as
+    /// the reference oracle: every arm indexes `latch_view` column by
+    /// column, including the in-place neighbour semantics (`RlWest`
+    /// observes updated state, `RlEast` pre-update state).
+    // The oracle is deliberately scalar and index-based — it mirrors
+    // the pre-vectorization per-column walk, not idiomatic iterators.
+    #[allow(clippy::needless_range_loop)]
+    fn execute_reference(st: &mut MicroState, vrs: &mut [Vec<u16>], op: &MicroOp) {
+        let n = st.columns();
+        match op {
+            MicroOp::ReadVr { mask, vrs: srcs } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let mut v: u16 = 0xFFFF;
+                    for &s in srcs {
+                        v &= vrs[s][i];
+                    }
+                    if srcs.is_empty() {
+                        v = 0;
+                    }
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::ReadLatch { mask, src } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = st.latch_view(*src, i);
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::ReadVrOpLatch { mask, vr, op, src } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = op.apply(vrs[*vr][i], st.latch_view(*src, i));
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::OpVr { mask, op, vr } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = op.apply(st.rl[i], vrs[*vr][i]);
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::OpLatch { mask, op, src } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = op.apply(st.rl[i], st.latch_view(*src, i));
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::OpVrOpLatch { mask, op, vr, src } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = op.apply(st.rl[i], op.apply(vrs[*vr][i], st.latch_view(*src, i)));
+                    st.rl[i] = (st.rl[i] & !m) | (v & m);
+                }
+            }
+            MicroOp::WriteVr { mask, vr, src } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    let v = match src {
+                        WriteSrc::Rl => st.rl[i],
+                        WriteSrc::RlNeg => !st.rl[i],
+                        WriteSrc::Ghl => st.ghl,
+                        WriteSrc::Gvl => {
+                            if st.gvl[i] {
+                                0xFFFF
+                            } else {
+                                0
+                            }
+                        }
+                    };
+                    let cell = &mut vrs[*vr][i];
+                    *cell = (*cell & !m) | (v & m);
+                }
+            }
+            MicroOp::LoadGhl { mask } => {
+                let m = mask.bits();
+                let mut acc: u16 = 0;
+                for i in 0..n {
+                    acc |= st.rl[i];
+                }
+                st.ghl = (st.ghl & !m) | (acc & m);
+            }
+            MicroOp::LoadGvl { mask } => {
+                let m = mask.bits();
+                for i in 0..n {
+                    st.gvl[i] = (st.rl[i] & m) == m;
+                }
+            }
+        }
+    }
+
+    /// A cheap deterministic PRNG so the differential sweep needs no
+    /// external crates.
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn vectorized_execute_matches_scalar_reference() {
+        let n = 67; // odd, non-power-of-two: exercises boundary columns
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let latches = [
+            LatchSrc::Ghl,
+            LatchSrc::Gvl,
+            LatchSrc::RlNorth,
+            LatchSrc::RlSouth,
+            LatchSrc::RlEast,
+            LatchSrc::RlWest,
+        ];
+        let bitops = [BitOp::And, BitOp::Or, BitOp::Xor];
+        let masks = [
+            SliceMask::FULL,
+            SliceMask::low(4),
+            SliceMask::single(15),
+            SliceMask::single(0),
+        ];
+        let mut ops: Vec<MicroOp> = Vec::new();
+        for &mask in &masks {
+            ops.push(MicroOp::ReadVr { mask, vrs: vec![] });
+            ops.push(MicroOp::ReadVr { mask, vrs: vec![1] });
+            ops.push(MicroOp::ReadVr {
+                mask,
+                vrs: vec![0, 2],
+            });
+            ops.push(MicroOp::ReadVr {
+                mask,
+                vrs: vec![0, 1, 2],
+            });
+            ops.push(MicroOp::LoadGhl { mask });
+            ops.push(MicroOp::LoadGvl { mask });
+            for src in [WriteSrc::Rl, WriteSrc::RlNeg, WriteSrc::Ghl, WriteSrc::Gvl] {
+                ops.push(MicroOp::WriteVr { mask, vr: 3, src });
+            }
+            for &src in &latches {
+                ops.push(MicroOp::ReadLatch { mask, src });
+                for &op in &bitops {
+                    ops.push(MicroOp::OpLatch { mask, op, src });
+                    ops.push(MicroOp::ReadVrOpLatch {
+                        mask,
+                        vr: 1,
+                        op,
+                        src,
+                    });
+                    ops.push(MicroOp::OpVrOpLatch {
+                        mask,
+                        op,
+                        vr: 2,
+                        src,
+                    });
+                }
+            }
+            for &op in &bitops {
+                ops.push(MicroOp::OpVr { mask, op, vr: 0 });
+            }
+        }
+        // Run the same randomized op stream through both interpreters,
+        // comparing complete machine state after every step.
+        let mut st_v = MicroState::new(n);
+        let mut st_r = MicroState::new(n);
+        let mut vrs_v: Vec<Vec<u16>> = (0..4)
+            .map(|_| (0..n).map(|_| xorshift(&mut seed) as u16).collect())
+            .collect();
+        let mut vrs_r = vrs_v.clone();
+        st_v.rl = (0..n).map(|_| xorshift(&mut seed) as u16).collect();
+        st_r.rl.copy_from_slice(&st_v.rl);
+        st_v.ghl = xorshift(&mut seed) as u16;
+        st_r.ghl = st_v.ghl;
+        for i in 0..n {
+            let b = xorshift(&mut seed) & 1 == 1;
+            st_v.gvl[i] = b;
+            st_r.gvl[i] = b;
+        }
+        for (step, op) in ops.iter().enumerate() {
+            st_v.execute(&mut vrs_v, op);
+            execute_reference(&mut st_r, &mut vrs_r, op);
+            assert_eq!(st_v.rl, st_r.rl, "RL diverged at step {step}: {op:?}");
+            assert_eq!(st_v.ghl, st_r.ghl, "GHL diverged at step {step}: {op:?}");
+            assert_eq!(st_v.gvl, st_r.gvl, "GVL diverged at step {step}: {op:?}");
+            assert_eq!(vrs_v, vrs_r, "VRs diverged at step {step}: {op:?}");
+        }
+    }
+
+    #[test]
+    fn west_read_propagates_sequentially_across_all_columns() {
+        // Reading RlWest with OR over the full mask must sweep column
+        // 0's value across the entire register in ONE micro-op: column i
+        // sees its west neighbour's already-updated RL. A parallel
+        // implementation would only shift by one column.
+        let (mut st, mut vrs) = state_and_vrs(5, 1);
+        st.rl = vec![0b1000, 0, 0, 0, 0];
+        st.execute(
+            &mut vrs,
+            &MicroOp::OpLatch {
+                mask: SliceMask::FULL,
+                op: BitOp::Or,
+                src: LatchSrc::RlWest,
+            },
+        );
+        assert_eq!(st.rl, vec![0b1000; 5]);
     }
 }

@@ -192,6 +192,11 @@ pub struct QueueConfig {
     /// Per-tenant fair-share weights for [`SchedPolicy::SloAware`]
     /// (raw [`TenantId`] → weight; unlisted tenants weigh 1).
     pub tenant_weights: BTreeMap<u64, u64>,
+    /// Human-readable display names for tenants (raw [`TenantId`] →
+    /// name), carried into [`QueueStats::tenant_names`] and rendered —
+    /// escaped — as Prometheus label values. Unlabelled tenants render
+    /// as their numeric id.
+    pub tenant_labels: BTreeMap<u64, String>,
     /// Backlog watermarks for admission shedding; `None` — the default —
     /// never sheds on backlog (only [`QueueConfig::max_pending`] rejects
     /// at submission).
@@ -208,6 +213,7 @@ impl Default for QueueConfig {
             latency_reservoir: DEFAULT_RESERVOIR_CAP,
             scheduler: SchedPolicy::default(),
             tenant_weights: BTreeMap::new(),
+            tenant_labels: BTreeMap::new(),
             admission: None,
         }
     }
@@ -262,6 +268,14 @@ impl QueueConfig {
     #[must_use]
     pub fn with_tenant_weight(mut self, tenant: TenantId, weight: u64) -> Self {
         self.tenant_weights.insert(tenant.get(), weight.max(1));
+        self
+    }
+
+    /// Sets one tenant's human-readable display name, rendered (escaped)
+    /// as the `tenant` label value in [`crate::trace::prometheus_text`].
+    #[must_use]
+    pub fn with_tenant_label(mut self, tenant: TenantId, name: impl Into<String>) -> Self {
+        self.tenant_labels.insert(tenant.get(), name.into());
         self
     }
 
@@ -502,6 +516,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     pub fn new(dev: &'d mut ApuDevice, cfg: QueueConfig) -> Self {
         let cores = dev.config().cores;
         let reservoir = cfg.latency_reservoir;
+        let tenant_names = cfg.tenant_labels.clone();
         DeviceQueue {
             dev,
             cfg,
@@ -513,6 +528,7 @@ impl<'d, 't> DeviceQueue<'d, 't> {
             stats: QueueStats {
                 cores,
                 latency_samples: LatencyReservoir::with_capacity(reservoir),
+                tenant_names,
                 ..QueueStats::default()
             },
             vclock: 0,
@@ -524,6 +540,13 @@ impl<'d, 't> DeviceQueue<'d, 't> {
     /// dispatches).
     pub fn device_mut(&mut self) -> &mut ApuDevice {
         self.dev
+    }
+
+    /// Enables or disables timing fast-forward on the underlying device
+    /// (see [`ApuDevice::run_task_memoized`]): replayed dispatches charge
+    /// a memoized cycle total instead of re-walking their kernels.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.dev.set_fast_forward(on);
     }
 
     /// Converts a virtual-timeline instant to device cycles, the trace

@@ -362,12 +362,11 @@ pub struct TenantStats {
 
 impl TenantStats {
     /// Mean end-to-end latency over this tenant's completions.
+    ///
+    /// Computed in 128-bit nanoseconds: a `u32` divisor cast would wrap
+    /// for counts ≥ 2³² (and panic on a wrap to exactly zero).
     pub fn mean_latency(&self) -> Duration {
-        if self.completed == 0 {
-            Duration::ZERO
-        } else {
-            self.total_latency / self.completed as u32
-        }
+        duration_mean(self.total_latency, self.completed)
     }
 
     /// Per-stage latency totals for this tenant (queue wait plus the
@@ -457,16 +456,19 @@ pub struct QueueStats {
     /// Per-tenant counter slices, keyed by raw [`crate::TenantId`].
     /// Tasks submitted without an explicit tenant land under tenant 0.
     pub per_tenant: BTreeMap<u64, TenantStats>,
+    /// Display names for tenants (from `QueueConfig::with_tenant_label`),
+    /// rendered — escaped — as the `tenant` label value in Prometheus
+    /// exposition. Tenants without a name render as their numeric id.
+    pub tenant_names: BTreeMap<u64, String>,
 }
 
 impl QueueStats {
     /// Mean end-to-end latency over completions, or zero when idle.
+    ///
+    /// Computed in 128-bit nanoseconds: a `u32` divisor cast would wrap
+    /// for counts ≥ 2³² (and panic on a wrap to exactly zero).
     pub fn mean_latency(&self) -> Duration {
-        if self.completed == 0 {
-            Duration::ZERO
-        } else {
-            self.total_latency / self.completed as u32
-        }
+        duration_mean(self.total_latency, self.completed)
     }
 
     /// Latency percentile `q` in `[0, 1]` over completed tasks (nearest
@@ -565,7 +567,27 @@ impl QueueStats {
         for (tenant, stats) in &other.per_tenant {
             self.per_tenant.entry(*tenant).or_default().merge(stats);
         }
+        for (tenant, name) in &other.tenant_names {
+            self.tenant_names
+                .entry(*tenant)
+                .or_insert_with(|| name.clone());
+        }
     }
+}
+
+/// Mean of an accumulated [`Duration`] over `count` events, safe for any
+/// `u64` count. `Duration / u32` is unusable here: truncating a `u64`
+/// count to `u32` wraps for counts ≥ 2³² and panics when the wrap lands
+/// on zero.
+fn duration_mean(total: Duration, count: u64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let nanos = total.as_nanos() / count as u128;
+    Duration::new(
+        (nanos / 1_000_000_000) as u64,
+        (nanos % 1_000_000_000) as u32,
+    )
 }
 
 /// Nearest-rank percentile of a (not necessarily sorted) sample set:
@@ -585,6 +607,32 @@ pub fn percentile(samples: &[Duration], q: f64) -> Duration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_latency_survives_counts_past_u32() {
+        // Regression: the old `total / completed as u32` wrapped for
+        // counts ≥ 2³²; this count truncates to exactly 1 (not 0, which
+        // would have panicked — also covered below via + 0 wrap check).
+        let completed = u32::MAX as u64 + 1; // truncates to 0 as u32
+        let mut t = TenantStats {
+            completed,
+            total_latency: Duration::from_secs(completed),
+            ..TenantStats::default()
+        };
+        assert_eq!(t.mean_latency(), Duration::from_secs(1));
+        // And the wrap-to-nonzero case: 2³² + 2 would have divided by 2.
+        t.completed = u32::MAX as u64 + 2;
+        t.total_latency = Duration::from_secs(t.completed);
+        assert_eq!(t.mean_latency(), Duration::from_secs(1));
+
+        let q = QueueStats {
+            completed,
+            total_latency: Duration::from_secs(completed * 3),
+            ..QueueStats::default()
+        };
+        assert_eq!(q.mean_latency(), Duration::from_secs(3));
+        assert_eq!(QueueStats::default().mean_latency(), Duration::ZERO);
+    }
 
     #[test]
     fn record_and_total() {

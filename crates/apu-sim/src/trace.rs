@@ -704,11 +704,42 @@ pub fn chrome_trace_json_grouped(groups: &[(&str, &[TraceEvent])], clock: Freque
     out
 }
 
+/// Escapes a string for use as a Prometheus label *value*: per the text
+/// exposition format, backslash, double-quote, and line-feed must be
+/// escaped (`\\`, `\"`, `\n`); everything else passes through. Without
+/// this, a tenant named `a"b` or one containing a newline would inject
+/// into the exposition stream and break scrapes.
+pub fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders queue and (optionally) device counters in the Prometheus
 /// text exposition format, including the per-stage latency totals
 /// (`queue_wait` / `dispatch` / `dma` / `device`) and latency quantiles
 /// from the bounded reservoir.
+///
+/// Tenant series use the display name from
+/// [`QueueStats::tenant_names`] when one was configured (see
+/// `QueueConfig::with_tenant_label`), the numeric id otherwise; either
+/// way the label value goes through [`label_escape`]. The `apu_replica_*`
+/// series emitted by downstream serving reports carry no labels and need
+/// no escaping.
 pub fn prometheus_text(queue: &QueueStats, vcu: Option<&VcuStats>) -> String {
+    let tenant_label = |id: &u64| -> String {
+        match queue.tenant_names.get(id) {
+            Some(name) => label_escape(name),
+            None => id.to_string(),
+        }
+    };
     let mut out = String::new();
     let counter = |name: &str, help: &str, value: String, out: &mut String| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -816,6 +847,7 @@ pub fn prometheus_text(queue: &QueueStats, vcu: Option<&VcuStats>) -> String {
         );
         let _ = writeln!(out, "# TYPE apu_tenant_tasks_total counter");
         for (tenant, t) in &queue.per_tenant {
+            let tenant = tenant_label(tenant);
             for (state, value) in [
                 ("submitted", t.submitted),
                 ("completed", t.completed),
@@ -835,6 +867,7 @@ pub fn prometheus_text(queue: &QueueStats, vcu: Option<&VcuStats>) -> String {
         );
         let _ = writeln!(out, "# TYPE apu_tenant_stage_seconds_total counter");
         for (tenant, t) in &queue.per_tenant {
+            let tenant = tenant_label(tenant);
             let stages = t.stage_totals();
             for (stage, d) in [
                 ("queue_wait", stages.queue_wait),
@@ -855,6 +888,7 @@ pub fn prometheus_text(queue: &QueueStats, vcu: Option<&VcuStats>) -> String {
         );
         let _ = writeln!(out, "# TYPE apu_tenant_latency_seconds_total counter");
         for (tenant, t) in &queue.per_tenant {
+            let tenant = tenant_label(tenant);
             let _ = writeln!(
                 out,
                 "apu_tenant_latency_seconds_total{{tenant=\"{tenant}\"}} {:.9}",
@@ -1062,6 +1096,49 @@ mod tests {
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn label_escape_covers_the_exposition_metacharacters() {
+        assert_eq!(label_escape("plain"), "plain");
+        assert_eq!(label_escape("a\"b"), "a\\\"b");
+        assert_eq!(label_escape("a\\b"), "a\\\\b");
+        assert_eq!(label_escape("a\nb"), "a\\nb");
+        assert_eq!(label_escape("a\"b\n"), "a\\\"b\\n");
+    }
+
+    #[test]
+    fn prometheus_text_escapes_hostile_tenant_names() {
+        let mut stats = QueueStats::default();
+        stats.tenant_names.insert(7, "a\"b\n".to_string());
+        stats.tenant_names.insert(8, "back\\slash".to_string());
+        let t = stats.per_tenant.entry(7).or_default();
+        t.submitted = 2;
+        t.completed = 2;
+        let t8 = stats.per_tenant.entry(8).or_default();
+        t8.completed = 1;
+        let text = prometheus_text(&stats, None);
+        // The hostile name is escaped, so the exposition stays valid:
+        // one "name{labels} value" pair per line, no raw newline or
+        // unescaped quote leaks out of the label value.
+        assert!(text.contains("apu_tenant_tasks_total{tenant=\"a\\\"b\\n\",state=\"completed\"} 2"));
+        assert!(text.contains("apu_tenant_latency_seconds_total{tenant=\"back\\\\slash\"}"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(!line.is_empty(), "blank line injected");
+            // Label values contain no unescaped quote: stripping escaped
+            // sequences first, quotes must balance to an even count.
+            let stripped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(
+                stripped.matches('"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+            let name_part = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name_part.starts_with("apu_"),
+                "line does not start with a metric name: {line}"
+            );
         }
     }
 }

@@ -28,6 +28,11 @@ pub struct RunCfg {
     /// Device-cluster width for sharded serving studies (`--shards`,
     /// default 1 = single device). Benches that don't shard ignore it.
     pub shards: usize,
+    /// Whether `--smoke` was requested: a CI-oriented mode that runs a
+    /// dispatch-heavy but fixed-size workload and writes a machine-
+    /// readable `BENCH_<name>.json` summary next to the working
+    /// directory. Benches without a smoke mode ignore it.
+    pub smoke: bool,
 }
 
 impl Default for RunCfg {
@@ -37,6 +42,7 @@ impl Default for RunCfg {
             paper: false,
             seed: 42,
             shards: 1,
+            smoke: false,
         }
     }
 }
@@ -65,6 +71,9 @@ pub fn parse_args() -> RunCfg {
                 if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
                     cfg.shards = std::cmp::max(v, 1);
                 }
+            }
+            "--smoke" => {
+                cfg.smoke = true;
             }
             _ => {}
         }

@@ -138,8 +138,8 @@ where
         return Ok(());
     }
     let (m, x, y) = core.marker_with_vrs(mrk, a, b)?;
-    for i in 0..m.len() {
-        m[i] = f(x[i], y[i]);
+    for ((o, &xv), &yv) in m.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *o = f(xv, yv);
     }
     Ok(())
 }
@@ -158,8 +158,8 @@ impl CmpOps for ApuCore {
             return Ok(());
         }
         let (m, x, _) = self.marker_with_vrs(mrk, a, a)?;
-        for i in 0..m.len() {
-            m[i] = x[i] == imm;
+        for (o, &xv) in m.iter_mut().zip(x.iter()) {
+            *o = xv == imm;
         }
         Ok(())
     }
@@ -242,9 +242,9 @@ impl CmpOps for ApuCore {
         }
         let marks = self.marker(mrk)?.to_vec();
         let (d, s) = self.vr_pair_mut(dst, src)?;
-        for i in 0..d.len() {
-            if marks[i] {
-                d[i] = s[i];
+        for ((o, &v), &mk) in d.iter_mut().zip(s.iter()).zip(marks.iter()) {
+            if mk {
+                *o = v;
             }
         }
         Ok(())
@@ -259,9 +259,9 @@ impl CmpOps for ApuCore {
         }
         let marks = self.marker(mrk)?.to_vec();
         let d = self.vr_mut(dst)?;
-        for i in 0..d.len() {
-            if marks[i] {
-                d[i] = imm;
+        for (o, &mk) in d.iter_mut().zip(marks.iter()) {
+            if mk {
+                *o = imm;
             }
         }
         Ok(())

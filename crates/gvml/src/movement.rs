@@ -94,9 +94,12 @@ impl MoveOps for ApuCore {
             return Ok(());
         }
         let (d, s) = self.vr_pair_mut(dst, src)?;
-        for g in (0..n).step_by(grp_len) {
-            for i in 0..grp_len {
-                d[g + i] = s[g + i % subgrp_len];
+        // Each group replicates its leading subgroup; copy it subgroup-
+        // sized chunk by chunk (grp_len is a multiple of subgrp_len).
+        for (dg, sg) in d.chunks_exact_mut(grp_len).zip(s.chunks_exact(grp_len)) {
+            let pattern = &sg[..subgrp_len];
+            for c in dg.chunks_exact_mut(subgrp_len) {
+                c.copy_from_slice(pattern);
             }
         }
         Ok(())
@@ -129,8 +132,11 @@ impl MoveOps for ApuCore {
             return Ok(());
         }
         let (d, s) = self.vr_pair_mut(dst, src)?;
-        for i in dst_start..dst_end {
-            d[i] = s[(i - dst_start) % subgrp_len];
+        // The destination range cycles through s[0..subgrp_len]; the last
+        // chunk may be partial.
+        let pattern = &s[..subgrp_len.min(s.len())];
+        for c in d[dst_start..dst_end].chunks_mut(subgrp_len) {
+            c.copy_from_slice(&pattern[..c.len()]);
         }
         Ok(())
     }

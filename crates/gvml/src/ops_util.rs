@@ -37,8 +37,8 @@ where
         }
     } else {
         let (d, x, y) = core.vr3_mut(dst, a, b)?;
-        for i in 0..d.len() {
-            d[i] = f(x[i], y[i]);
+        for ((o, &xv), &yv) in d.iter_mut().zip(x.iter()).zip(y.iter()) {
+            *o = f(xv, yv);
         }
     }
     Ok(())

@@ -180,16 +180,15 @@ impl ReduceOps for ApuCore {
         if !self.is_functional() {
             return Ok(());
         }
-        let n = self.vr_len();
         let src_data = self.vr(src)?.to_vec();
         let d = self.vr_mut(dst)?;
         d.fill(0);
-        for head in (0..n).step_by(subgrp_len) {
-            let mut acc: i16 = 0;
-            for e in &src_data[head..head + subgrp_len] {
-                acc = acc.wrapping_add(*e as i16);
-            }
-            d[head] = acc as u16;
+        for (dg, sg) in d
+            .chunks_exact_mut(subgrp_len)
+            .zip(src_data.chunks_exact(subgrp_len))
+        {
+            let acc = sg.iter().fold(0i16, |acc, &e| acc.wrapping_add(e as i16));
+            dg[0] = acc as u16;
         }
         Ok(())
     }
@@ -262,20 +261,20 @@ fn minmax(
     // keeps the earlier lane on equality).
     let mut d_out = vec![0u16; n];
     let mut t_out = vec![0u16; n];
-    for head in (0..n).step_by(subgrp_len) {
-        let slice = &src_data[head..head + subgrp_len];
+    for (head, slice) in src_data.chunks_exact(subgrp_len).enumerate() {
+        let head = head * subgrp_len;
+        // First occurrence wins ties (strict comparison), matching the
+        // staged hardware fold which keeps the earlier lane on equality.
         let mut best = 0usize;
-        for (i, v) in slice.iter().enumerate() {
-            let better = if want_max {
-                *v > slice[best]
-            } else {
-                *v < slice[best]
-            };
+        let mut best_v = slice[0];
+        for (i, &v) in slice.iter().enumerate() {
+            let better = if want_max { v > best_v } else { v < best_v };
             if better {
                 best = i;
+                best_v = v;
             }
         }
-        d_out[head] = slice[best];
+        d_out[head] = best_v;
         if let Some(tags) = &tag_data {
             t_out[head] = tags[head + best];
         }

@@ -104,6 +104,46 @@ pub struct MemorySystem {
     stats: SystemStats,
     /// High-water mark of completion times (the system clock).
     horizon: u64,
+    /// Accesses whose command time was clipped by the arrival instant
+    /// rather than by bank state. The steady-state stream fast path may
+    /// only extrapolate windows where this never fired: an
+    /// arrival-clipped bank compares state against a *constant*, and
+    /// that comparison can flip as state advances, breaking the
+    /// time-translation argument below.
+    arrival_clips: u64,
+}
+
+/// Snapshot of the full timing state at a window boundary of one
+/// streamed transfer (all fields the next window's outcome depends on).
+struct StreamSnapshot {
+    end: u64,
+    horizon: u64,
+    arrival_clips: u64,
+    refreshes: u64,
+    /// Per bank: (open_row, ready_at, act_at).
+    banks: Vec<(Option<u64>, u64, u64)>,
+    /// Per rank: (recent_acts, last_act, next_refresh).
+    ranks: Vec<(Vec<u64>, u64, u64)>,
+    bus_free: Vec<u64>,
+    stats: SystemStats,
+}
+
+/// The per-window state advance of a steady periodic stream: every
+/// time-like field moves by `wall` (or stays put), rows advance by a
+/// fixed integer, and the command statistics grow by a fixed amount.
+struct WindowDelta {
+    /// Uniform time advance per window.
+    wall: u64,
+    /// Per bank: (row increment, ready_at delta, act_at delta); the time
+    /// deltas are each either 0 or `wall`.
+    banks: Vec<(u64, u64, u64)>,
+    /// Per rank: last_act delta (0 or `wall`); recent_acts entries all
+    /// move by `wall`.
+    ranks: Vec<u64>,
+    /// Per channel bus delta (0 or `wall`).
+    bus_free: Vec<u64>,
+    /// Command-count growth per window.
+    stats: SystemStats,
 }
 
 impl MemorySystem {
@@ -125,6 +165,7 @@ impl MemorySystem {
             bus_free: vec![0; spec.channels],
             stats: SystemStats::default(),
             horizon: 0,
+            arrival_clips: 0,
             map: AddressMap::new(spec),
         }
     }
@@ -152,19 +193,27 @@ impl MemorySystem {
     /// blocking its banks and closing their rows.
     fn catch_up_refresh(&mut self, channel: usize, rank: usize, t: u64) {
         let key = self.rank_key(channel, rank);
-        let spec = self.map.spec().clone();
-        while self.ranks[key].next_refresh <= t {
-            let boundary = self.ranks[key].next_refresh;
-            let end = boundary + spec.t_rfc;
-            let bank_base = key * spec.banks_per_rank();
-            for b in 0..spec.banks_per_rank() {
-                let bank = &mut self.banks[bank_base + b];
-                bank.ready_at = bank.ready_at.max(end);
-                bank.open_row = None;
-            }
-            self.ranks[key].next_refresh = boundary + spec.t_refi;
-            self.stats.refreshes += 1;
+        let next = self.ranks[key].next_refresh;
+        if next > t {
+            return;
         }
+        let spec = self.map.spec().clone();
+        // All elapsed refresh intervals fire at once: boundaries
+        // increase monotonically, so only the last interval's recovery
+        // window survives the per-bank `max`, and closing the rows is
+        // idempotent — batching is state- and stats-identical to firing
+        // them one by one.
+        let n = (t - next) / spec.t_refi + 1;
+        let last = next + (n - 1) * spec.t_refi;
+        let end = last + spec.t_rfc;
+        let bank_base = key * spec.banks_per_rank();
+        for b in 0..spec.banks_per_rank() {
+            let bank = &mut self.banks[bank_base + b];
+            bank.ready_at = bank.ready_at.max(end);
+            bank.open_row = None;
+        }
+        self.ranks[key].next_refresh = last + spec.t_refi;
+        self.stats.refreshes += n;
     }
 
     /// Earliest ACT issue time at or after `t` respecting tRRD and tFAW.
@@ -204,6 +253,9 @@ impl MemorySystem {
 
         // Open the right row.
         let hit = self.banks[flat].open_row == Some(d.row);
+        if arrival > self.banks[flat].ready_at {
+            self.arrival_clips += 1;
+        }
         let mut cmd_ready = self.banks[flat].ready_at.max(arrival);
         if !hit {
             if self.banks[flat].open_row.is_some() {
@@ -248,11 +300,200 @@ impl MemorySystem {
         let g = self.map.spec().access_bytes() as u64;
         let first = start_addr / g;
         let last = (start_addr + bytes.max(1) - 1) / g;
+        // Long contiguous streams are periodic: the address map rotates
+        // channel -> bank group -> bank -> column -> rank before the row
+        // advances, so after `window` bursts the controller revisits the
+        // same banks one row further along. Once the pipeline reaches
+        // steady state, consecutive windows are exact time-translated
+        // copies of each other — detect that and apply the remaining
+        // windows in O(1) instead of burst-by-burst. Bit-exactness: the
+        // controller's update rules are maxes of state-plus-constant
+        // terms, so shifting every live state field by the observed
+        // uniform delta shifts every outcome by the same delta, provided
+        // no comparison against a transfer constant (the arrival clip,
+        // the refresh bound) fired during the observed windows.
+        let window = self.rotation_bursts();
         let mut end = arrival;
-        for burst in first..=last {
+        let mut burst = first;
+        let mut snaps: Vec<StreamSnapshot> = Vec::new();
+        while burst <= last {
             end = end.max(self.access(kind, burst * g, arrival));
+            burst += 1;
+            let done = burst - first;
+            if window == 0 || !done.is_multiple_of(window) || last + 1 - burst < window {
+                continue;
+            }
+            snaps.push(self.snapshot(end));
+            if snaps.len() < 3 {
+                continue;
+            }
+            if snaps.len() > 3 {
+                snaps.remove(0);
+            }
+            if let Some(delta) = Self::steady_delta(&snaps) {
+                let k = (last + 1 - burst) / window;
+                if k > 0 {
+                    self.apply_windows(&delta, k);
+                    end += k * delta.wall;
+                    burst += k * window;
+                    snaps.clear();
+                }
+            }
         }
         end
+    }
+
+    /// Bursts per full address-rotation period: one visit to every
+    /// (channel, bank group, bank, column, rank) before the row index
+    /// advances.
+    fn rotation_bursts(&self) -> u64 {
+        let s = self.map.spec();
+        (s.channels * s.bank_groups * s.banks_per_group * s.ranks) as u64
+            * self.map.bursts_per_row()
+    }
+
+    fn snapshot(&self, end: u64) -> StreamSnapshot {
+        StreamSnapshot {
+            end,
+            horizon: self.horizon,
+            arrival_clips: self.arrival_clips,
+            refreshes: self.stats.refreshes,
+            banks: self
+                .banks
+                .iter()
+                .map(|b| (b.open_row, b.ready_at, b.act_at))
+                .collect(),
+            ranks: self
+                .ranks
+                .iter()
+                .map(|r| (r.recent_acts.clone(), r.last_act, r.next_refresh))
+                .collect(),
+            bus_free: self.bus_free.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Checks whether the last three window snapshots describe a steady
+    /// periodic stream, and if so returns its per-window delta. Every
+    /// time-like field must advance by the same `wall` (or not at all,
+    /// consistently), rows must advance by a fixed per-bank increment,
+    /// and no refresh or arrival clip may have fired in either window.
+    fn steady_delta(snaps: &[StreamSnapshot]) -> Option<WindowDelta> {
+        let (a, b, c) = (&snaps[0], &snaps[1], &snaps[2]);
+        let wall = b.end.checked_sub(a.end)?;
+        if wall == 0 || c.end - b.end != wall {
+            return None;
+        }
+        if b.horizon - a.horizon != wall || c.horizon - b.horizon != wall {
+            return None;
+        }
+        if b.arrival_clips != a.arrival_clips || c.arrival_clips != b.arrival_clips {
+            return None;
+        }
+        if b.refreshes != a.refreshes || c.refreshes != b.refreshes {
+            return None;
+        }
+        // A time-like field may sit still or move by exactly `wall`, and
+        // must do the same thing in both observed windows.
+        let step = |x: u64, y: u64, z: u64| -> Option<u64> {
+            let d = y.checked_sub(x)?;
+            if z.checked_sub(y)? != d || (d != 0 && d != wall) {
+                return None;
+            }
+            Some(d)
+        };
+        let mut banks = Vec::with_capacity(a.banks.len());
+        for ((ba, bb), bc) in a.banks.iter().zip(&b.banks).zip(&c.banks) {
+            let row_inc = match (ba.0, bb.0, bc.0) {
+                (Some(x), Some(y), Some(z)) => {
+                    let d = y.checked_sub(x)?;
+                    if z.checked_sub(y)? != d {
+                        return None;
+                    }
+                    d
+                }
+                (None, None, None) => 0,
+                _ => return None,
+            };
+            banks.push((row_inc, step(ba.1, bb.1, bc.1)?, step(ba.2, bb.2, bc.2)?));
+        }
+        let mut ranks = Vec::with_capacity(a.ranks.len());
+        for ((ra, rb), rc) in a.ranks.iter().zip(&b.ranks).zip(&c.ranks) {
+            if ra.2 != rb.2 || rb.2 != rc.2 {
+                return None; // refresh schedule must be settled
+            }
+            if ra.0.len() != rb.0.len() || rb.0.len() != rc.0.len() {
+                return None;
+            }
+            for ((&x, &y), &z) in ra.0.iter().zip(&rb.0).zip(&rc.0) {
+                if y.checked_sub(x)? != wall || z.checked_sub(y)? != wall {
+                    return None;
+                }
+            }
+            ranks.push(step(ra.1, rb.1, rc.1)?);
+        }
+        let mut bus_free = Vec::with_capacity(a.bus_free.len());
+        for ((&x, &y), &z) in a.bus_free.iter().zip(&b.bus_free).zip(&c.bus_free) {
+            bus_free.push(step(x, y, z)?);
+        }
+        let d1 = Self::stats_delta(&a.stats, &b.stats)?;
+        let d2 = Self::stats_delta(&b.stats, &c.stats)?;
+        if d1 != d2 {
+            return None;
+        }
+        Some(WindowDelta {
+            wall,
+            banks,
+            ranks,
+            bus_free,
+            stats: d1,
+        })
+    }
+
+    fn stats_delta(a: &SystemStats, b: &SystemStats) -> Option<SystemStats> {
+        Some(SystemStats {
+            activates: b.activates.checked_sub(a.activates)?,
+            reads: b.reads.checked_sub(a.reads)?,
+            writes: b.writes.checked_sub(a.writes)?,
+            row_hits: b.row_hits.checked_sub(a.row_hits)?,
+            refreshes: b.refreshes.checked_sub(a.refreshes)?,
+            bytes: b.bytes.checked_sub(a.bytes)?,
+        })
+    }
+
+    /// Advances the state by `k` steady windows at once.
+    ///
+    /// Rows advance modulo the row count: row values influence timing
+    /// only through the per-bank `open_row == decoded row` equality,
+    /// and decoded rows are themselves a modulo of the linearly
+    /// advancing address — shifting both sides by `k * row_inc mod
+    /// rows` preserves every equality outcome, so extrapolation runs
+    /// straight through address-space wrap-around.
+    fn apply_windows(&mut self, d: &WindowDelta, k: u64) {
+        let rows = self.map.spec().rows as u64;
+        for (bank, &(row_inc, ready_d, act_d)) in self.banks.iter_mut().zip(&d.banks) {
+            if row_inc > 0 {
+                bank.open_row = bank.open_row.map(|r| (r + k * row_inc % rows) % rows);
+            }
+            bank.ready_at += k * ready_d;
+            bank.act_at += k * act_d;
+        }
+        for (rank, &last_act_d) in self.ranks.iter_mut().zip(&d.ranks) {
+            rank.last_act += k * last_act_d;
+            for t in &mut rank.recent_acts {
+                *t += k * d.wall;
+            }
+        }
+        for (bus, &bd) in self.bus_free.iter_mut().zip(&d.bus_free) {
+            *bus += k * bd;
+        }
+        self.stats.activates += k * d.stats.activates;
+        self.stats.reads += k * d.stats.reads;
+        self.stats.writes += k * d.stats.writes;
+        self.stats.row_hits += k * d.stats.row_hits;
+        self.stats.refreshes += k * d.stats.refreshes;
+        self.stats.bytes += k * d.stats.bytes;
+        self.horizon += k * d.wall;
     }
 
     /// Streams a contiguous read starting now and reports achieved
@@ -334,6 +575,105 @@ mod tests {
             "stream {stream_bw} vs random {random_bw}"
         );
         assert_eq!(mem.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn steady_state_fast_path_is_bit_exact() {
+        // The windowed extrapolation in `transfer` must be observably
+        // identical to the burst-by-burst walk: same completion time,
+        // same statistics, same horizon, and the same internal state as
+        // witnessed by follow-up transfers that re-read the streamed
+        // region (row-buffer state) and then write elsewhere.
+        for spec in [DramSpec::hbm2e_16gb(), DramSpec::ddr4_apu()] {
+            let g = spec.access_bytes() as u64;
+            let mut fast = MemorySystem::new(spec.clone());
+            let mut slow = MemorySystem::new(spec.clone());
+            // Misaligned start and odd length, long enough for many
+            // rotation windows.
+            let start = 12_345 * g + 7;
+            let bytes = (24 << 20) + 133;
+            let arrival = 1_000;
+            let end_fast = fast.transfer(AccessKind::Read, start, bytes, arrival);
+            let first = start / g;
+            let last = (start + bytes - 1) / g;
+            let mut end_slow = arrival;
+            for b in first..=last {
+                end_slow = end_slow.max(slow.access(AccessKind::Read, b * g, arrival));
+            }
+            assert_eq!(end_fast, end_slow, "stream end diverged for {spec:?}");
+            assert_eq!(fast.stats(), slow.stats());
+            assert_eq!(fast.horizon(), slow.horizon());
+            // Follow-ups exercise the post-stream bank state.
+            let f2 = fast.transfer(AccessKind::Read, start, 1 << 16, end_fast + 10);
+            let s2 = slow.transfer(AccessKind::Read, start, 1 << 16, end_slow + 10);
+            assert_eq!(f2, s2, "post-stream re-read diverged for {spec:?}");
+            let f3 = fast.transfer(AccessKind::Write, 999, 4_096, f2 + 5);
+            let s3 = slow.transfer(AccessKind::Write, 999, 4_096, s2 + 5);
+            assert_eq!(f3, s3, "post-stream write diverged for {spec:?}");
+            assert_eq!(fast.stats(), slow.stats());
+        }
+    }
+
+    #[test]
+    fn fast_path_extrapolates_through_address_wraparound() {
+        // A stream longer than the device wraps the row index back to
+        // zero mid-stream. The extrapolation advances rows modulo the
+        // row count, so the wrap must not perturb the timeline; a tiny
+        // spec keeps the burst-by-burst oracle affordable while the
+        // stream wraps the full address space several times.
+        let mut spec = DramSpec::hbm2e_16gb();
+        spec.channels = 1;
+        spec.ranks = 1;
+        spec.bank_groups = 2;
+        spec.banks_per_group = 2;
+        spec.rows = 16;
+        spec.row_bytes = 256;
+        // Capacity: 1 ch x 1 rank x 4 banks x 16 rows x 256 B = 16 KB.
+        let g = spec.access_bytes() as u64;
+        let mut fast = MemorySystem::new(spec.clone());
+        let mut slow = MemorySystem::new(spec);
+        let start = 3 * g + 1;
+        let bytes = (128 << 10) + 57; // wraps the 16 KB device ~8 times
+        let arrival = 2_500;
+        let end_fast = fast.transfer(AccessKind::Read, start, bytes, arrival);
+        let first = start / g;
+        let last = (start + bytes - 1) / g;
+        let mut end_slow = arrival;
+        for b in first..=last {
+            end_slow = end_slow.max(slow.access(AccessKind::Read, b * g, arrival));
+        }
+        assert_eq!(end_fast, end_slow, "stream end diverged across the wrap");
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.horizon(), slow.horizon());
+        // Post-stream witnesses: the surviving row-buffer state must
+        // carry the wrapped (modular) row values.
+        let f2 = fast.transfer(AccessKind::Read, 0, 8 << 10, end_fast + 10);
+        let s2 = slow.transfer(AccessKind::Read, 0, 8 << 10, end_slow + 10);
+        assert_eq!(f2, s2, "post-wrap re-read diverged");
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn back_to_back_fast_path_streams_match_the_slow_walk() {
+        // Repeated full-corpus streams are the serving hot path; each
+        // must replay the exact slow-walk timeline even though the
+        // refresh phase differs from stream to stream.
+        let spec = DramSpec::hbm2e_16gb();
+        let g = spec.access_bytes() as u64;
+        let mut fast = MemorySystem::new(spec.clone());
+        let mut slow = MemorySystem::new(spec);
+        let bytes = 8 << 20;
+        for _ in 0..3 {
+            let rf = fast.stream_read(0, bytes);
+            let begin = slow.horizon();
+            let mut end = begin;
+            for b in 0..bytes.div_ceil(g) {
+                end = end.max(slow.access(AccessKind::Read, b * g, begin));
+            }
+            assert_eq!(rf.cycles, end - begin);
+            assert_eq!(fast.stats(), slow.stats());
+            assert_eq!(fast.horizon(), slow.horizon());
+        }
     }
 
     #[test]

@@ -245,17 +245,32 @@ pub fn retrieve_batch(
         out
     };
 
-    let mut all_hits: Vec<Vec<Hit>> = vec![Vec::new(); nq];
-    let mut dist_cycles = Cycles::ZERO;
-    let mut topk_cycles = Cycles::ZERO;
-    let mut query_cycles = Cycles::ZERO;
-    let report = {
-        let all_hits = &mut all_hits;
-        let make_plane = &make_plane;
-        let dist = &mut dist_cycles;
-        let topk = &mut topk_cycles;
-        let qc = &mut query_cycles;
-        dev.run_task(move |ctx| {
+    // Kernel signature for memoized timing replay (see
+    // [`ApuDevice::run_task_memoized`]): in timing-only mode — the only
+    // mode that ever replays — both the cycle charge and the (empty)
+    // hit payload depend exactly on the corpus tiling and batch shape,
+    // so the key hashes those and nothing else. Functional runs always
+    // execute, so data-dependence is irrelevant to the key.
+    let key = {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [
+            u64::from_le_bytes(*b"ragbatch"),
+            n_chunks as u64,
+            nq as u64,
+            k as u64,
+            l as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+    let make_plane = &make_plane;
+    let (report, (all_hits, query_cycles, dist_cycles, topk_cycles)) =
+        dev.run_task_memoized(key, move |ctx| {
+            let mut all_hits: Vec<Vec<Hit>> = vec![Vec::new(); nq];
+            let mut dist = Cycles::ZERO;
+            let mut topk = Cycles::ZERO;
             // query staging: one broadcast-friendly prep per query
             let t0 = ctx.core().cycles();
             for _ in 0..nq {
@@ -267,7 +282,7 @@ pub fn retrieve_batch(
                 ctx.core_mut()
                     .charge_cycles(apu_sim::core::CycleClass::Pio, prep);
             }
-            *qc = ctx.core().cycles() - t0;
+            let qc = ctx.core().cycles() - t0;
 
             for tile in 0..n_tiles {
                 let t1 = ctx.core().cycles();
@@ -300,7 +315,7 @@ pub fn retrieve_batch(
                         core.add_s16(acc, acc, VR_T2)?;
                     }
                 }
-                *dist += ctx.core().cycles() - t1;
+                dist += ctx.core().cycles() - t1;
 
                 // per-query top-k on this tile
                 let t2 = ctx.core().cycles();
@@ -331,11 +346,10 @@ pub fn retrieve_batch(
                     }
                     *slot = top_k(std::mem::take(slot), k);
                 }
-                *topk += ctx.core().cycles() - t2;
+                topk += ctx.core().cycles() - t2;
             }
-            Ok(())
-        })?
-    };
+            Ok((all_hits, qc, dist, topk))
+        })?;
     breakdown.load_query_us = clock.cycles_to_secs(query_cycles) * 1e6;
     breakdown.calc_distance_ms = clock.cycles_to_secs(dist_cycles) * 1e3;
     breakdown.topk_ms = clock.cycles_to_secs(topk_cycles) * 1e3;

@@ -1,0 +1,373 @@
+//! Differential property tests pinning every vectorized GVML kernel to
+//! a scalar reference oracle.
+//!
+//! The interpreter and the GVML element-wise kernels were rewritten from
+//! indexed loops to iterator/slice form; these properties re-derive each
+//! op's result lane by lane from the documented scalar semantics across
+//! random lane counts and values, with the 16-bit edge cases (0, 1,
+//! `i16::MAX`, `i16::MIN`, `u16::MAX`, and neighbors) force-injected
+//! into every sample so sign and wrap boundaries are always exercised.
+
+use apu_sim::{ApuDevice, Marker, SimConfig, Vr};
+use gvml::prelude::*;
+use gvml::shift::ShiftDir;
+use proptest::prelude::*;
+
+fn with_core<R>(f: impl FnOnce(&mut apu_sim::ApuCore) -> apu_sim::Result<R>) -> R {
+    let mut dev = ApuDevice::new(SimConfig::default().with_l4_bytes(1 << 20));
+    let mut out = None;
+    dev.run_task(|ctx| {
+        out = Some(f(ctx.core_mut())?);
+        Ok(())
+    })
+    .expect("task");
+    out.unwrap()
+}
+
+fn fill_prefix(core: &mut apu_sim::ApuCore, vr: Vr, data: &[u16]) {
+    let reg = core.vr_mut(vr).unwrap();
+    reg.fill(0);
+    reg[..data.len()].copy_from_slice(data);
+}
+
+/// The 16-bit boundary values every sample must contain: zero, one, the
+/// signed extremes and their neighbors, and the unsigned extremes.
+const EDGES: [u16; 8] = [0, 1, 0x7FFF, 0x8000, 0x8001, 0xFFFE, u16::MAX, 0x00FF];
+
+/// Overwrites the head of `v` with [`EDGES`] rotated by `rot`, so paired
+/// operands line up different edge×edge combinations (e.g. rot 0 vs 3
+/// puts `i16::MIN / -1` in the same lane for the division ops).
+fn inject_edges(v: &mut [u16], rot: usize) {
+    for (i, slot) in v.iter_mut().take(EDGES.len()).enumerate() {
+        *slot = EDGES[(i + rot) % EDGES.len()];
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bit_and_shift_ops_match_scalar_semantics(
+        mut a in proptest::collection::vec(any::<u16>(), 32..200),
+        mut b in proptest::collection::vec(any::<u16>(), 32..200),
+        shift in 0u32..16,
+    ) {
+        inject_edges(&mut a, 0);
+        inject_edges(&mut b, 3);
+        let n = a.len().min(b.len());
+        let got = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &a);
+            fill_prefix(core, Vr::new(1), &b);
+            let mut out = Vec::new();
+            core.and_16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.or_16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.xor_16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.not_16(Vr::new(2), Vr::new(0))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.popcnt_16(Vr::new(2), Vr::new(0))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.sl_imm_16(Vr::new(2), Vr::new(0), shift)?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.sr_imm_u16(Vr::new(2), Vr::new(0), shift)?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.sr_imm_s16(Vr::new(2), Vr::new(0), shift)?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            Ok(out)
+        });
+        for i in 0..n {
+            prop_assert_eq!(got[0][i], a[i] & b[i]);
+            prop_assert_eq!(got[1][i], a[i] | b[i]);
+            prop_assert_eq!(got[2][i], a[i] ^ b[i]);
+            prop_assert_eq!(got[3][i], !a[i]);
+            prop_assert_eq!(got[4][i], a[i].count_ones() as u16);
+            prop_assert_eq!(got[5][i], a[i] << shift);
+            prop_assert_eq!(got[6][i], a[i] >> shift);
+            prop_assert_eq!(got[7][i] as i16, (a[i] as i16) >> shift);
+        }
+    }
+
+    #[test]
+    fn wrapping_and_division_arithmetic_matches_scalar_semantics(
+        mut a in proptest::collection::vec(any::<u16>(), 32..200),
+        mut b in proptest::collection::vec(any::<u16>(), 32..200),
+    ) {
+        // Rotation 3 pairs a=0x8000 with b=0xFFFF: the i16::MIN / -1
+        // overflow case for div_s16, and guarantees zero divisors.
+        inject_edges(&mut a, 0);
+        inject_edges(&mut b, 3);
+        let n = a.len().min(b.len());
+        let got = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &a);
+            fill_prefix(core, Vr::new(1), &b);
+            let mut out = Vec::new();
+            core.add_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.add_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.sub_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.mul_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.div_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.div_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.recip_u16(Vr::new(2), Vr::new(0))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            Ok(out)
+        });
+        for i in 0..n {
+            prop_assert_eq!(got[0][i], a[i].wrapping_add(b[i]));
+            // add_s16 and add_u16 agree bit-for-bit on the wrap; the op
+            // exists for its distinct cycle charge.
+            prop_assert_eq!(got[1][i], a[i].wrapping_add(b[i]));
+            prop_assert_eq!(got[2][i], a[i].wrapping_sub(b[i]));
+            prop_assert_eq!(got[3][i], a[i].wrapping_mul(b[i]));
+            prop_assert_eq!(got[4][i], a[i].checked_div(b[i]).unwrap_or(0xFFFF));
+            let expect_sdiv = if b[i] as i16 == 0 {
+                -1i16
+            } else {
+                (a[i] as i16).wrapping_div(b[i] as i16)
+            };
+            prop_assert_eq!(got[5][i] as i16, expect_sdiv);
+            let expect_recip = if a[i] == 0 {
+                0xFFFF
+            } else {
+                ((65536u32 + u32::from(a[i]) / 2) / u32::from(a[i])).min(0xFFFF) as u16
+            };
+            prop_assert_eq!(got[6][i], expect_recip);
+        }
+    }
+
+    #[test]
+    fn minmax_abs_and_saturating_ops_match_scalar_semantics(
+        mut a in proptest::collection::vec(any::<u16>(), 32..200),
+        mut b in proptest::collection::vec(any::<u16>(), 32..200),
+    ) {
+        inject_edges(&mut a, 0);
+        inject_edges(&mut b, 5);
+        let n = a.len().min(b.len());
+        let got = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &a);
+            fill_prefix(core, Vr::new(1), &b);
+            let mut out = Vec::new();
+            core.min_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.max_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.min_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.max_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.abs_s16(Vr::new(2), Vr::new(0))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.add_sat_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.sub_sat_u16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            core.add_sat_s16(Vr::new(2), Vr::new(0), Vr::new(1))?;
+            out.push(core.vr(Vr::new(2))?[..n].to_vec());
+            Ok(out)
+        });
+        for i in 0..n {
+            prop_assert_eq!(got[0][i], a[i].min(b[i]));
+            prop_assert_eq!(got[1][i], a[i].max(b[i]));
+            prop_assert_eq!(got[2][i] as i16, (a[i] as i16).min(b[i] as i16));
+            prop_assert_eq!(got[3][i] as i16, (a[i] as i16).max(b[i] as i16));
+            // abs(i16::MIN) wraps back to i16::MIN, like the hardware.
+            prop_assert_eq!(got[4][i] as i16, (a[i] as i16).wrapping_abs());
+            prop_assert_eq!(got[5][i], a[i].saturating_add(b[i]));
+            prop_assert_eq!(got[6][i], a[i].saturating_sub(b[i]));
+            prop_assert_eq!(got[7][i] as i16, (a[i] as i16).saturating_add(b[i] as i16));
+        }
+    }
+
+    #[test]
+    fn comparisons_and_masked_copies_match_scalar_semantics(
+        mut a in proptest::collection::vec(any::<u16>(), 32..200),
+        mut b in proptest::collection::vec(any::<u16>(), 32..200),
+        imm in any::<u16>(),
+        fill_imm in any::<u16>(),
+    ) {
+        inject_edges(&mut a, 0);
+        inject_edges(&mut b, 3);
+        // Equal lengths keep every lane past the prefix zero in both
+        // operands, so the count_m oracle below is exact.
+        let n = a.len().min(b.len());
+        a.truncate(n);
+        b.truncate(n);
+        // Guarantee some equal lanes and at least one imm match.
+        b[n / 2] = a[n / 2];
+        a[n - 1] = imm;
+        let (marks, count_lt, masked, masked_imm) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &a);
+            fill_prefix(core, Vr::new(1), &b);
+            let mut marks = Vec::new();
+            core.eq_16(Marker::new(0), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            core.gt_u16(Marker::new(0), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            core.lt_u16(Marker::new(1), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(1))?[..n].to_vec());
+            core.ge_u16(Marker::new(0), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            core.le_u16(Marker::new(0), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            core.lt_s16(Marker::new(0), Vr::new(0), Vr::new(1))?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            core.eq_imm_16(Marker::new(0), Vr::new(0), imm)?;
+            marks.push(core.marker(Marker::new(0))?[..n].to_vec());
+            // Beyond the filled prefix both registers are zero, so 0 < 0
+            // never marks and count_m equals the prefix count.
+            let count_lt = core.count_m(Marker::new(1))?;
+            // Masked copies through the lt marker: dst starts as a copy
+            // of a, takes b (resp. fill_imm) only where marked.
+            core.cpy_16(Vr::new(2), Vr::new(0))?;
+            core.cpy_16_msk(Vr::new(2), Vr::new(1), Marker::new(1))?;
+            let masked = core.vr(Vr::new(2))?[..n].to_vec();
+            core.cpy_16(Vr::new(2), Vr::new(0))?;
+            core.cpy_imm_16_msk(Vr::new(2), fill_imm, Marker::new(1))?;
+            let masked_imm = core.vr(Vr::new(2))?[..n].to_vec();
+            Ok((marks, count_lt, masked, masked_imm))
+        });
+        let mut expect_lt_count = 0u32;
+        for i in 0..n {
+            prop_assert_eq!(marks[0][i], a[i] == b[i]);
+            prop_assert_eq!(marks[1][i], a[i] > b[i]);
+            prop_assert_eq!(marks[2][i], a[i] < b[i]);
+            prop_assert_eq!(marks[3][i], a[i] >= b[i]);
+            prop_assert_eq!(marks[4][i], a[i] <= b[i]);
+            prop_assert_eq!(marks[5][i], (a[i] as i16) < (b[i] as i16));
+            prop_assert_eq!(marks[6][i], a[i] == imm);
+            let lt = a[i] < b[i];
+            expect_lt_count += u32::from(lt);
+            prop_assert_eq!(masked[i], if lt { b[i] } else { a[i] });
+            prop_assert_eq!(masked_imm[i], if lt { fill_imm } else { a[i] });
+        }
+        prop_assert_eq!(count_lt, expect_lt_count);
+    }
+
+    #[test]
+    fn subgroup_reductions_match_a_scalar_fold(
+        data in proptest::collection::vec(any::<u16>(), 256),
+        log_s in 0u32..8,
+        // Values drawn from a tiny domain force duplicate extrema, so the
+        // first-occurrence tie-break is exercised on every case.
+        tie_data in proptest::collection::vec(0u16..4, 128),
+    ) {
+        let s = 1usize << log_s;
+        let (sums, maxes, max_tags, mins, min_tags) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &data);
+            core.add_subgrp_s16(Vr::new(1), Vr::new(0), s, 256)?;
+            let sums = core.vr(Vr::new(1))?[..256].to_vec();
+            fill_prefix(core, Vr::new(0), &tie_data);
+            core.create_index_u16(Vr::new(4))?;
+            core.max_subgrp_u16(Vr::new(1), Vr::new(0), 128, 128, Some((Vr::new(2), Vr::new(4))))?;
+            let maxes = core.vr(Vr::new(1))?[0];
+            let max_tags = core.vr(Vr::new(2))?[0];
+            core.min_subgrp_u16(Vr::new(1), Vr::new(0), 128, 128, Some((Vr::new(2), Vr::new(4))))?;
+            Ok((sums, maxes, max_tags, core.vr(Vr::new(1))?[0], core.vr(Vr::new(2))?[0]))
+        });
+        for head in (0..256).step_by(s) {
+            let expect = data[head..head + s]
+                .iter()
+                .fold(0i16, |acc, &v| acc.wrapping_add(v as i16));
+            prop_assert_eq!(sums[head] as i16, expect, "sum head {}", head);
+            for (lane, &v) in sums.iter().enumerate().take(head + s).skip(head + 1) {
+                prop_assert_eq!(v, 0, "non-head lane {} not zeroed", lane);
+            }
+        }
+        // First occurrence wins ties in both directions.
+        let arg_max = tie_data
+            .iter()
+            .enumerate()
+            .max_by(|(i, x), (j, y)| x.cmp(y).then(j.cmp(i)))
+            .unwrap();
+        let arg_min = tie_data
+            .iter()
+            .enumerate()
+            .min_by(|(_, x), (_, y)| x.cmp(y))
+            .unwrap();
+        prop_assert_eq!(maxes, *arg_max.1);
+        prop_assert_eq!(max_tags as usize, arg_max.0);
+        prop_assert_eq!(mins, *arg_min.1);
+        prop_assert_eq!(min_tags as usize, arg_min.0);
+    }
+
+    #[test]
+    fn subgroup_replication_matches_scalar_copy(
+        src in proptest::collection::vec(any::<u16>(), 256),
+        log_s in 0u32..6,
+        extra in 0u32..3,
+        range_sub in 1usize..40,
+        range_start in 0usize..100,
+        range_len in 1usize..150,
+    ) {
+        let s = 1usize << log_s;
+        let r = s << extra; // subgroup divides group, both powers of two
+        let (grp, rng) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &src);
+            core.cpy_subgrp_16(Vr::new(1), Vr::new(0), s, r)?;
+            let grp = core.vr(Vr::new(1))?[..256].to_vec();
+            // Seed the range destination with a sentinel so untouched
+            // lanes are detectable.
+            core.cpy_imm_16(Vr::new(2), 0xBEEF)?;
+            core.cpy_subgrp_16_range(
+                Vr::new(2),
+                Vr::new(0),
+                range_sub,
+                range_start,
+                range_start + range_len,
+            )?;
+            Ok((grp, core.vr(Vr::new(2))?[..400].to_vec()))
+        });
+        // Full-register form: each group repeats its leading subgroup.
+        for (lane, &got) in grp.iter().enumerate() {
+            let expect = src[(lane / r) * r + lane % s];
+            prop_assert_eq!(got, expect, "lane {}", lane);
+        }
+        // Range form: [start, end) cycles through src[0..range_sub],
+        // everything else keeps the sentinel.
+        for (lane, &got) in rng.iter().enumerate() {
+            let expect = if lane >= range_start && lane < range_start + range_len {
+                src[(lane - range_start) % range_sub]
+            } else {
+                0xBEEF
+            };
+            prop_assert_eq!(got, expect, "lane {}", lane);
+        }
+    }
+
+    #[test]
+    fn element_shifts_move_and_zero_fill_like_the_scalar_model(
+        data in proptest::collection::vec(any::<u16>(), 256),
+        k in 1usize..64,
+    ) {
+        let (head, tail, slow) = with_core(|core| {
+            fill_prefix(core, Vr::new(0), &data);
+            fill_prefix(core, Vr::new(1), &data);
+            fill_prefix(core, Vr::new(2), &data);
+            core.shift_elements(Vr::new(0), k, ShiftDir::TowardHead)?;
+            core.shift_elements(Vr::new(1), k, ShiftDir::TowardTail)?;
+            core.shift_elements_slow(Vr::new(2), k, ShiftDir::TowardHead)?;
+            Ok((
+                core.vr(Vr::new(0))?[..256].to_vec(),
+                core.vr(Vr::new(1))?[..256].to_vec(),
+                core.vr(Vr::new(2))?[..256].to_vec(),
+            ))
+        });
+        for i in 0..256 {
+            // Lanes past the 256-element prefix start zero, so shifting
+            // toward the head pulls zeros in at the prefix boundary.
+            let expect_head = if i + k < 256 { data[i + k] } else { 0 };
+            let expect_tail = if i >= k { data[i - k] } else { 0 };
+            prop_assert_eq!(head[i], expect_head, "toward-head lane {}", i);
+            prop_assert_eq!(tail[i], expect_tail, "toward-tail lane {}", i);
+            // The forced-slow path is functionally identical.
+            prop_assert_eq!(slow[i], expect_head, "slow-path lane {}", i);
+        }
+    }
+}
