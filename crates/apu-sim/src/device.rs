@@ -206,6 +206,19 @@ impl ApuDevice {
         self.trace.as_ref()
     }
 
+    /// Emits one custom instrumentation event into the installed sink —
+    /// e.g. the `rag` crate's IVF probe events — stamped at core 0's
+    /// current cycle count. A no-op without a sink; like all tracing it
+    /// never charges virtual time.
+    pub fn emit_trace(&self, kind: crate::trace::TraceEventKind) {
+        if let Some(t) = &self.trace {
+            t.record(crate::trace::TraceEvent {
+                ts: self.cores[0].cycles(),
+                kind,
+            });
+        }
+    }
+
     // ---------------- fault injection ----------------
 
     /// Arms deterministic fault injection (see [`FaultPlan`]), replacing

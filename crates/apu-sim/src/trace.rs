@@ -201,6 +201,24 @@ pub enum TraceEventKind {
         /// Device the work was resubmitted on (the event's timeline).
         to_device: usize,
     },
+    /// An IVF-indexed retrieval dispatch selected and rescored its
+    /// probe set: an on-device centroid scan picked up to `nprobe`
+    /// clusters per query, and the union of those selections was
+    /// exactly rescored (emitted by the `rag` crate via
+    /// [`crate::ApuDevice::emit_trace`]).
+    IvfProbe {
+        /// Queries in the dispatched batch.
+        queries: usize,
+        /// Clusters in the index.
+        nlist: usize,
+        /// Clusters probed per query.
+        nprobe: usize,
+        /// Distinct clusters the dispatch scanned.
+        scanned: usize,
+        /// Candidate chunks exactly rescored across (query, cluster)
+        /// pairs.
+        candidates: u64,
+    },
 }
 
 impl TraceEvent {
@@ -262,6 +280,15 @@ impl TraceEvent {
                 from_device,
                 to_device,
             } => format!("failover h={handle} from={from_device} to={to_device}"),
+            IvfProbe {
+                queries,
+                nlist,
+                nprobe,
+                scanned,
+                candidates,
+            } => format!(
+                "ivf-probe q={queries} nlist={nlist} nprobe={nprobe} scanned={scanned} cand={candidates}"
+            ),
         }
     }
 }
@@ -668,6 +695,20 @@ pub fn chrome_trace_json_grouped(groups: &[(&str, &[TraceEvent])], clock: Freque
                     ts,
                     TID_QUEUE,
                     format!(r#""handle":{handle},"from":{from_device},"to":{to_device}"#),
+                )),
+                IvfProbe {
+                    queries,
+                    nlist,
+                    nprobe,
+                    scanned,
+                    candidates,
+                } => rows.push(instant(
+                    &format!("ivf probe {scanned}/{nlist}"),
+                    ts,
+                    TID_QUEUE,
+                    format!(
+                        r#""queries":{queries},"nlist":{nlist},"nprobe":{nprobe},"scanned":{scanned},"candidates":{candidates}"#
+                    ),
                 )),
             }
         }

@@ -57,10 +57,21 @@ impl KmeansInput {
         self.coords.len()
     }
 
-    /// Initial centroids: the first `k` points (deterministic).
+    /// Initial centroids: the first `k` points (deterministic). When
+    /// `k` exceeds the point count the points are cycled — duplicated
+    /// seeds collapse into empty clusters on the first update, which
+    /// keep their (stale) centroid rather than panicking, so a trainer
+    /// asking for more clusters than it has points degrades gracefully.
+    /// A zero-point input yields all-zero centroids.
     pub fn initial_centroids(&self) -> Vec<Vec<u16>> {
+        let n = self.n_points();
         (0..self.k)
-            .map(|c| self.coords.iter().map(|dim| dim[c]).collect())
+            .map(|c| {
+                self.coords
+                    .iter()
+                    .map(|dim| if n == 0 { 0 } else { dim[c % n] })
+                    .collect()
+            })
             .collect()
     }
 }
@@ -96,6 +107,36 @@ pub fn generate(n_points: usize, k: usize, dims: usize, iters: usize, seed: u64)
     KmeansInput { coords, k, iters }
 }
 
+/// Assigns every point of `input` to its nearest centroid (squared
+/// Euclidean distance, ties toward the lower cluster id), parallelized
+/// over `threads`. This is the assignment step of
+/// [`cpu`] / [`cpu_mt`], exposed so other trainers — e.g. the IVF
+/// index builder in the `rag` crate — can partition a full dataset
+/// against centroids fitted on a subsample.
+pub fn assign_points(input: &KmeansInput, centroids: &[Vec<u16>], threads: usize) -> Vec<u16> {
+    let n = input.n_points();
+    let points: Vec<usize> = (0..n).collect();
+    let assigned: Vec<(usize, u16)> = map_reduce(
+        &points,
+        threads.max(1),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|&p| (p, assign_point(input, centroids, p)))
+                .collect::<Vec<_>>()
+        },
+        |mut a: Vec<(usize, u16)>, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    let mut assignments = vec![0u16; n];
+    for (p, c) in assigned {
+        assignments[p] = c;
+    }
+    assignments
+}
+
 fn assign_point(input: &KmeansInput, centroids: &[Vec<u16>], p: usize) -> u16 {
     let mut best = u32::MAX;
     let mut best_c = 0u16;
@@ -129,25 +170,7 @@ fn cpu_with_threads(input: &KmeansInput, threads: usize) -> KmeansOutput {
     let mut centroids = input.initial_centroids();
     let mut assignments = vec![0u16; n];
     for _ in 0..input.iters {
-        let points: Vec<usize> = (0..n).collect();
-        let centroids_ref = &centroids;
-        let assigned: Vec<(usize, u16)> = map_reduce(
-            &points,
-            threads,
-            |chunk| {
-                chunk
-                    .iter()
-                    .map(|&p| (p, assign_point(input, centroids_ref, p)))
-                    .collect::<Vec<_>>()
-            },
-            |mut a: Vec<(usize, u16)>, mut b| {
-                a.append(&mut b);
-                a
-            },
-        );
-        for (p, c) in assigned {
-            assignments[p] = c;
-        }
+        assignments = assign_points(input, &centroids, threads);
         // update
         let mut sums = vec![vec![0u64; dims]; input.k];
         let mut counts = vec![0u64; input.k];
@@ -679,5 +702,156 @@ mod tests {
         let mut bad_k = small_input();
         bad_k.k = 7;
         assert!(apu(&mut dev, &bad_k, OptConfig::all()).is_err());
+    }
+
+    // ---- edge cases the IVF trainer hits (rag::ivf) ----
+
+    #[test]
+    fn k_larger_than_point_count_degrades_gracefully() {
+        // 3 points, 8 requested clusters: seeds cycle, duplicated seeds
+        // collapse to empty clusters that keep their stale centroid.
+        let input = KmeansInput {
+            coords: vec![vec![1, 20, 50], vec![5, 30, 60]],
+            k: 8,
+            iters: 3,
+        };
+        let out = cpu(&input);
+        assert_eq!(out.centroids.len(), 8);
+        assert_eq!(out.assignments.len(), 3);
+        // Ties break toward the lower cluster id, so only the first
+        // copy of each duplicated seed ever owns points.
+        for &a in &out.assignments {
+            assert!((a as usize) < 3, "assignment {a} beyond distinct seeds");
+        }
+        for c in &out.centroids {
+            for &v in c {
+                assert!(v <= COORD_MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_points_yield_zero_centroids_without_panicking() {
+        let input = KmeansInput {
+            coords: vec![Vec::new(), Vec::new()],
+            k: 4,
+            iters: 2,
+        };
+        let out = cpu(&input);
+        assert_eq!(out.centroids, vec![vec![0, 0]; 4]);
+        assert!(out.assignments.is_empty());
+    }
+
+    #[test]
+    fn all_duplicate_points_collapse_to_one_cluster() {
+        let input = KmeansInput {
+            coords: vec![vec![17; 256], vec![42; 256]],
+            k: 4,
+            iters: 3,
+        };
+        let out = cpu(&input);
+        // Identical distances everywhere: ties go to cluster 0, and the
+        // empty clusters keep the (identical) seed centroid.
+        assert!(out.assignments.iter().all(|&a| a == 0));
+        assert_eq!(out.centroids, vec![vec![17, 42]; 4]);
+    }
+
+    #[test]
+    fn empty_clusters_keep_their_stale_centroid() {
+        // Two tight groups, four clusters: at least two clusters go
+        // empty on the first update and must keep their seed centroid
+        // instead of dividing by zero.
+        let mut coords = vec![Vec::new(), Vec::new()];
+        for i in 0..128 {
+            let (x, y) = if i % 2 == 0 { (2, 3) } else { (60, 61) };
+            coords[0].push(x);
+            coords[1].push(y);
+        }
+        let input = KmeansInput {
+            coords,
+            k: 4,
+            iters: 4,
+        };
+        let seeds = input.initial_centroids();
+        let out = cpu(&input);
+        let mut counts = [0usize; 4];
+        for &a in &out.assignments {
+            counts[a as usize] += 1;
+        }
+        for c in 0..4 {
+            if counts[c] == 0 {
+                assert_eq!(out.centroids[c], seeds[c], "empty cluster {c} moved");
+            }
+        }
+        assert!(counts.iter().filter(|&&n| n == 0).count() >= 2);
+    }
+
+    #[test]
+    fn assign_points_matches_the_next_assignment_pass() {
+        // `cpu` assigns against the centroids from the *previous*
+        // update, so partitioning with `assign_points` against a run's
+        // final centroids reproduces the assignments of a run with one
+        // extra iteration — the contract the IVF builder relies on.
+        let input = small_input();
+        let out = cpu(&input);
+        let longer = cpu(&KmeansInput {
+            coords: input.coords.clone(),
+            k: input.k,
+            iters: input.iters + 1,
+        });
+        assert_eq!(longer.assignments, assign_points(&input, &out.centroids, 8));
+    }
+
+    mod props {
+        use super::{apu, cpu, device, KmeansInput, OptConfig, COORD_MAX};
+        use proptest::prelude::*;
+
+        /// Duplicate-heavy device-shaped input: coordinates drawn from
+        /// a small palette force duplicate points and empty clusters —
+        /// exactly what an IVF trainer produces on clustered corpora.
+        fn palette_input(
+            dims: usize,
+            k: usize,
+            iters: usize,
+            palette: &[u16],
+            seed: u64,
+        ) -> KmeansInput {
+            let n = 32 * 1024;
+            let mut state = seed;
+            let mut coords = vec![vec![0u16; n]; dims];
+            for p in 0..n {
+                for coord in coords.iter_mut() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let idx = (state >> 33) as usize % palette.len();
+                    coord[p] = palette[idx];
+                }
+            }
+            KmeansInput { coords, k, iters }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            /// The device kernel agrees with the CPU reference bit-for-
+            /// bit even on degenerate inputs (duplicates, empty
+            /// clusters) — the agreement the IVF trainer relies on.
+            #[test]
+            fn apu_functional_matches_cpu_on_degenerate_inputs(
+                dims in 2usize..=4,
+                kexp in 1u32..=3,
+                iters in 1usize..=2,
+                palette in proptest::collection::vec(0u16..=COORD_MAX, 3..=6),
+                seed in any::<u64>(),
+            ) {
+                let input = palette_input(dims, 1usize << kexp, iters, &palette, seed);
+                let expected = cpu(&input);
+                let mut dev = device();
+                let (out, _) = apu(&mut dev, &input, OptConfig::all()).unwrap();
+                prop_assert_eq!(out.centroids, expected.centroids);
+                prop_assert_eq!(out.assignments, expected.assignments);
+            }
+        }
     }
 }

@@ -123,6 +123,17 @@ impl RetrievalBreakdown {
             + self.topk_ms
             + self.return_us / 1e3
     }
+
+    /// Adds another breakdown stage-by-stage — a multi-kernel retrieval
+    /// (e.g. an IVF centroid scan followed by cluster rescores) reports
+    /// the summed per-stage latency of its sequential parts.
+    pub fn accumulate(&mut self, other: &RetrievalBreakdown) {
+        self.load_embedding_ms += other.load_embedding_ms;
+        self.load_query_us += other.load_query_us;
+        self.calc_distance_ms += other.calc_distance_ms;
+        self.topk_ms += other.topk_ms;
+        self.return_us += other.return_us;
+    }
 }
 
 /// ENNS retriever bound to one optimization variant.

@@ -19,7 +19,8 @@ use hbm_sim::MemorySystem;
 
 use crate::apu::RetrievalBreakdown;
 use crate::corpus::{EmbeddingStore, EMBED_DIM};
-use crate::cpu::top_k;
+use crate::ivf::IndexMode;
+use crate::topk::top_k;
 use crate::{Hit, Result};
 
 /// Maximum queries per batch: accumulators live in VR 12..24.
@@ -64,8 +65,27 @@ impl BatchResult {
 /// instance) together with `k`, so retrievals against different corpora
 /// never coalesce.
 pub fn retrieval_batch_key(store: &EmbeddingStore, k: usize) -> BatchKey {
+    retrieval_batch_key_for(store, k, IndexMode::Flat)
+}
+
+/// [`retrieval_batch_key`] refined by [`IndexMode`]: a flat scan and an
+/// IVF search against the same store answer different questions (exact
+/// vs approximate) with different kernels, so they must never coalesce
+/// into one dispatch — nor may IVF searches with different `nlist` /
+/// `nprobe`. The mode's parameters are folded into the hash.
+pub fn retrieval_batch_key_for(store: &EmbeddingStore, k: usize, mode: IndexMode) -> BatchKey {
+    let (tag, nlist, nprobe) = match mode {
+        IndexMode::Flat => (0u64, 0u64, 0u64),
+        IndexMode::Ivf { nlist, nprobe } => (1, nlist as u64, nprobe as u64),
+    };
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in [store as *const EmbeddingStore as u64, k as u64] {
+    for v in [
+        store as *const EmbeddingStore as u64,
+        k as u64,
+        tag,
+        nlist,
+        nprobe,
+    ] {
         h ^= v;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }

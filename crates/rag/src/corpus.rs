@@ -97,6 +97,31 @@ impl EmbeddingStore {
         }
     }
 
+    /// Wraps explicit chunk-major embeddings (`chunks × EMBED_DIM`) as a
+    /// materialized store — e.g. a reordered copy of another store, or
+    /// k-means centroids used as a probe corpus (see [`crate::ivf`]).
+    /// The `seed` only parameterizes [`EmbeddingStore::query`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of [`EMBED_DIM`].
+    pub fn from_embeddings(corpus_bytes: u64, data: Vec<i16>, seed: u64) -> Self {
+        assert!(
+            data.len().is_multiple_of(EMBED_DIM),
+            "embedding data length {} is not a multiple of {EMBED_DIM}",
+            data.len()
+        );
+        let spec = CorpusSpec {
+            corpus_bytes,
+            chunks: data.len() / EMBED_DIM,
+        };
+        EmbeddingStore {
+            spec,
+            seed,
+            data: Some(data),
+        }
+    }
+
     /// The corpus spec.
     pub fn spec(&self) -> &CorpusSpec {
         &self.spec
@@ -153,11 +178,15 @@ impl EmbeddingStore {
     /// local (0-based); [`CorpusShard::base`] maps them back to global
     /// ids. The nominal `corpus_bytes` is split proportionally.
     ///
-    /// `n` is clamped to ≥ 1; when `n > chunks` the trailing shards are
-    /// empty but still well-formed.
+    /// Degenerate requests return **fewer shards rather than broken
+    /// ones**: `n` is clamped to ≥ 1, and when `n > chunks` only
+    /// `chunks` single-chunk shards come back (a zero-chunk corpus
+    /// yields one empty shard so callers always get at least one).
+    /// Every returned shard of a non-empty corpus is non-empty, so
+    /// downstream per-shard kernels never see a zero-chunk store.
     pub fn shards(&self, n: usize) -> Vec<CorpusShard> {
-        let n = n.max(1);
         let chunks = self.spec.chunks;
+        let n = n.max(1).min(chunks.max(1));
         let mut out = Vec::with_capacity(n);
         let mut base = 0usize;
         for i in 0..n {
@@ -206,6 +235,90 @@ impl CorpusShard {
     /// covers.
     pub fn range(&self) -> std::ops::Range<u32> {
         self.base..self.base + self.store.spec().chunks as u32
+    }
+}
+
+/// A deterministic **clustered** corpus for approximate-retrieval
+/// studies: `topics` well-separated centers in the embedding band, each
+/// chunk drawn as its (randomly assigned) center plus small per-element
+/// noise. An IVF index over such a corpus recovers the topic structure,
+/// so a query aimed near one center finds its true top-k inside a
+/// handful of clusters — the regime where cluster pruning trades
+/// essentially no recall for a large scan reduction.
+///
+/// The generator also hands out *topic-conditioned queries*
+/// ([`ClusteredCorpus::query_near`]): a query is its topic's center
+/// plus noise, modeling the skewed, locality-heavy query streams real
+/// retrieval serving sees.
+#[derive(Debug, Clone)]
+pub struct ClusteredCorpus {
+    /// The materialized embedding store (chunk order is random across
+    /// topics, so contiguous corpus shards mix topics).
+    pub store: EmbeddingStore,
+    centers: Vec<Vec<i16>>,
+    topic_of: Vec<u16>,
+    seed: u64,
+}
+
+impl ClusteredCorpus {
+    /// Generates a clustered corpus: `topics` centers with coordinates
+    /// in −[`EMBED_MAX`]..=[`EMBED_MAX`], and per-chunk noise uniform in
+    /// `-noise..=noise` (clamped back into the band).
+    pub fn new(spec: CorpusSpec, topics: usize, noise: i16, seed: u64) -> Self {
+        let topics = topics.max(1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x436c_7573_7465_7253); // "ClusterS"
+        let centers: Vec<Vec<i16>> = (0..topics)
+            .map(|_| {
+                (0..EMBED_DIM)
+                    .map(|_| rng.gen_range(-EMBED_MAX..=EMBED_MAX))
+                    .collect()
+            })
+            .collect();
+        let mut topic_of = Vec::with_capacity(spec.chunks);
+        let mut data = Vec::with_capacity(spec.chunks * EMBED_DIM);
+        for _ in 0..spec.chunks {
+            let t = rng.gen_range(0..topics);
+            topic_of.push(t as u16);
+            for &c in &centers[t] {
+                let v = c + rng.gen_range(-noise..=noise);
+                data.push(v.clamp(-EMBED_MAX, EMBED_MAX));
+            }
+        }
+        ClusteredCorpus {
+            store: EmbeddingStore {
+                spec,
+                seed,
+                data: Some(data),
+            },
+            centers,
+            topic_of,
+            seed,
+        }
+    }
+
+    /// Number of topic centers.
+    pub fn topics(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The generating topic of one chunk.
+    pub fn topic_of(&self, chunk: usize) -> usize {
+        self.topic_of[chunk] as usize
+    }
+
+    /// A deterministic query aimed at `topic`: the topic center plus
+    /// per-element noise in −2..=2, clamped to the embedding band. Its
+    /// exact top-k concentrates in the chunks of that topic.
+    pub fn query_near(&self, topic: usize, query_id: u64) -> Vec<i16> {
+        const TOPIC_QUERY_DOMAIN: u64 = 0x546f_7069_6351_7279; // "TopicQry"
+        let topic = topic % self.centers.len();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ TOPIC_QUERY_DOMAIN.wrapping_add((topic as u64) << 32 | query_id),
+        );
+        self.centers[topic]
+            .iter()
+            .map(|&c| (c + rng.gen_range(-2..=2)).clamp(-EMBED_MAX, EMBED_MAX))
+            .collect()
     }
 }
 
@@ -303,16 +416,19 @@ mod tests {
         assert_eq!(whole.len(), 1);
         assert_eq!(whole[0].store.spec().chunks, 2);
         assert_eq!(whole[0].store.raw(), s.raw());
-        // More shards than chunks: trailing shards are empty.
+        // More shards than chunks: fewer, non-empty shards come back
+        // (regression: this used to produce empty trailing shards whose
+        // zero-chunk stores broke per-shard kernels).
         let over = s.shards(4);
-        assert_eq!(over.len(), 4);
+        assert_eq!(over.len(), 2);
         assert_eq!(
             over.iter()
                 .map(|sh| sh.store.spec().chunks)
                 .collect::<Vec<_>>(),
-            vec![1, 1, 0, 0]
+            vec![1, 1]
         );
-        assert!(over[3].range().is_empty());
+        assert!(over.iter().all(|sh| !sh.range().is_empty()));
+        assert_eq!(over[1].range(), 1..2);
         // Size-only parents give size-only shards.
         let dry = EmbeddingStore::size_only(CorpusSpec::from_corpus_bytes(10_000_000_000), 3);
         let dry_shards = dry.shards(4);
@@ -324,6 +440,101 @@ mod tests {
                 .sum::<usize>(),
             163_000
         );
+    }
+
+    #[test]
+    fn zero_chunk_corpus_yields_one_empty_shard() {
+        // Regression: a zero-chunk corpus must not panic and callers
+        // still get a (single, empty) shard to iterate.
+        let spec = CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 0,
+        };
+        for s in [
+            EmbeddingStore::materialized(spec, 1),
+            EmbeddingStore::size_only(spec, 1),
+        ] {
+            for n in [0usize, 1, 5] {
+                let shards = s.shards(n);
+                assert_eq!(shards.len(), 1, "n={n}");
+                assert_eq!(shards[0].store.spec().chunks, 0);
+                assert!(shards[0].range().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn oversharding_still_partitions_exactly() {
+        let spec = CorpusSpec {
+            corpus_bytes: 300,
+            chunks: 3,
+        };
+        let s = EmbeddingStore::materialized(spec, 9);
+        let shards = s.shards(100);
+        assert_eq!(shards.len(), 3);
+        let mut next = 0u32;
+        for sh in &shards {
+            assert_eq!(sh.base, next);
+            assert_eq!(sh.store.spec().chunks, 1);
+            assert_eq!(sh.store.embedding(0), s.embedding(sh.base as usize));
+            next = sh.range().end;
+        }
+        assert_eq!(next as usize, spec.chunks);
+    }
+
+    #[test]
+    fn from_embeddings_wraps_data_verbatim() {
+        let spec = CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 3,
+        };
+        let src = EmbeddingStore::materialized(spec, 4);
+        let wrapped = EmbeddingStore::from_embeddings(64, src.raw().to_vec(), 4);
+        assert_eq!(wrapped.spec().chunks, 3);
+        assert_eq!(wrapped.spec().corpus_bytes, 64);
+        assert!(wrapped.is_materialized());
+        assert_eq!(wrapped.raw(), src.raw());
+        assert_eq!(wrapped.query(7), src.query(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn from_embeddings_rejects_ragged_data() {
+        let _ = EmbeddingStore::from_embeddings(0, vec![1i16; EMBED_DIM + 1], 0);
+    }
+
+    #[test]
+    fn clustered_corpus_is_deterministic_and_in_band() {
+        let spec = CorpusSpec {
+            corpus_bytes: 0,
+            chunks: 200,
+        };
+        let a = ClusteredCorpus::new(spec, 8, 1, 5);
+        let b = ClusteredCorpus::new(spec, 8, 1, 5);
+        assert_eq!(a.store.raw(), b.store.raw());
+        assert_eq!(a.query_near(3, 0), b.query_near(3, 0));
+        assert_ne!(a.query_near(3, 0), a.query_near(3, 1));
+        assert_eq!(a.topics(), 8);
+        assert!(a
+            .store
+            .raw()
+            .iter()
+            .all(|&v| (-EMBED_MAX..=EMBED_MAX).contains(&v)));
+        // Chunks sit near their generating center: a chunk's dot with
+        // its own topic's query beats a random other topic's query for
+        // the overwhelming majority of chunks.
+        let dot = |x: &[i16], y: &[i16]| -> i64 {
+            x.iter().zip(y).map(|(&a, &b)| a as i64 * b as i64).sum()
+        };
+        let mut closer = 0usize;
+        for c in 0..spec.chunks {
+            let own = a.query_near(a.topic_of(c), 1);
+            let other = a.query_near((a.topic_of(c) + 1) % 8, 1);
+            if dot(a.store.embedding(c), &own) > dot(a.store.embedding(c), &other) {
+                closer += 1;
+            }
+        }
+        assert!(closer >= spec.chunks * 95 / 100, "only {closer} close");
     }
 
     #[test]

@@ -20,18 +20,14 @@ use serde::{Deserialize, Serialize};
 use crate::corpus::{EmbeddingStore, EMBED_DIM};
 use crate::Hit;
 
-fn dot(a: &[i16], b: &[i16]) -> i32 {
+pub use crate::topk::top_k;
+
+/// Exact inner product between two embeddings.
+pub fn dot(a: &[i16], b: &[i16]) -> i32 {
     a.iter()
         .zip(b)
         .map(|(&x, &y)| x as i32 * y as i32)
         .sum::<i32>()
-}
-
-/// Merges candidate hits keeping the `k` best (ties → lower chunk id).
-pub fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
-    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.chunk.cmp(&b.chunk)));
-    hits.truncate(k);
-    hits
 }
 
 /// Exact top-k retrieval over a materialized store, scanning with the

@@ -26,22 +26,26 @@ pub mod batch;
 pub mod corpus;
 pub mod cpu;
 pub mod gpu;
+pub mod ivf;
 pub mod pipeline;
 pub mod serve;
+pub mod topk;
 
 pub use apu::{ApuRetriever, RagVariant, RetrievalBreakdown};
 pub use batch::{
-    retrieval_batch_key, retrieve_batch, run_boxed_batch, run_boxed_batch_at, BatchResult,
-    MAX_BATCH,
+    retrieval_batch_key, retrieval_batch_key_for, retrieve_batch, run_boxed_batch,
+    run_boxed_batch_at, BatchResult, MAX_BATCH,
 };
-pub use corpus::{CorpusShard, CorpusSpec, EmbeddingStore};
+pub use corpus::{ClusteredCorpus, CorpusShard, CorpusSpec, EmbeddingStore};
 pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};
+pub use ivf::{IndexMode, IvfIndex, IvfStats, DEFAULT_NLIST, DEFAULT_NPROBE};
 pub use pipeline::{EndToEnd, Platform, RagPipeline};
 pub use serve::{
     QueryCompletion, QuerySpec, QueryTicket, RagServer, ReplicaStats, ServeConfig, ServeReport,
     ShardedRagServer,
 };
+pub use topk::{merge_top_k, offset_hits, top_k};
 
 pub(crate) use apu::{inject_l2 as apu_inject_l2, tile_top_k as apu_tile_top_k};
 

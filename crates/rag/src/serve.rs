@@ -50,9 +50,10 @@ use apu_sim::{
 };
 use hbm_sim::{DramSpec, MemorySystem};
 
-use crate::batch::{retrieval_batch_key, run_boxed_batch, run_boxed_batch_at, MAX_BATCH};
+use crate::batch::{retrieval_batch_key_for, run_boxed_batch, run_boxed_batch_at, MAX_BATCH};
 use crate::corpus::{CorpusShard, EmbeddingStore};
-use crate::cpu::top_k;
+use crate::ivf::{run_boxed_ivf_batch_at, IndexMode, IvfIndex, IvfStats};
+use crate::topk::top_k;
 use crate::{Hit, Result};
 
 /// Configuration of a [`RagServer`].
@@ -98,6 +99,14 @@ pub struct ServeConfig {
     /// clamped) disables replication and is byte-identical to the
     /// unreplicated server. A single-device [`RagServer`] ignores this.
     pub replicas: usize,
+    /// How retrievals execute by default: [`IndexMode::Flat`] (the
+    /// paper's exact scan) or [`IndexMode::Ivf`] cluster-pruned search.
+    /// A sharded server builds one IVF index **per shard slice** and
+    /// keeps the exact global top-k merge unchanged; a per-query
+    /// [`QuerySpec::index`] overrides this default, and queries with
+    /// different index modes never share a batch
+    /// ([`crate::batch::retrieval_batch_key_for`]).
+    pub index: IndexMode,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +121,7 @@ impl Default for ServeConfig {
             retry: None,
             hedge: None,
             replicas: 1,
+            index: IndexMode::Flat,
         }
     }
 }
@@ -127,6 +137,7 @@ pub struct QuerySpec {
     tenant: TenantId,
     priority: Option<Priority>,
     ttl: Option<Duration>,
+    index: Option<IndexMode>,
     query: Vec<i16>,
 }
 
@@ -139,6 +150,7 @@ impl QuerySpec {
             tenant: TenantId::default(),
             priority: None,
             ttl: None,
+            index: None,
             query,
         }
     }
@@ -163,6 +175,16 @@ impl QuerySpec {
     #[must_use]
     pub fn ttl(mut self, ttl: Duration) -> Self {
         self.ttl = Some(ttl);
+        self
+    }
+
+    /// Overrides the server-wide [`ServeConfig::index`] mode for this
+    /// query — e.g. an exact flat scan for one audit query on an
+    /// otherwise IVF-served stream. Queries with different index modes
+    /// never share a batch.
+    #[must_use]
+    pub fn index(mut self, index: IndexMode) -> Self {
+        self.index = Some(index);
         self
     }
 }
@@ -306,6 +328,11 @@ pub struct ServeReport {
     /// Replication counters (placement shape, failovers, health
     /// transitions).
     pub replica: ReplicaStats,
+    /// IVF probe counters accumulated over the run's IVF-mode
+    /// dispatches (the `apu_ivf_*` series in
+    /// [`ServeReport::prometheus_text`]). All zeros on a pure flat-scan
+    /// run.
+    pub ivf: IvfStats,
 }
 
 impl ServeReport {
@@ -413,6 +440,39 @@ impl ServeReport {
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
             ));
         }
+        let v = &self.ivf;
+        let ivf_series: [(&str, &str, u64); 5] = [
+            (
+                "apu_ivf_searches_total",
+                "Batched IVF dispatches executed.",
+                v.searches,
+            ),
+            (
+                "apu_ivf_queries_total",
+                "Queries served through an IVF index.",
+                v.queries,
+            ),
+            (
+                "apu_ivf_probes_total",
+                "Probed clusters summed over IVF queries.",
+                v.probes,
+            ),
+            (
+                "apu_ivf_clusters_scanned_total",
+                "Distinct clusters scanned, summed over IVF dispatches.",
+                v.clusters_scanned,
+            ),
+            (
+                "apu_ivf_candidates_total",
+                "Candidate chunks exactly rescored by IVF dispatches.",
+                v.candidates,
+            ),
+        ];
+        for (name, help, value) in ivf_series {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
         out
     }
 
@@ -444,6 +504,8 @@ pub struct RagServer<'a> {
     cfg: ServeConfig,
     pending: Vec<PendingQuery>,
     next_ticket: u64,
+    /// IVF indexes built lazily per `nlist`, cached across drains.
+    ivf: HashMap<usize, IvfIndex>,
 }
 
 impl<'a> RagServer<'a> {
@@ -462,6 +524,7 @@ impl<'a> RagServer<'a> {
             cfg,
             pending: Vec::new(),
             next_ticket: 0,
+            ivf: HashMap::new(),
         }
     }
 
@@ -520,7 +583,18 @@ impl<'a> RagServer<'a> {
 
         let store = self.store;
         let k = self.cfg.k;
-        let key = retrieval_batch_key(store, k);
+        let cfg_index = self.cfg.index;
+        // Build (once, cached across drains) every IVF index this drain
+        // needs; training happens on the host, outside virtual time.
+        for p in &queries {
+            if let IndexMode::Ivf { nlist, .. } = p.spec.index.unwrap_or(cfg_index) {
+                self.ivf
+                    .entry(nlist)
+                    .or_insert_with(|| IvfIndex::build(store, nlist));
+            }
+        }
+        let ivf_indexes = &self.ivf;
+        let ivf_cell = RefCell::new(IvfStats::default());
         let hbm = RefCell::new(&mut *self.hbm);
         let mut queue_cfg = self
             .cfg
@@ -535,10 +609,25 @@ impl<'a> RagServer<'a> {
         let mut tickets: HashMap<TaskHandle, (QueryTicket, Duration)> = HashMap::new();
         for p in queries {
             let hbm = &hbm;
-            let run = Box::new(move |dev: &mut ApuDevice, payloads| {
-                let mut hbm = hbm.borrow_mut();
-                run_boxed_batch(dev, &mut hbm, store, payloads, k)
-            });
+            let mode = p.spec.index.unwrap_or(cfg_index);
+            let key = retrieval_batch_key_for(store, k, mode);
+            let run: apu_sim::queue::BatchRunner<'_> = match mode {
+                IndexMode::Flat => Box::new(move |dev: &mut ApuDevice, payloads| {
+                    let mut hbm = hbm.borrow_mut();
+                    run_boxed_batch(dev, &mut hbm, store, payloads, k)
+                }),
+                IndexMode::Ivf { nlist, nprobe } => {
+                    let index = &ivf_indexes[&nlist];
+                    let stats = &ivf_cell;
+                    Box::new(move |dev: &mut ApuDevice, payloads| {
+                        let mut hbm = hbm.borrow_mut();
+                        let (report, outputs, ds) =
+                            run_boxed_ivf_batch_at(dev, &mut hbm, index, payloads, k, nprobe, 0)?;
+                        stats.borrow_mut().absorb(&ds);
+                        Ok((report, outputs))
+                    })
+                }
+            };
             let arrival = p.spec.arrival;
             let mut task = TaskSpec::batch(key, Box::new(p.spec.query), run)
                 .priority(p.spec.priority.unwrap_or(self.cfg.priority))
@@ -578,6 +667,7 @@ impl<'a> RagServer<'a> {
             });
         }
         let stats = queue.stats().clone();
+        let ivf = *ivf_cell.borrow();
         Ok(ServeReport {
             completions,
             shards: vec![stats.clone()],
@@ -587,6 +677,7 @@ impl<'a> RagServer<'a> {
                 per_shard: 1,
                 ..ReplicaStats::default()
             },
+            ivf,
         })
     }
 }
@@ -650,6 +741,9 @@ pub struct ShardedRagServer {
     pending: Vec<PendingQuery>,
     next_ticket: u64,
     traces: Option<Vec<Rc<RefCell<ChromeTraceSink>>>>,
+    /// Per-`nlist` IVF indexes, one per shard slice (shared across a
+    /// shard's replicas), built lazily and cached across drains.
+    ivf: HashMap<usize, Vec<IvfIndex>>,
 }
 
 impl ShardedRagServer {
@@ -693,6 +787,7 @@ impl ShardedRagServer {
             pending: Vec::new(),
             next_ticket: 0,
             traces: None,
+            ivf: HashMap::new(),
         })
     }
 
@@ -907,6 +1002,25 @@ impl ShardedRagServer {
         let hedge = self.cfg.hedge;
         let default_priority = self.cfg.priority;
         let default_ttl = self.cfg.ttl;
+        let cfg_index = self.cfg.index;
+
+        // Build (once, cached across drains) every per-shard IVF index
+        // this drain needs; a shard's replicas share the index, and the
+        // exact global merge is unchanged.
+        for p in &queries {
+            if let IndexMode::Ivf { nlist, .. } = p.spec.index.unwrap_or(cfg_index) {
+                if !self.ivf.contains_key(&nlist) {
+                    let built = self
+                        .shards
+                        .iter()
+                        .map(|sh| IvfIndex::build(&sh.store, nlist))
+                        .collect();
+                    self.ivf.insert(nlist, built);
+                }
+            }
+        }
+        let ivf_indexes = &self.ivf;
+        let ivf_cell = RefCell::new(IvfStats::default());
 
         // Per-query submission parameters, in (arrival, ticket) order —
         // kept for the whole drain so failover rounds can rebuild a
@@ -917,6 +1031,7 @@ impl ShardedRagServer {
             tenant: TenantId,
             priority: Priority,
             ttl: Option<Duration>,
+            index: IndexMode,
             query: Vec<i16>,
         }
         let infos: Vec<QInfo> = queries
@@ -927,6 +1042,7 @@ impl ShardedRagServer {
                 tenant: p.spec.tenant,
                 priority: p.spec.priority.unwrap_or(default_priority),
                 ttl: p.spec.ttl.or(default_ttl),
+                index: p.spec.index.unwrap_or(cfg_index),
                 query: p.spec.query,
             })
             .collect();
@@ -941,10 +1057,6 @@ impl ShardedRagServer {
         let hbm_cells: Vec<RefCell<&mut MemorySystem>> =
             self.hbms.iter_mut().map(RefCell::new).collect();
         let shards = &self.shards;
-        let keys: Vec<_> = shards
-            .iter()
-            .map(|sh| retrieval_batch_key(&sh.store, k))
-            .collect();
         let mut cluster = DeviceCluster::new(
             self.devices.iter_mut().collect(),
             queue_cfg,
@@ -961,11 +1073,26 @@ impl ShardedRagServer {
         let make_task = |info: &QInfo, s: usize, device: usize, at: Duration, prio: Priority| {
             let hbm = &hbm_cells[device];
             let shard = &shards[s];
-            let run = Box::new(move |dev: &mut ApuDevice, payloads| {
-                let mut hbm = hbm.borrow_mut();
-                run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
-            });
-            let mut task = TaskSpec::batch(keys[s], Box::new(info.query.clone()), run)
+            let run: apu_sim::queue::BatchRunner<'_> = match info.index {
+                IndexMode::Flat => Box::new(move |dev: &mut ApuDevice, payloads| {
+                    let mut hbm = hbm.borrow_mut();
+                    run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
+                }),
+                IndexMode::Ivf { nlist, nprobe } => {
+                    let index = &ivf_indexes[&nlist][s];
+                    let stats = &ivf_cell;
+                    Box::new(move |dev: &mut ApuDevice, payloads| {
+                        let mut hbm = hbm.borrow_mut();
+                        let (report, outputs, ds) = run_boxed_ivf_batch_at(
+                            dev, &mut hbm, index, payloads, k, nprobe, shard.base,
+                        )?;
+                        stats.borrow_mut().absorb(&ds);
+                        Ok((report, outputs))
+                    })
+                }
+            };
+            let key = retrieval_batch_key_for(&shard.store, k, info.index);
+            let mut task = TaskSpec::batch(key, Box::new(info.query.clone()), run)
                 .priority(prio)
                 .at(at)
                 .tenant(info.tenant)
@@ -1193,11 +1320,13 @@ impl ShardedRagServer {
             down: cluster.health().down_transitions(),
             failover_served,
         };
+        let ivf = *ivf_cell.borrow();
         Ok(ServeReport {
             completions,
             queue,
             shards: shard_stats,
             replica,
+            ivf,
         })
     }
 }
@@ -1387,6 +1516,7 @@ mod tests {
             queue: QueueStats::default(),
             shards: Vec::new(),
             replica: ReplicaStats::default(),
+            ivf: IvfStats::default(),
         };
         assert_eq!(empty.latency_percentile(0.5), Duration::ZERO);
         assert_eq!(empty.latency_percentile(0.99), Duration::ZERO);
@@ -1552,6 +1682,105 @@ mod tests {
         }
         assert_eq!(report.replica.down, 2);
         assert_eq!(report.replica.failover_served, 0);
+    }
+
+    #[test]
+    fn ivf_serving_reports_probe_metrics_and_exact_scores() {
+        let (mut dev, mut hbm, store) = setup(8_192);
+        let cfg = ServeConfig {
+            k: 10,
+            index: IndexMode::Ivf {
+                nlist: 8,
+                nprobe: 2,
+            },
+            ..ServeConfig::default()
+        };
+        let queries: Vec<Vec<i16>> = (0..4).map(|i| store.query(i)).collect();
+        let report = {
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, cfg);
+            for q in &queries {
+                server.submit(Duration::ZERO, q.clone()).unwrap();
+            }
+            server.drain().unwrap()
+        };
+        assert_eq!(report.served(), 4);
+        assert!(report.ivf.searches >= 1);
+        assert_eq!(report.ivf.queries, 4);
+        assert!(report.ivf.probes <= 4 * 2);
+        // Pruned: fewer candidates than 4 full scans.
+        assert!(report.ivf.candidates < 4 * 8_192);
+        for done in &report.completions {
+            let q = &queries[done.ticket.id() as usize];
+            for h in done.hits().unwrap() {
+                assert_eq!(
+                    h.score,
+                    crate::cpu::dot(store.embedding(h.chunk as usize), q),
+                    "IVF rescore must be exact"
+                );
+            }
+        }
+        let text = report.prometheus_text();
+        assert!(text.contains(&format!("apu_ivf_searches_total {}", report.ivf.searches)));
+        assert!(text.contains("apu_ivf_candidates_total"));
+    }
+
+    #[test]
+    fn sharded_ivf_full_probe_matches_flat_serving() {
+        let (mut dev, mut hbm, store) = setup(6_000);
+        let queries: Vec<Vec<i16>> = (0..4).map(|i| store.query(i)).collect();
+        let flat = {
+            let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+            for q in &queries {
+                server.submit(Duration::ZERO, q.clone()).unwrap();
+            }
+            server.drain().unwrap()
+        };
+
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let cfg = ServeConfig {
+            index: IndexMode::Ivf {
+                nlist: 6,
+                nprobe: 6,
+            },
+            ..ServeConfig::default()
+        };
+        let mut sharded = ShardedRagServer::new(&store, 3, sim, cfg).unwrap();
+        for q in &queries {
+            sharded.submit(Duration::ZERO, q.clone()).unwrap();
+        }
+        let report = sharded.drain().unwrap();
+        assert_eq!(report.served(), 4);
+        let flat_hits: HashMap<u64, &[Hit]> = flat
+            .completions
+            .iter()
+            .map(|c| (c.ticket.id(), c.hits().expect("served")))
+            .collect();
+        for done in &report.completions {
+            assert_eq!(
+                done.hits().expect("served"),
+                flat_hits[&done.ticket.id()],
+                "nprobe == nlist must be element-identical to flat"
+            );
+        }
+        assert!(report.ivf.searches >= 3, "one IVF dispatch per shard");
+    }
+
+    #[test]
+    fn per_query_index_override_never_batches_with_flat() {
+        let (mut dev, mut hbm, store) = setup(4_096);
+        let mut server = RagServer::new(&mut dev, &mut hbm, &store, ServeConfig::default());
+        server.submit(Duration::ZERO, store.query(0)).unwrap();
+        server
+            .submit_query(
+                QuerySpec::new(Duration::ZERO, store.query(1)).index(IndexMode::ivf_default()),
+            )
+            .unwrap();
+        let report = server.drain().unwrap();
+        assert_eq!(report.served(), 2);
+        // Different index modes may not coalesce into one dispatch.
+        assert_eq!(report.queue.dispatches, 2);
+        assert!(report.completions.iter().all(|c| c.batch_size == 1));
+        assert_eq!(report.ivf.queries, 1);
     }
 
     #[test]

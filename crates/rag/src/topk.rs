@@ -1,0 +1,100 @@
+//! Top-k merge utilities shared by every retrieval path.
+//!
+//! The same merge — rank by score descending, break ties toward the
+//! lower chunk id, keep the best `k` — appears at three places in the
+//! stack: the batch kernel's per-tile post-processing
+//! ([`crate::batch::retrieve_batch`]), the sharded scatter-gather merge
+//! ([`crate::ShardedRagServer`]), and the IVF per-cluster rescore merge
+//! ([`crate::ivf`]). Centralizing it here keeps the tie-break identical
+//! everywhere, which is what makes a sharded or cluster-pruned merge
+//! *element-identical* (ids and scores) to the flat single-device scan.
+
+use crate::Hit;
+
+/// Merges candidate hits keeping the `k` best (ties → lower chunk id).
+///
+/// Degenerate inputs are well-defined: `k == 0` or an empty candidate
+/// list returns an empty vector, and `k > hits.len()` returns every
+/// candidate (still fully ranked).
+pub fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.chunk.cmp(&b.chunk)));
+    hits.truncate(k);
+    hits
+}
+
+/// Lifts hits with local chunk ids (shard-local or cluster-local) to a
+/// global id space by offsetting every chunk id by `base`.
+pub fn offset_hits(hits: Vec<Hit>, base: u32) -> Vec<Hit> {
+    hits.into_iter()
+        .map(|h| Hit {
+            chunk: h.chunk + base,
+            score: h.score,
+        })
+        .collect()
+}
+
+/// Merges per-partition top-k lists (already in the global id space)
+/// into the global top-k: concatenation followed by [`top_k`]. Because
+/// every partition list is itself a superset-of-survivors of its
+/// partition, this equals the top-k of the union of the partitions.
+pub fn merge_top_k(parts: Vec<Vec<Hit>>, k: usize) -> Vec<Hit> {
+    let mut all = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        all.extend(p);
+    }
+    top_k(all, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(chunk: u32, score: i32) -> Hit {
+        Hit { chunk, score }
+    }
+
+    #[test]
+    fn ranks_by_score_then_chunk() {
+        let t = top_k(vec![h(9, 10), h(2, 10), h(5, 3), h(0, 12)], 3);
+        assert_eq!(t, vec![h(0, 12), h(2, 10), h(9, 10)]);
+    }
+
+    #[test]
+    fn all_tied_scores_order_by_chunk() {
+        let t = top_k(vec![h(7, 1), h(3, 1), h(5, 1), h(1, 1)], 3);
+        assert_eq!(t, vec![h(1, 1), h(3, 1), h(5, 1)]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_everything_ranked() {
+        let t = top_k(vec![h(4, -2), h(1, 7)], 10);
+        assert_eq!(t, vec![h(1, 7), h(4, -2)]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_input_are_empty() {
+        assert!(top_k(vec![h(1, 5)], 0).is_empty());
+        assert!(top_k(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn offset_rebases_chunk_ids_only() {
+        let out = offset_hits(vec![h(0, 3), h(2, -1)], 100);
+        assert_eq!(out, vec![h(100, 3), h(102, -1)]);
+    }
+
+    #[test]
+    fn merge_equals_top_k_of_union() {
+        let parts = vec![vec![h(0, 5), h(1, 4)], Vec::new(), vec![h(10, 9), h(11, 4)]];
+        let merged = merge_top_k(parts.clone(), 3);
+        let union: Vec<Hit> = parts.into_iter().flatten().collect();
+        assert_eq!(merged, top_k(union, 3));
+        assert_eq!(merged, vec![h(10, 9), h(0, 5), h(1, 4)]);
+    }
+
+    #[test]
+    fn merge_with_k_past_total_keeps_all_with_ties_ordered() {
+        let merged = merge_top_k(vec![vec![h(8, 2)], vec![h(3, 2)]], 99);
+        assert_eq!(merged, vec![h(3, 2), h(8, 2)]);
+    }
+}
