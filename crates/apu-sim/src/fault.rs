@@ -25,6 +25,13 @@ pub struct FaultPlan {
     pub every_kth_task: Option<u64>,
     /// Fail every task carrying this batch key.
     pub batch_key: Option<BatchKey>,
+    /// Caps the batch-key trigger: fire on at most this many checks of
+    /// the armed key, then let later checks of the same key pass.
+    /// `None` (the default) keeps the trigger permanent. Used to model
+    /// transient failures that a bounded retry can outlast — e.g. a
+    /// compaction task that fails twice and succeeds on the third
+    /// attempt.
+    pub batch_key_limit: Option<u64>,
     /// Fail this fraction of task checks, chosen by a seeded hash of the
     /// check sequence number (0.0 disables the trigger).
     pub task_rate: f64,
@@ -54,6 +61,21 @@ impl FaultPlan {
     #[must_use]
     pub fn fail_batch_key(mut self, key: BatchKey) -> Self {
         self.batch_key = Some(key);
+        self
+    }
+
+    /// Arms the batch-key trigger for at most `times` firings: the
+    /// first `times` checks of `key` fail, every later one passes
+    /// (`times` = 0 disarms the trigger entirely).
+    #[must_use]
+    pub fn fail_batch_key_times(mut self, key: BatchKey, times: u64) -> Self {
+        if times == 0 {
+            self.batch_key = None;
+            self.batch_key_limit = None;
+        } else {
+            self.batch_key = Some(key);
+            self.batch_key_limit = Some(times);
+        }
         self
     }
 
@@ -101,6 +123,8 @@ impl FaultCounts {
 pub(crate) struct FaultState {
     plan: FaultPlan,
     counts: FaultCounts,
+    /// Times the batch-key trigger has fired (for `batch_key_limit`).
+    key_hits: u64,
 }
 
 fn seq_hash(seed: u64, seq: u64) -> u64 {
@@ -117,6 +141,7 @@ impl FaultState {
         FaultState {
             plan,
             counts: FaultCounts::default(),
+            key_hits: 0,
         }
     }
 
@@ -132,7 +157,12 @@ impl FaultState {
             .plan
             .every_kth_task
             .is_some_and(|k| seq.is_multiple_of(k));
-        let keyed = key.is_some() && key == self.plan.batch_key;
+        let keyed = key.is_some()
+            && key == self.plan.batch_key
+            && self.plan.batch_key_limit.is_none_or(|n| self.key_hits < n);
+        if keyed {
+            self.key_hits += 1;
+        }
         let rated = self.plan.task_rate > 0.0
             && (seq_hash(self.plan.seed, seq) as f64 / u64::MAX as f64) < self.plan.task_rate;
         if kth || keyed || rated {
@@ -187,6 +217,24 @@ mod tests {
         assert!(st.check_task(Some(BatchKey::new(8))).is_none());
         assert!(st.check_task(None).is_none());
         assert!(st.check_task(Some(poisoned)).is_some());
+    }
+
+    #[test]
+    fn bounded_batch_key_trigger_stops_after_the_limit() {
+        let poisoned = BatchKey::new(7);
+        let mut st = FaultState::new(FaultPlan::new(0).fail_batch_key_times(poisoned, 2));
+        // Checks of other keys never consume the budget.
+        assert!(st.check_task(Some(BatchKey::new(8))).is_none());
+        assert!(st.check_task(Some(poisoned)).is_some());
+        assert!(st.check_task(None).is_none());
+        assert!(st.check_task(Some(poisoned)).is_some());
+        // Budget exhausted: the same key now passes, permanently.
+        assert!(st.check_task(Some(poisoned)).is_none());
+        assert!(st.check_task(Some(poisoned)).is_none());
+        assert_eq!(st.counts().tasks_injected, 2);
+        // times = 0 disarms the trigger entirely.
+        let mut off = FaultState::new(FaultPlan::new(0).fail_batch_key_times(poisoned, 0));
+        assert!(off.check_task(Some(poisoned)).is_none());
     }
 
     #[test]

@@ -270,7 +270,11 @@ pub fn retrieve_batch(
     // mode that ever replays — both the cycle charge and the (empty)
     // hit payload depend exactly on the corpus tiling and batch shape,
     // so the key hashes those and nothing else. Functional runs always
-    // execute, so data-dependence is irrelevant to the key.
+    // execute, so data-dependence is irrelevant to the key. The store's
+    // content epoch is folded in so a mutable corpus never replays a
+    // cycle charge recorded against a different snapshot generation —
+    // compaction swaps in a fresh-epoch base, invalidating stale memos
+    // even when the chunk count happens to coincide.
     let key = {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for v in [
@@ -279,6 +283,7 @@ pub fn retrieve_batch(
             nq as u64,
             k as u64,
             l as u64,
+            store.epoch(),
         ] {
             h ^= v;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);

@@ -71,6 +71,7 @@ impl CorpusSpec {
 pub struct EmbeddingStore {
     spec: CorpusSpec,
     seed: u64,
+    epoch: u64,
     data: Option<Vec<i16>>, // chunk-major [chunks × EMBED_DIM]
 }
 
@@ -84,6 +85,7 @@ impl EmbeddingStore {
         EmbeddingStore {
             spec,
             seed,
+            epoch: 0,
             data: Some(data),
         }
     }
@@ -93,6 +95,7 @@ impl EmbeddingStore {
         EmbeddingStore {
             spec,
             seed,
+            epoch: 0,
             data: None,
         }
     }
@@ -118,6 +121,7 @@ impl EmbeddingStore {
         EmbeddingStore {
             spec,
             seed,
+            epoch: 0,
             data: Some(data),
         }
     }
@@ -130,6 +134,25 @@ impl EmbeddingStore {
     /// The generation seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The store's content epoch (0 for static stores).
+    ///
+    /// A mutable corpus (see [`crate::mutable`]) stamps every base,
+    /// delta, and compacted segment store with a distinct epoch. The
+    /// epoch is folded into the batch kernel's fast-forward memo key, so
+    /// a timing replay recorded against one corpus generation can never
+    /// be charged against a different one — a compaction that changes
+    /// the chunk count (or merely the content) forces a fresh timed run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns the store stamped with `epoch` (builder-style).
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Whether vectors are materialized.
@@ -207,6 +230,7 @@ impl EmbeddingStore {
                         chunks: len,
                     },
                     seed: self.seed,
+                    epoch: self.epoch,
                     data,
                 },
                 base: base as u32,
@@ -288,6 +312,7 @@ impl ClusteredCorpus {
             store: EmbeddingStore {
                 spec,
                 seed,
+                epoch: 0,
                 data: Some(data),
             },
             centers,

@@ -27,6 +27,7 @@ pub mod corpus;
 pub mod cpu;
 pub mod gpu;
 pub mod ivf;
+pub mod mutable;
 pub mod pipeline;
 pub mod serve;
 pub mod topk;
@@ -40,12 +41,16 @@ pub use corpus::{ClusteredCorpus, CorpusShard, CorpusSpec, EmbeddingStore};
 pub use cpu::{cpu_model_retrieval_ms, cpu_retrieve, CpuRetrievalModel};
 pub use gpu::{GenerationModel, GpuRetrievalModel};
 pub use ivf::{IndexMode, IvfIndex, IvfStats, DEFAULT_NLIST, DEFAULT_NPROBE};
+pub use mutable::{
+    flat_scan, CompactionPlan, CompactionTicket, CorpusStats, MutableCorpus, Segment,
+    ShardSnapshot, Snapshot,
+};
 pub use pipeline::{EndToEnd, Platform, RagPipeline};
 pub use serve::{
     QueryCompletion, QuerySpec, QueryTicket, RagServer, ReplicaStats, ServeConfig, ServeReport,
     ShardedRagServer,
 };
-pub use topk::{merge_top_k, offset_hits, top_k};
+pub use topk::{drop_tombstoned, merge_top_k, offset_hits, top_k};
 
 pub(crate) use apu::{inject_l2 as apu_inject_l2, tile_top_k as apu_tile_top_k};
 

@@ -39,6 +39,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use apu_sim::queue::percentile;
@@ -53,6 +54,10 @@ use hbm_sim::{DramSpec, MemorySystem};
 use crate::batch::{retrieval_batch_key_for, run_boxed_batch, run_boxed_batch_at, MAX_BATCH};
 use crate::corpus::{CorpusShard, EmbeddingStore};
 use crate::ivf::{run_boxed_ivf_batch_at, IndexMode, IvfIndex, IvfStats};
+use crate::mutable::{
+    run_boxed_snapshot_batch, run_compaction_task, snapshot_batch_key, CompactionPlan,
+    CompactionTicket, CorpusStats, MutableCorpus, Segment, Snapshot,
+};
 use crate::topk::top_k;
 use crate::{Hit, Result};
 
@@ -107,6 +112,13 @@ pub struct ServeConfig {
     /// different index modes never share a batch
     /// ([`crate::batch::retrieval_batch_key_for`]).
     pub index: IndexMode,
+    /// Priority background compaction tasks are submitted at on a
+    /// mutable server (see [`ShardedRagServer::new_mutable`]). The
+    /// default, [`Priority::Low`], lets interactive queries overtake the
+    /// merge at every dispatch opportunity; the `serve_mutation` bench
+    /// measures the in-SLO goodput gap against running compaction at
+    /// interactive priority. Ignored on an immutable server.
+    pub compaction_priority: Priority,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +134,7 @@ impl Default for ServeConfig {
             hedge: None,
             replicas: 1,
             index: IndexMode::Flat,
+            compaction_priority: Priority::Low,
         }
     }
 }
@@ -333,6 +346,10 @@ pub struct ServeReport {
     /// [`ServeReport::prometheus_text`]). All zeros on a pure flat-scan
     /// run.
     pub ivf: IvfStats,
+    /// Live-corpus counters as of the end of the drain (the
+    /// `apu_corpus_*` series in [`ServeReport::prometheus_text`]). All
+    /// zeros on an immutable server.
+    pub corpus: CorpusStats,
 }
 
 impl ServeReport {
@@ -473,6 +490,62 @@ impl ServeReport {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
         }
+        let c = &self.corpus;
+        let corpus_series: [(&str, &str, &str, u64); 8] = [
+            (
+                "apu_corpus_live_docs",
+                "gauge",
+                "Live (non-tombstoned) documents across base and deltas.",
+                c.live_docs,
+            ),
+            (
+                "apu_corpus_delta_docs",
+                "gauge",
+                "Documents held in uncompacted delta segments.",
+                c.delta_docs,
+            ),
+            (
+                "apu_corpus_tombstones",
+                "gauge",
+                "Deleted documents awaiting compaction.",
+                c.tombstones,
+            ),
+            (
+                "apu_corpus_inserts_total",
+                "counter",
+                "Documents ingested over the corpus lifetime.",
+                c.inserts,
+            ),
+            (
+                "apu_corpus_deletes_total",
+                "counter",
+                "Documents deleted over the corpus lifetime.",
+                c.deletes,
+            ),
+            (
+                "apu_corpus_snapshots_total",
+                "counter",
+                "Immutable snapshots published.",
+                c.snapshots,
+            ),
+            (
+                "apu_corpus_compactions_total",
+                "counter",
+                "Background compactions applied.",
+                c.compactions,
+            ),
+            (
+                "apu_corpus_compaction_failures_total",
+                "counter",
+                "Background compactions abandoned after retries.",
+                c.compaction_failures,
+            ),
+        ];
+        for (name, kind, help, value) in corpus_series {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
         out
     }
 
@@ -490,6 +563,9 @@ impl ServeReport {
 struct PendingQuery {
     ticket: QueryTicket,
     spec: QuerySpec,
+    /// Immutable corpus snapshot captured at admission on a mutable
+    /// server; `None` on a static corpus (the pre-mutation fast path).
+    snapshot: Option<Arc<Snapshot>>,
 }
 
 /// An online RAG retrieval server over one device.
@@ -562,7 +638,11 @@ impl<'a> RagServer<'a> {
         }
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push(PendingQuery { ticket, spec });
+        self.pending.push(PendingQuery {
+            ticket,
+            spec,
+            snapshot: None,
+        });
         Ok(ticket)
     }
 
@@ -678,6 +758,7 @@ impl<'a> RagServer<'a> {
                 ..ReplicaStats::default()
             },
             ivf,
+            corpus: CorpusStats::default(),
         })
     }
 }
@@ -744,6 +825,15 @@ pub struct ShardedRagServer {
     /// Per-`nlist` IVF indexes, one per shard slice (shared across a
     /// shard's replicas), built lazily and cached across drains.
     ivf: HashMap<usize, Vec<IvfIndex>>,
+    /// The live corpus on a server built with
+    /// [`ShardedRagServer::new_mutable`]; `None` keeps the static
+    /// fast path byte-identical to the pre-mutation server.
+    mutable: Option<MutableCorpus>,
+    /// IVF indexes over mutable **base** segments, keyed by
+    /// `(base epoch, nlist)`. Epochs are unique per segment generation,
+    /// so a compacted base never reuses a stale index; stale entries are
+    /// pruned once no live snapshot can reference them.
+    mut_ivf: HashMap<(u64, usize), IvfIndex>,
 }
 
 impl ShardedRagServer {
@@ -788,7 +878,115 @@ impl ShardedRagServer {
             next_ticket: 0,
             traces: None,
             ivf: HashMap::new(),
+            mutable: None,
+            mut_ivf: HashMap::new(),
         })
+    }
+
+    /// Builds a **mutable** sharded server: the same cluster as
+    /// [`ShardedRagServer::new`], plus a [`MutableCorpus`] whose base
+    /// segments are `store`'s shard slices. Queries capture an immutable
+    /// snapshot at admission ([`ShardedRagServer::submit_query`]) and
+    /// scan exactly that snapshot — base + sealed deltas minus
+    /// tombstones — through the same batched kernel path, so batching,
+    /// sharding, replication, priorities, and fault containment all
+    /// compose unchanged. Background compaction requested via
+    /// [`ShardedRagServer::request_compaction`] runs as ordinary
+    /// [`ServeConfig::compaction_priority`] work on the same queues
+    /// during [`ShardedRagServer::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRagServer::new`].
+    pub fn new_mutable(
+        store: &EmbeddingStore,
+        shards: usize,
+        sim: SimConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self> {
+        let mut server = Self::new(store, shards, sim, cfg)?;
+        server.mutable = Some(MutableCorpus::new(store, server.shards.len()));
+        Ok(server)
+    }
+
+    /// Whether this server was built with
+    /// [`ShardedRagServer::new_mutable`].
+    pub fn is_mutable(&self) -> bool {
+        self.mutable.is_some()
+    }
+
+    fn corpus_mut(&mut self) -> Result<&mut MutableCorpus> {
+        self.mutable.as_mut().ok_or_else(|| {
+            Error::InvalidArg("corpus mutation needs a server built with new_mutable".into())
+        })
+    }
+
+    /// Ingests one document into the live corpus, returning its global
+    /// id. Visible from the next captured snapshot — queries already
+    /// admitted keep their own snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArg`] on an immutable server or an invalid
+    /// embedding (wrong dimension / out-of-band values).
+    pub fn insert_doc(&mut self, embedding: &[i16]) -> Result<u32> {
+        self.corpus_mut()?.insert(embedding)
+    }
+
+    /// Deletes a document from the live corpus. Returns whether the
+    /// document was alive. Already-admitted queries still see it: the
+    /// tombstone only masks it from later snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArg`] on an immutable server.
+    pub fn delete_doc(&mut self, doc: u32) -> Result<bool> {
+        Ok(self.corpus_mut()?.delete(doc))
+    }
+
+    /// Replaces a document's embedding (delete + insert), returning the
+    /// replacement's new id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArg`] on an immutable server, an unknown or
+    /// already-deleted `doc`, or an invalid embedding.
+    pub fn update_doc(&mut self, doc: u32, embedding: &[i16]) -> Result<u32> {
+        self.corpus_mut()?.update(doc, embedding)
+    }
+
+    /// Requests background compaction of one corpus shard: merge its
+    /// sealed deltas and retire its tombstones into a fresh base
+    /// segment. The work is captured as a plan now and submitted by the
+    /// next [`ShardedRagServer::drain`] as a device task arriving at
+    /// `at` with [`ServeConfig::compaction_priority`]. Returns `None`
+    /// when there is nothing to compact or a compaction is already in
+    /// flight for the shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArg`] on an immutable server or a bad shard
+    /// index.
+    pub fn request_compaction(
+        &mut self,
+        shard: usize,
+        at: Duration,
+    ) -> Result<Option<CompactionTicket>> {
+        self.corpus_mut()?.request_compaction(shard, at)
+    }
+
+    /// Current live-corpus counters (all zeros on an immutable server).
+    pub fn corpus_stats(&self) -> CorpusStats {
+        self.mutable
+            .as_ref()
+            .map(MutableCorpus::stats)
+            .unwrap_or_default()
+    }
+
+    /// Captures the current corpus snapshot — what a query submitted
+    /// right now would scan. `None` on an immutable server.
+    pub fn corpus_snapshot(&mut self) -> Option<Arc<Snapshot>> {
+        self.mutable.as_mut().map(MutableCorpus::snapshot)
     }
 
     /// Number of corpus shards (logical shard groups).
@@ -948,7 +1146,15 @@ impl ShardedRagServer {
         }
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push(PendingQuery { ticket, spec });
+        // On a mutable server every query pins the corpus state it was
+        // admitted against; later writes and compactions cannot change
+        // what it observes.
+        let snapshot = self.mutable.as_mut().map(MutableCorpus::snapshot);
+        self.pending.push(PendingQuery {
+            ticket,
+            spec,
+            snapshot,
+        });
         Ok(ticket)
     }
 
@@ -987,6 +1193,15 @@ impl ShardedRagServer {
         let mut queries = std::mem::take(&mut self.pending);
         queries.sort_by_key(|p| (p.spec.arrival, p.ticket.0));
 
+        // Compaction plans captured since the last drain ride this one
+        // as ordinary device tasks (applied or failed after the loop).
+        let plans: Vec<Arc<CompactionPlan>> = self
+            .mutable
+            .as_mut()
+            .map(MutableCorpus::take_plans)
+            .unwrap_or_default();
+        let compaction_priority = self.cfg.compaction_priority;
+
         let k = self.cfg.k;
         let n_shards = self.shards.len();
         let n_devices = self.devices.len();
@@ -1009,17 +1224,53 @@ impl ShardedRagServer {
         // exact global merge is unchanged.
         for p in &queries {
             if let IndexMode::Ivf { nlist, .. } = p.spec.index.unwrap_or(cfg_index) {
-                if !self.ivf.contains_key(&nlist) {
-                    let built = self
-                        .shards
-                        .iter()
-                        .map(|sh| IvfIndex::build(&sh.store, nlist))
-                        .collect();
-                    self.ivf.insert(nlist, built);
+                match &p.snapshot {
+                    // A snapshot query indexes its own base segments;
+                    // the (unique) base epoch keys the cache, so a
+                    // compacted base can never serve a stale index.
+                    // Deltas stay flat-scanned — they are small and
+                    // short-lived by design.
+                    Some(snap) => {
+                        for sh in &snap.shards {
+                            let base = &sh.segments[0].store;
+                            if base.spec().chunks == 0 {
+                                continue;
+                            }
+                            self.mut_ivf
+                                .entry((base.epoch(), nlist))
+                                .or_insert_with(|| IvfIndex::build(base, nlist));
+                        }
+                    }
+                    None => {
+                        if !self.ivf.contains_key(&nlist) {
+                            let built = self
+                                .shards
+                                .iter()
+                                .map(|sh| IvfIndex::build(&sh.store, nlist))
+                                .collect();
+                            self.ivf.insert(nlist, built);
+                        }
+                    }
                 }
             }
         }
+        // Drop cached indexes whose base epoch no live query references
+        // and the corpus no longer holds — compaction retired them.
+        if let Some(corpus) = &self.mutable {
+            let live: std::collections::HashSet<u64> = corpus
+                .base_epochs()
+                .into_iter()
+                .chain(
+                    queries
+                        .iter()
+                        .filter_map(|p| p.snapshot.as_ref())
+                        .flat_map(|snap| snap.shards.iter().map(|sh| sh.segments[0].store.epoch())),
+                )
+                .collect();
+            self.mut_ivf.retain(|(epoch, _), _| live.contains(epoch));
+        }
         let ivf_indexes = &self.ivf;
+        let mut_ivf = &self.mut_ivf;
         let ivf_cell = RefCell::new(IvfStats::default());
 
         // Per-query submission parameters, in (arrival, ticket) order —
@@ -1033,6 +1284,7 @@ impl ShardedRagServer {
             ttl: Option<Duration>,
             index: IndexMode,
             query: Vec<i16>,
+            snapshot: Option<Arc<Snapshot>>,
         }
         let infos: Vec<QInfo> = queries
             .into_iter()
@@ -1044,6 +1296,7 @@ impl ShardedRagServer {
                 ttl: p.spec.ttl.or(default_ttl),
                 index: p.spec.index.unwrap_or(cfg_index),
                 query: p.spec.query,
+                snapshot: p.snapshot,
             })
             .collect();
         let index_of: HashMap<u64, usize> = infos
@@ -1073,25 +1326,63 @@ impl ShardedRagServer {
         let make_task = |info: &QInfo, s: usize, device: usize, at: Duration, prio: Priority| {
             let hbm = &hbm_cells[device];
             let shard = &shards[s];
-            let run: apu_sim::queue::BatchRunner<'_> = match info.index {
-                IndexMode::Flat => Box::new(move |dev: &mut ApuDevice, payloads| {
+            let run: apu_sim::queue::BatchRunner<'_> = if let Some(snap_ref) = &info.snapshot {
+                // Snapshot path: scan the pinned shard view — base +
+                // sealed deltas minus tombstones — through the same
+                // batched kernel. The base may run through a per-epoch
+                // IVF index; deltas always scan flat.
+                let ivf_sel: Option<(&IvfIndex, usize)> = match info.index {
+                    IndexMode::Flat => None,
+                    IndexMode::Ivf { nlist, nprobe } => {
+                        let base = &snap_ref.shards[s].segments[0].store;
+                        if base.spec().chunks == 0 {
+                            None
+                        } else {
+                            Some((&mut_ivf[&(base.epoch(), nlist)], nprobe))
+                        }
+                    }
+                };
+                let snap = Arc::clone(snap_ref);
+                let stats = &ivf_cell;
+                Box::new(move |dev: &mut ApuDevice, payloads| {
                     let mut hbm = hbm.borrow_mut();
-                    run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
-                }),
-                IndexMode::Ivf { nlist, nprobe } => {
-                    let index = &ivf_indexes[&nlist][s];
-                    let stats = &ivf_cell;
-                    Box::new(move |dev: &mut ApuDevice, payloads| {
+                    let (report, outputs, ds) = run_boxed_snapshot_batch(
+                        dev,
+                        &mut hbm,
+                        &snap.shards[s],
+                        ivf_sel,
+                        payloads,
+                        k,
+                    )?;
+                    stats.borrow_mut().absorb(&ds);
+                    Ok((report, outputs))
+                })
+            } else {
+                match info.index {
+                    IndexMode::Flat => Box::new(move |dev: &mut ApuDevice, payloads| {
                         let mut hbm = hbm.borrow_mut();
-                        let (report, outputs, ds) = run_boxed_ivf_batch_at(
-                            dev, &mut hbm, index, payloads, k, nprobe, shard.base,
-                        )?;
-                        stats.borrow_mut().absorb(&ds);
-                        Ok((report, outputs))
-                    })
+                        run_boxed_batch_at(dev, &mut hbm, &shard.store, payloads, k, shard.base)
+                    }),
+                    IndexMode::Ivf { nlist, nprobe } => {
+                        let index = &ivf_indexes[&nlist][s];
+                        let stats = &ivf_cell;
+                        Box::new(move |dev: &mut ApuDevice, payloads| {
+                            let mut hbm = hbm.borrow_mut();
+                            let (report, outputs, ds) = run_boxed_ivf_batch_at(
+                                dev, &mut hbm, index, payloads, k, nprobe, shard.base,
+                            )?;
+                            stats.borrow_mut().absorb(&ds);
+                            Ok((report, outputs))
+                        })
+                    }
                 }
             };
-            let key = retrieval_batch_key_for(&shard.store, k, info.index);
+            // Snapshot queries batch by (shard, snapshot id, k, mode):
+            // same-snapshot queries coalesce, cross-snapshot never do.
+            let key = match &info.snapshot {
+                Some(snap) => snapshot_batch_key(s, snap.id, k, info.index),
+                None => retrieval_batch_key_for(&shard.store, k, info.index),
+            };
             let mut task = TaskSpec::batch(key, Box::new(info.query.clone()), run)
                 .priority(prio)
                 .at(at)
@@ -1113,7 +1404,58 @@ impl ShardedRagServer {
         // Value: (ticket, shard, is_hedge_copy, failover_round).
         let mut tickets: HashMap<(usize, TaskHandle), (u64, usize, bool, u32)> = HashMap::new();
 
+        // Background compaction rides the same queues as ordinary
+        // (default: low-priority) device work, one task per captured
+        // plan, pinned to a replica of its shard. Each plan's unique
+        // batch key means it never coalesces with queries — and gives
+        // fault injection a precise target. Plans are submitted
+        // interleaved with the queries in arrival order, so a plan's
+        // FIFO position among equal-priority work reflects `plan.at`:
+        // an interactive-priority merge competes head-to-head with the
+        // queries behind it, while a low-priority merge yields to every
+        // arrived query. The queue's retry policy applies unchanged; a
+        // plan that cannot even be admitted fails immediately (the
+        // corpus stays untouched and re-requestable).
+        let mut compaction_tickets: HashMap<(usize, TaskHandle), usize> = HashMap::new();
+        let mut comp_results: Vec<(usize, Option<Completion>)> = Vec::new();
+        let mut plan_order: Vec<usize> = (0..plans.len()).collect();
+        plan_order.sort_by_key(|&pi| (plans[pi].at, plans[pi].seq));
+        let comp_specs: Vec<(usize, Duration, TaskSpec<'_>)> = plan_order
+            .into_iter()
+            .map(|pi| {
+                let plan = &plans[pi];
+                let device = cluster
+                    .route_replica(plan.shard, &[])
+                    .expect("every shard has at least one replica");
+                let hbm = &hbm_cells[device];
+                let task_plan = Arc::clone(plan);
+                let run: apu_sim::queue::BatchRunner<'_> =
+                    Box::new(move |dev: &mut ApuDevice, _payloads| {
+                        let mut hbm = hbm.borrow_mut();
+                        run_compaction_task(dev, &mut hbm, &task_plan)
+                    });
+                let spec = TaskSpec::batch(plan.key, Box::new(()), run)
+                    .priority(compaction_priority)
+                    .at(plan.at)
+                    .on_shard(device);
+                (pi, plan.at, spec)
+            })
+            .collect();
+        let mut comp_queue = comp_specs.into_iter().peekable();
+
         for info in &infos {
+            while comp_queue
+                .peek()
+                .is_some_and(|(_, at, _)| *at <= info.arrival)
+            {
+                let (pi, _, spec) = comp_queue.next().expect("peeked non-empty");
+                match cluster.submit(spec) {
+                    Ok(h) => {
+                        compaction_tickets.insert((h.shard(), h.task()), pi);
+                    }
+                    Err(_) => comp_results.push((pi, None)),
+                }
+            }
             for s in 0..n_shards {
                 let primary = cluster
                     .route_replica(s, &[])
@@ -1149,6 +1491,16 @@ impl ShardedRagServer {
             }
         }
 
+        // Plans arriving after the last query still ride this drain.
+        for (pi, _, spec) in comp_queue {
+            match cluster.submit(spec) {
+                Ok(h) => {
+                    compaction_tickets.insert((h.shard(), h.task()), pi);
+                }
+                Err(_) => comp_results.push((pi, None)),
+            }
+        }
+
         // Drain-and-failover loop: each round drains every device, feeds
         // health tracking, then resubmits fully-failed reads on untried
         // replicas. Bounded: each failover consumes an untried replica.
@@ -1160,6 +1512,14 @@ impl ShardedRagServer {
             for drained in cluster_report.shards {
                 let device = drained.shard;
                 for done in drained.completions {
+                    // Compaction completions are background work: they
+                    // feed the corpus, not the query merge (and not
+                    // replica health — a failed merge says nothing a
+                    // query read would act on).
+                    if let Some(pi) = compaction_tickets.remove(&(device, done.handle)) {
+                        comp_results.push((pi, Some(done)));
+                        continue;
+                    }
                     let (ticket, s, is_hedge, rnd) = tickets
                         .remove(&(device, done.handle))
                         .expect("every completion maps to a submitted copy");
@@ -1218,6 +1578,22 @@ impl ShardedRagServer {
                 break;
             }
             round += 1;
+        }
+
+        // Install (or abandon) compactions strictly in request order:
+        // an applied plan swaps the shard's base for the merged segment
+        // and retires the captured tombstones; a failed one leaves the
+        // corpus untouched and re-requestable. Queries are unaffected
+        // either way — every admitted query pinned its snapshot.
+        if let Some(corpus) = self.mutable.as_mut() {
+            comp_results.sort_by_key(|(pi, _)| plans[*pi].seq);
+            for (pi, done) in comp_results {
+                let plan = &plans[pi];
+                match done.map(Completion::into_output::<Segment>) {
+                    Some(Ok(merged)) => corpus.apply_compaction(plan, merged),
+                    Some(Err(_)) | None => corpus.fail_compaction(plan),
+                }
+            }
         }
         // Queue counters are cumulative across drain rounds, so one
         // final per-device snapshot is the running total.
@@ -1321,12 +1697,18 @@ impl ShardedRagServer {
             failover_served,
         };
         let ivf = *ivf_cell.borrow();
+        let corpus = self
+            .mutable
+            .as_ref()
+            .map(MutableCorpus::stats)
+            .unwrap_or_default();
         Ok(ServeReport {
             completions,
             queue,
             shards: shard_stats,
             replica,
             ivf,
+            corpus,
         })
     }
 }
@@ -1336,6 +1718,7 @@ mod tests {
     use super::*;
     use crate::batch::retrieve_batch;
     use crate::corpus::CorpusSpec;
+    use crate::mutable::flat_scan;
     use apu_sim::SimConfig;
     use hbm_sim::DramSpec;
 
@@ -1517,6 +1900,7 @@ mod tests {
             shards: Vec::new(),
             replica: ReplicaStats::default(),
             ivf: IvfStats::default(),
+            corpus: CorpusStats::default(),
         };
         assert_eq!(empty.latency_percentile(0.5), Duration::ZERO);
         assert_eq!(empty.latency_percentile(0.99), Duration::ZERO);
@@ -1800,5 +2184,130 @@ mod tests {
         // Draining clears the backlog.
         server.drain().unwrap();
         assert!(server.submit(Duration::ZERO, store.query(2)).is_ok());
+    }
+
+    #[test]
+    fn mutable_server_without_writes_matches_the_static_server() {
+        let store = EmbeddingStore::materialized(
+            CorpusSpec {
+                corpus_bytes: 0,
+                chunks: 6_000,
+            },
+            21,
+        );
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let queries: Vec<Vec<i16>> = (0..6).map(|i| store.query(i)).collect();
+        let run = |mutable: bool| {
+            let mut server = if mutable {
+                ShardedRagServer::new_mutable(&store, 3, sim.clone(), ServeConfig::default())
+                    .unwrap()
+            } else {
+                ShardedRagServer::new(&store, 3, sim.clone(), ServeConfig::default()).unwrap()
+            };
+            for (i, q) in queries.iter().enumerate() {
+                server
+                    .submit(Duration::from_micros(i as u64 * 40), q.clone())
+                    .unwrap();
+            }
+            server.drain().unwrap()
+        };
+        let fixed = run(false);
+        let live = run(true);
+        assert_eq!(live.served(), fixed.served());
+        let fixed_hits: HashMap<u64, &[Hit]> = fixed
+            .completions
+            .iter()
+            .map(|c| (c.ticket.id(), c.hits().expect("served")))
+            .collect();
+        for done in &live.completions {
+            assert_eq!(
+                done.hits().expect("served"),
+                fixed_hits[&done.ticket.id()],
+                "a mutable server with zero writes must answer like the static one"
+            );
+        }
+        // All six queries share snapshot 1; the static server reports
+        // all-zero corpus counters, the mutable one exports the series.
+        assert_eq!(fixed.corpus, CorpusStats::default());
+        assert_eq!(live.corpus.snapshots, 1);
+        assert_eq!(live.corpus.live_docs, 6_000);
+        assert!(live.prometheus_text().contains("apu_corpus_live_docs 6000"));
+    }
+
+    #[test]
+    fn writes_compaction_and_snapshot_isolation_compose_on_the_server() {
+        let store = EmbeddingStore::materialized(
+            CorpusSpec {
+                corpus_bytes: 0,
+                chunks: 600,
+            },
+            9,
+        );
+        let sim = SimConfig::default().with_l4_bytes(8 << 20);
+        let mut server =
+            ShardedRagServer::new_mutable(&store, 2, sim, ServeConfig::default()).unwrap();
+        let k = ServeConfig::default().k;
+
+        // q0 pins the pristine corpus.
+        let snap0 = server.corpus_snapshot().unwrap();
+        let q0 = server.submit(Duration::ZERO, store.query(0)).unwrap();
+
+        // Writes after q0's admission: one ingest, one delete.
+        let new_doc = server.insert_doc(&store.query(41)).unwrap();
+        assert_eq!(new_doc, 600);
+        assert!(server.delete_doc(3).unwrap());
+
+        // q1 pins the mutated corpus.
+        let snap1 = server.corpus_snapshot().unwrap();
+        let q1 = server
+            .submit(Duration::from_micros(30), store.query(0))
+            .unwrap();
+        assert!(snap1.id > snap0.id);
+
+        // Compact both shards in the background during the same drain.
+        let t0 = server
+            .request_compaction(new_doc as usize % 2, Duration::from_micros(5))
+            .unwrap();
+        assert!(t0.is_some(), "the insert left a delta to merge");
+
+        let report = server.drain().unwrap();
+        assert_eq!(report.served(), 2);
+        for done in &report.completions {
+            let (snap, label) = if done.ticket == q0 {
+                (&snap0, "pre-write snapshot")
+            } else {
+                assert_eq!(done.ticket, q1);
+                (&snap1, "post-write snapshot")
+            };
+            assert_eq!(
+                done.hits().expect("served"),
+                flat_scan(snap, &store.query(0), k),
+                "{label} must serve exactly what it pinned"
+            );
+        }
+        // q1 saw the write set; q0 did not.
+        let hits1 = flat_scan(&snap1, &store.query(41), k);
+        assert!(hits1.iter().any(|h| h.chunk == new_doc));
+        assert!(flat_scan(&snap1, &store.query(0), k)
+            .iter()
+            .all(|h| h.chunk != 3));
+
+        // The compaction applied, and the next query serves the merged
+        // base with unchanged results.
+        assert_eq!(report.corpus.compactions, 1);
+        assert_eq!(report.corpus.compaction_failures, 0);
+        let snap2 = server.corpus_snapshot().unwrap();
+        assert_eq!(snap2.live_docs(), 600);
+        let q2 = server
+            .submit(Duration::from_micros(400), store.query(41))
+            .unwrap();
+        let report2 = server.drain().unwrap();
+        let done = &report2.completions[0];
+        assert_eq!(done.ticket, q2);
+        assert_eq!(
+            done.hits().expect("served"),
+            flat_scan(&snap2, &store.query(41), k)
+        );
+        assert!(done.hits().unwrap().iter().any(|h| h.chunk == new_doc));
     }
 }

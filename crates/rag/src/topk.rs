@@ -33,6 +33,24 @@ pub fn offset_hits(hits: Vec<Hit>, base: u32) -> Vec<Hit> {
         .collect()
 }
 
+/// Drops hits whose id appears in `tombstones`, a **sorted** slice of
+/// deleted ids. Relative order of the survivors is preserved.
+///
+/// This is the mutation-aware step of the snapshot scan
+/// ([`crate::mutable`]): a segment is scanned for `k +
+/// tombstones_in_segment` candidates, the tombstoned ones are dropped
+/// here, and at least `k` legitimate survivors remain — so a deleted
+/// document can never leak into a result list, and the post-filter
+/// top-k equals the top-k of the segment's live documents exactly.
+pub fn drop_tombstoned(hits: Vec<Hit>, tombstones: &[u32]) -> Vec<Hit> {
+    if tombstones.is_empty() {
+        return hits;
+    }
+    hits.into_iter()
+        .filter(|h| tombstones.binary_search(&h.chunk).is_err())
+        .collect()
+}
+
 /// Merges per-partition top-k lists (already in the global id space)
 /// into the global top-k: concatenation followed by [`top_k`]. Because
 /// every partition list is itself a superset-of-survivors of its
@@ -96,5 +114,45 @@ mod tests {
     fn merge_with_k_past_total_keeps_all_with_ties_ordered() {
         let merged = merge_top_k(vec![vec![h(8, 2)], vec![h(3, 2)]], 99);
         assert_eq!(merged, vec![h(3, 2), h(8, 2)]);
+    }
+
+    #[test]
+    fn tombstoned_hits_never_survive_the_filter() {
+        let hits = vec![h(5, 9), h(2, 8), h(7, 8), h(0, 1)];
+        let out = drop_tombstoned(hits, &[2, 7]);
+        assert_eq!(out, vec![h(5, 9), h(0, 1)]);
+        // An empty tombstone set is the identity.
+        let hits = vec![h(3, 4), h(1, 2)];
+        assert_eq!(drop_tombstoned(hits.clone(), &[]), hits);
+        // Tombstones that match nothing change nothing.
+        assert_eq!(drop_tombstoned(hits.clone(), &[99]), hits);
+    }
+
+    #[test]
+    fn tombstoned_hit_cannot_leak_through_offset_and_merge() {
+        // A shard-local hit for a document that a newer snapshot
+        // tombstoned: lifted to the global id space, filtered, merged —
+        // the deleted id must be absent even when it had the top score.
+        let shard_local = vec![h(2, 50), h(0, 40)]; // global 102, 100
+        let global = offset_hits(shard_local, 100);
+        let filtered = drop_tombstoned(global, &[102]);
+        let merged = merge_top_k(vec![filtered, vec![h(7, 45)]], 2);
+        assert_eq!(merged, vec![h(7, 45), h(100, 40)]);
+        assert!(merged.iter().all(|m| m.chunk != 102));
+    }
+
+    #[test]
+    fn all_tombstoned_and_empty_delta_edges_merge_cleanly() {
+        // Every hit of one partition tombstoned → the partition
+        // contributes nothing; an empty delta partition is a no-op; the
+        // merge still ranks the survivors of the other partitions.
+        let dead = drop_tombstoned(vec![h(4, 99), h(5, 98)], &[4, 5]);
+        assert!(dead.is_empty());
+        let empty_delta: Vec<Hit> = Vec::new();
+        let merged = merge_top_k(vec![dead, empty_delta, vec![h(1, 3)]], 4);
+        assert_eq!(merged, vec![h(1, 3)]);
+        // Everything tombstoned everywhere → empty result, not a panic.
+        let all_dead = merge_top_k(vec![drop_tombstoned(vec![h(0, 1)], &[0])], 4);
+        assert!(all_dead.is_empty());
     }
 }

@@ -92,6 +92,41 @@ fn fast_forward_reruns_on_signature_change() {
 }
 
 #[test]
+fn fast_forward_memo_keys_include_the_corpus_epoch() {
+    // Live-corpus segments carry an epoch ([`EmbeddingStore::epoch`]),
+    // bumped whenever compaction produces a new base of possibly
+    // identical shape. The memo key must include it: otherwise a
+    // fast-forward replay could charge a pre-compaction segment's
+    // cycles for a post-compaction scan. Same shape + different epoch
+    // must miss; the same epoch scanned again must hit.
+    let mut dev = timing_device(true);
+    let spec = CorpusSpec {
+        corpus_bytes: 0,
+        chunks: 50_000,
+    };
+    let before = EmbeddingStore::size_only(spec, 7);
+    let after = EmbeddingStore::size_only(spec, 7).with_epoch(9);
+    let queries: Vec<Vec<i16>> = (0..2).map(|i| before.query(i)).collect();
+    let mut hbm = MemorySystem::new(DramSpec::hbm2e_16gb());
+    let a = retrieve_batch(&mut dev, &mut hbm, &before, &queries, 5).unwrap();
+    let b = retrieve_batch(&mut dev, &mut hbm, &after, &queries, 5).unwrap();
+    assert_eq!(
+        dev.memo_counters().misses,
+        2,
+        "a new epoch of the same shape must not replay stale timing"
+    );
+    assert_eq!(dev.memo_counters().hits, 0);
+    // Identical shape ⇒ identical charges; only the memo identity
+    // differs.
+    assert_eq!(a.report, b.report);
+    // Re-scanning each epoch replays its own entry.
+    retrieve_batch(&mut dev, &mut hbm, &before, &queries, 5).unwrap();
+    retrieve_batch(&mut dev, &mut hbm, &after, &queries, 5).unwrap();
+    assert_eq!(dev.memo_counters().hits, 2);
+    assert_eq!(dev.memo_counters().misses, 2);
+}
+
+#[test]
 fn functional_mode_ignores_fast_forward_and_stays_correct() {
     // In functional mode the fast-forward flag must change nothing: hits
     // are data-dependent, so every run executes.
